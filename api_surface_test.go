@@ -1,0 +1,104 @@
+package xmlvi_test
+
+import (
+	"testing"
+
+	xmlvi "repro"
+)
+
+// TestAPISurface exercises the facade methods end to end on one document
+// so every public entry point is covered by at least one assertion.
+func TestAPISurface(t *testing.T) {
+	d := mustParse(t, `<shop>
+	  <item sku="A1"><name>lamp</name><price>25.00</price></item>
+	  <item sku="B2"><name>desk</name><price>125.00</price></item>
+	</shop>`)
+
+	if got := d.NumNodes(); got < 10 {
+		t.Errorf("NumNodes = %d", got)
+	}
+	items := d.FindAll("item")
+	if len(items) != 2 {
+		t.Fatalf("FindAll(item) = %d", len(items))
+	}
+	if d.Parent(items[0]) != d.Find("shop") {
+		t.Error("Parent broken")
+	}
+	if d.Name(items[0]) != "item" {
+		t.Error("Name broken")
+	}
+	if d.Hash(items[0]) == 0 {
+		t.Error("Hash of non-empty element should not be 0")
+	}
+	price := d.FindAll("price")[0]
+	if v, ok := d.DoubleValue(price); !ok || v != 25 {
+		t.Errorf("DoubleValue = %v %v", v, ok)
+	}
+
+	// QueryScan agrees with Query.
+	q := `//item[price > 100]`
+	a, err := d.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.QueryScan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || len(b) != 1 || a[0].Node != b[0].Node {
+		t.Errorf("Query %v vs QueryScan %v", a, b)
+	}
+
+	// Exclusive range excludes endpoints.
+	if hits := d.RangeDoubleExclusive(25, 125); len(hits) != 0 {
+		t.Errorf("exclusive (25,125) = %v", hits)
+	}
+	if hits := d.RangeDouble(25, 125); len(hits) == 0 {
+		t.Error("inclusive [25,125] empty")
+	}
+
+	// Batch updates through the facade.
+	texts := []xmlvi.TextUpdate{
+		{Node: d.Children(d.FindAll("price")[0])[0], Value: "30"},
+		{Node: d.Children(d.FindAll("price")[1])[0], Value: "130"},
+	}
+	if err := d.UpdateTexts(texts); err != nil {
+		t.Fatal(err)
+	}
+	if hits := d.LookupDouble(30); len(hits) == 0 {
+		t.Error("batch update not indexed")
+	}
+
+	// Attribute update.
+	sku := d.FindAttr(items[0], "sku")
+	if sku < 0 {
+		t.Fatal("FindAttr failed")
+	}
+	if err := d.UpdateAttr(sku, "Z9"); err != nil {
+		t.Fatal(err)
+	}
+	if hits := d.LookupString("Z9"); len(hits) != 1 || !hits[0].IsAttr {
+		t.Errorf("attr update lookup = %v", hits)
+	}
+	if hits := d.LookupString("A1"); len(hits) != 0 {
+		t.Error("old attr value still indexed")
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Text-node result values.
+	tx, _ := d.Query(`//name/text()`)
+	if len(tx) != 2 || tx[0].Value() != "lamp" || tx[0].Name() != "" {
+		t.Errorf("text results = %v", tx)
+	}
+}
+
+// TestErrNotTextSurface checks the exported error value round-trips.
+func TestErrNotTextSurface(t *testing.T) {
+	d := mustParse(t, `<a><b>x</b></a>`)
+	err := d.UpdateText(d.Find("b"), "nope")
+	if err == nil {
+		t.Fatal("UpdateText on element must fail")
+	}
+}

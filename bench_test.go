@@ -1,0 +1,222 @@
+package xmlvi_test
+
+// One benchmark per table and figure of the paper's evaluation (Section
+// 6), plus the ablation benches from DESIGN.md. Each bench wraps the
+// typed runner in internal/experiments and reports paper-relevant shapes
+// as custom metrics, so `go test -bench=. -benchmem` regenerates the
+// whole evaluation. The xvibench command prints the same data as tables.
+//
+// Scales default small enough for CI; raise with -benchscale to approach
+// the paper's sizes.
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var benchScale = flag.Float64("benchscale", 0.10, "dataset scale for experiment benches (1.0 ≈ 1/64 of paper size)")
+
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *benchScale
+	cfg.Repeat = 1
+	return cfg
+}
+
+// BenchmarkTable1DatasetStats regenerates Table 1: dataset statistics for
+// all eight corpora. Reported metrics: measured text and double shares
+// (paper: 56–66 % and 0.1–10 %).
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.TextPct, r.Dataset+"_text%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9StringIndexCreation regenerates Figure 9 (top left):
+// string-index creation time as overhead over shredding. Paper shape:
+// below ~10 %.
+func BenchmarkFig9StringIndexCreation(b *testing.B) {
+	benchFig9(b, func(r experiments.Fig9Row) (float64, string) {
+		return r.StringTimePct, r.Dataset + "_ovh%"
+	})
+}
+
+// BenchmarkFig9DoubleIndexCreation regenerates Figure 9 (top right):
+// double-index creation overhead. Paper shape: below ~2 %.
+func BenchmarkFig9DoubleIndexCreation(b *testing.B) {
+	benchFig9(b, func(r experiments.Fig9Row) (float64, string) {
+		return r.DoubleTimePct, r.Dataset + "_ovh%"
+	})
+}
+
+// BenchmarkFig9StringIndexStorage regenerates Figure 9 (bottom left):
+// string-index storage share. Paper shape: 10–20 % of the database.
+func BenchmarkFig9StringIndexStorage(b *testing.B) {
+	benchFig9(b, func(r experiments.Fig9Row) (float64, string) {
+		return r.StringSizePct, r.Dataset + "_size%"
+	})
+}
+
+// BenchmarkFig9DoubleIndexStorage regenerates Figure 9 (bottom right):
+// double-index storage share. Paper shape: ≤ 2–3 %.
+func BenchmarkFig9DoubleIndexStorage(b *testing.B) {
+	benchFig9(b, func(r experiments.Fig9Row) (float64, string) {
+		return r.DoubleSizePct, r.Dataset + "_size%"
+	})
+}
+
+func benchFig9(b *testing.B, metric func(experiments.Fig9Row) (float64, string)) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"xmark1", "epageo", "dblp", "wiki"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				v, name := metric(r)
+				b.ReportMetric(v, name)
+			}
+		}
+	}
+}
+
+// BenchmarkFig10StringIndexUpdate regenerates Figure 10 (left): string
+// index update time vs number of updated nodes. Paper shape: bounded
+// growth, < 400 ms at 10^6 nodes on 2 GB documents.
+func BenchmarkFig10StringIndexUpdate(b *testing.B) {
+	benchFig10(b, func(p experiments.Fig10Point) float64 { return p.StringMS })
+}
+
+// BenchmarkFig10DoubleIndexUpdate regenerates Figure 10 (right): double
+// index update time. Paper shape: slightly cheaper than the string index
+// (SCT probe vs function call).
+func BenchmarkFig10DoubleIndexUpdate(b *testing.B) {
+	benchFig10(b, func(p experiments.Fig10Point) float64 { return p.DoubleMS })
+}
+
+func benchFig10(b *testing.B, metric func(experiments.Fig10Point) float64) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"xmark1"}
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunFig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				b.ReportMetric(metric(p), fmt.Sprintf("ms_at_%d", p.Updated))
+			}
+		}
+	}
+}
+
+// BenchmarkFig11HashStability regenerates Figure 11: the distribution of
+// distinct strings per hash value. Paper shape: <1 % collisions for most
+// datasets, <10 % for Wiki-like, clusters up to 9 strings.
+func BenchmarkFig11HashStability(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"xmark1", "wiki"}
+	for i := 0; i < b.N; i++ {
+		_, sums, err := experiments.RunFig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range sums {
+				b.ReportMetric(s.CollidingPct, s.Dataset+"_colliding%")
+				b.ReportMetric(float64(s.MaxCluster), s.Dataset+"_maxcluster")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationCombineVsRehash is A1: maintaining ancestor hashes
+// with the combination function C vs re-hashing reconstructed strings.
+func BenchmarkAblationCombineVsRehash(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunA1(cfg, "xmark1", 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(row.SpeedupX, "speedup_x")
+		}
+	}
+}
+
+// BenchmarkAblationSCTVsFSM is A2: SCT probe vs FSM re-run over text.
+func BenchmarkAblationSCTVsFSM(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		row := experiments.RunA2(cfg)
+		if i == 0 {
+			b.ReportMetric(row.SpeedupX, "speedup_x")
+			b.ReportMetric(row.SCTNS, "sct_ns")
+			b.ReportMetric(row.FSMNS, "fsm_ns")
+		}
+	}
+}
+
+// BenchmarkQueryIndexVsScan is A3: index-accelerated XPath vs full scan.
+func BenchmarkQueryIndexVsScan(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunA3(cfg, "xmark1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) > 0 {
+			var total float64
+			for _, r := range rows {
+				total += r.SpeedupX
+			}
+			b.ReportMetric(total/float64(len(rows)), "avg_speedup_x")
+		}
+	}
+}
+
+// BenchmarkAblationOnePassVsTwoPass is A4: simultaneous one-pass index
+// creation vs separate passes.
+func BenchmarkAblationOnePassVsTwoPass(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunA4(cfg, "xmark1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(row.SpeedupX, "speedup_x")
+		}
+	}
+}
+
+// BenchmarkTxnCommutativeVsLocking is A5: Section 5.1's commutative
+// commit protocol vs ancestor-chain locking under concurrent updaters.
+func BenchmarkTxnCommutativeVsLocking(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunA5(cfg, 8, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(row.SpeedupX, "speedup_x")
+			b.ReportMetric(float64(row.LockingAbort), "locking_aborts")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command xvibench runs the paper's evaluation (Section 6) and the
+// ablation studies, printing each table and figure as aligned text next
+// to the paper's reported shapes.
+//
+// Usage:
+//
+//	xvibench                         # everything at the default scale
+//	xvibench -exp table1,fig11      # selected experiments
+//	xvibench -scale 0.5 -repeat 3   # closer to paper size
+//	xvibench -datasets xmark1,wiki
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+var allExperiments = []string{"table1", "fig9", "fig10", "fig11", "a1", "a2", "a3", "a4", "a5"}
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "dataset scale (1.0 ≈ 1/64 of the paper's node counts)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	repeat := flag.Int("repeat", 3, "measurements averaged per point")
+	expList := flag.String("exp", "all", "comma-separated experiments: "+strings.Join(allExperiments, ","))
+	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all eight)")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Repeat: *repeat}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	selected := map[string]bool{}
+	if *expList == "all" {
+		for _, e := range allExperiments {
+			selected[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expList, ",") {
+			selected[strings.TrimSpace(e)] = true
+		}
+	}
+	out := os.Stdout
+
+	if selected["table1"] {
+		rows, err := experiments.RunTable1(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.ReportTable1(out, rows)
+	}
+	if selected["fig9"] || selected["fig9a"] || selected["fig9b"] || selected["fig9c"] || selected["fig9d"] {
+		rows, err := experiments.RunFig9(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.ReportFig9(out, rows)
+	}
+	if selected["fig10"] || selected["fig10a"] || selected["fig10b"] {
+		points, err := experiments.RunFig10(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.ReportFig10(out, points)
+	}
+	if selected["fig11"] {
+		rows, sums, err := experiments.RunFig11(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.ReportFig11(out, rows, sums)
+	}
+	if selected["a1"] {
+		var rows []experiments.A1Row
+		for _, updates := range []int{10, 100, 1000} {
+			row, err := experiments.RunA1(cfg, firstDataset(cfg), updates)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, row)
+		}
+		experiments.ReportA1(out, rows)
+	}
+	if selected["a2"] {
+		experiments.ReportA2(out, experiments.RunA2(cfg))
+	}
+	if selected["a3"] {
+		rows, err := experiments.RunA3(cfg, firstDataset(cfg))
+		if err != nil {
+			fatal(err)
+		}
+		experiments.ReportA3(out, rows)
+	}
+	if selected["a4"] {
+		row, err := experiments.RunA4(cfg, firstDataset(cfg))
+		if err != nil {
+			fatal(err)
+		}
+		experiments.ReportA4(out, []experiments.A4Row{row})
+	}
+	if selected["a5"] {
+		row, err := experiments.RunA5(cfg, 8, 100)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.ReportA5(out, row)
+	}
+	fmt.Fprintln(out)
+}
+
+func firstDataset(cfg experiments.Config) string {
+	if len(cfg.Datasets) > 0 {
+		return cfg.Datasets[0]
+	}
+	return "xmark1"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xvibench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command xviquery runs XPath queries against a snapshot produced by
+// xvishred, using the value indices (or a full scan with -scan, for
+// comparison).
+//
+// Usage:
+//
+//	xviquery -db doc.xvi '//person[.//age = 42]'
+//	xviquery -db doc.xvi -scan -t '//item[price > 100]'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	xmlvi "repro"
+)
+
+func main() {
+	db := flag.String("db", "", "snapshot file from xvishred (required)")
+	scan := flag.Bool("scan", false, "evaluate without indices (baseline)")
+	contains := flag.Bool("contains", false, "treat the argument as a substring pattern (q-gram index)")
+	timing := flag.Bool("t", false, "print evaluation time")
+	limit := flag.Int("limit", 20, "maximum results to print (0 = all)")
+	flag.Parse()
+	if *db == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: xviquery -db file.xvi [-scan|-contains] [-t] 'xpath expression or pattern'")
+		os.Exit(2)
+	}
+	expr := flag.Arg(0)
+
+	doc, err := xmlvi.Load(*db)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	var results []xmlvi.Result
+	switch {
+	case *contains:
+		if !*scan {
+			doc.EnableSubstringIndex()
+			start = time.Now() // the one-time index build is not query time
+		}
+		results = doc.Contains(expr)
+	case *scan:
+		results, err = doc.QueryScan(expr)
+	default:
+		results, err = doc.Query(expr)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		fatal(err)
+	}
+
+	for i, r := range results {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... and %d more\n", len(results)-i)
+			break
+		}
+		v := r.Value()
+		if len(v) > 60 {
+			v = v[:57] + "..."
+		}
+		fmt.Printf("%s = %q\n", r.Path(), v)
+	}
+	fmt.Printf("%d result(s)\n", len(results))
+	if *timing {
+		mode := "indexed"
+		if *scan {
+			mode = "scan"
+		}
+		if *contains {
+			mode = "substring " + mode
+		}
+		fmt.Printf("evaluated (%s) in %v\n", mode, elapsed)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xviquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Package xmlvi is a Go implementation of the generic, updatable XML
+// value indices of Sidirourgos & Boncz, "Generic and updatable XML value
+// indices covering equality and range lookups" (EDBT 2009 / CWI report
+// INS-E0802).
+//
+// Unlike conventional XML value indices, which require an administrator
+// to declare indexed paths and types up front, these indices cover an
+// entire document — every element, attribute, and text node — and respect
+// the XQuery data model: the string value of an element is the
+// concatenation of its descendant text nodes, so mixed content such as
+//
+//	<age><decades>4</decades>2<years/></age>
+//
+// correctly equals 42 in both string and numeric comparisons.
+//
+// Three indices are maintained together:
+//
+//   - a string equi-index built on a 32-bit hash H with an associative
+//     combination function C (H(a·b) = C(H(a), H(b))), so ancestor hashes
+//     are maintained on update without re-reading any text;
+//   - an xs:double range index built on a finite state machine accepting
+//     fragments of the double lexical space, with a state combination
+//     table (SCT) combining adjacent fragments;
+//   - an xs:dateTime range index using the same machinery.
+//
+// # Quick start
+//
+//	doc, err := xmlvi.Parse([]byte(`<person><age>4</age>2</person>`))
+//	if err != nil { ... }
+//	hits, err := doc.Query(`//person[. = 42]`)
+//
+// Documents are updatable in place (text updates, subtree deletion and
+// insertion) with index maintenance costs proportional to the update, not
+// the document; they persist to a checksummed snapshot file and support
+// concurrent commutative transactions (Section 5.1 of the paper).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package xmlvi

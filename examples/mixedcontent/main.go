@@ -1,0 +1,95 @@
+// Mixedcontent walks the paper's running example end to end: the person
+// document of Figure 1, whose <age> decomposes into decades and years yet
+// still equals 42, and whose <weight> assembles 78.230 from three
+// fragments; then the paper's Section 3 update scenario (Dent → Prefect)
+// with incremental hash maintenance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xmlvi "repro"
+)
+
+const person = `<person>
+ <name><first>Arthur</first><family>Dent</family></name>
+ <birthday>1966-09-26</birthday>
+ <age><decades>4</decades>2<years/></age>
+ <weight><kilos>78</kilos>.<grams>230</grams></weight>
+</person>`
+
+func main() {
+	doc, err := xmlvi.ParseWithOptions([]byte(person), xmlvi.Options{StripWhitespace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The XQuery data model: an element's string value concatenates its
+	// descendant text nodes.
+	name := doc.Find("name")
+	fmt.Printf("string value of <name>:   %q\n", doc.StringValue(name))
+	fmt.Printf("hash H(<name>):           %#x (maintained via C, never re-read)\n", doc.Hash(name))
+
+	// The paper's introduction example: //person[.//age = 42] matches
+	// even though age is decomposed into <decades>4</decades> and "2".
+	age := doc.Find("age")
+	if v, ok := doc.DoubleValue(age); ok {
+		fmt.Printf("typed value of <age>:     %v (from mixed content!)\n", v)
+	}
+	hits, err := doc.Query(`//person[.//age = 42]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("//person[.//age = 42]:    %d match\n", len(hits))
+
+	// The <weight> example: "78" + "." + "230" combine through the state
+	// combination table to the double 78.230.
+	weight := doc.Find("weight")
+	if v, ok := doc.DoubleValue(weight); ok {
+		fmt.Printf("typed value of <weight>:  %v (fragments: 78 + . + 230)\n", v)
+	}
+
+	// Section 3's update: family name changes, and the hashes of <name>,
+	// <person>, and the root are all recomputed from child hashes with
+	// the combination function C.
+	family := doc.Find("family")
+	if err := doc.UpdateText(doc.Children(family)[0], "Prefect"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter Dent -> Prefect:\n")
+	fmt.Printf("string value of <name>:   %q\n", doc.StringValue(name))
+	found := doc.LookupString("ArthurPrefect")
+	fmt.Printf("lookup 'ArthurPrefect':   %d hit(s), first at %s\n", len(found), found[0].Path())
+	if len(doc.LookupString("ArthurDent")) == 0 {
+		fmt.Println("lookup 'ArthurDent':      gone, as it should be")
+	}
+
+	// Break the weight with a non-numeric fragment: the SCT rejects the
+	// combination and the typed index drops the element.
+	var dot xmlvi.Node = -1
+	for _, c := range doc.Children(doc.Find("weight")) {
+		if doc.Name(c) == "" { // text node
+			dot = c
+		}
+	}
+	if err := doc.UpdateText(dot, "kg"); err != nil {
+		log.Fatal(err)
+	}
+	if _, ok := doc.DoubleValue(doc.Find("weight")); !ok {
+		fmt.Println("\nafter '.' -> 'kg':        <weight> no longer casts to a double")
+	}
+	if err := doc.UpdateText(dot, "."); err != nil {
+		log.Fatal(err)
+	}
+	if v, ok := doc.DoubleValue(doc.Find("weight")); ok {
+		fmt.Printf("after 'kg' -> '.':        weight is %v again\n", v)
+	}
+
+	// The internal consistency check compares every stored hash and state
+	// against ground truth.
+	if err := doc.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nindex verification:       OK")
+}

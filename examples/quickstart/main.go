@@ -1,0 +1,94 @@
+// Quickstart: parse a document, run equality and range lookups through
+// the generic value indices, update a value, and query again.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xmlvi "repro"
+)
+
+const catalog = `<catalog>
+  <book id="b1">
+    <title>The Hitchhiker's Guide to the Galaxy</title>
+    <author>Douglas Adams</author>
+    <price>12.50</price>
+    <year>1979</year>
+  </book>
+  <book id="b2">
+    <title>The Restaurant at the End of the Universe</title>
+    <author>Douglas Adams</author>
+    <price>14.99</price>
+    <year>1980</year>
+  </book>
+  <book id="b3">
+    <title>Life, the Universe and Everything</title>
+    <author>Douglas Adams</author>
+    <price>9.99</price>
+    <year>1982</year>
+  </book>
+</catalog>`
+
+func main() {
+	// Parse builds the string, double, and dateTime indices over the
+	// whole document in one pass — no path or type configuration needed.
+	doc, err := xmlvi.Parse([]byte(catalog))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Equality on string values: the hash index proposes candidates, the
+	// engine verifies them against the document.
+	fmt.Println("Books by Douglas Adams:")
+	books, err := doc.Query(`//book[author = "Douglas Adams"]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range books {
+		fmt.Printf("  - %s\n", childValue(doc, b, "title"))
+	}
+
+	// Range lookup on doubles: "12.50" and "9.99" are untyped text, but
+	// the double index answers numeric predicates without casting every
+	// node at query time.
+	fmt.Println("\nBooks under 13.00:")
+	cheap, err := doc.Query(`//book[price < 13]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range cheap {
+		fmt.Printf("  - %s (%s)\n", childValue(doc, b, "title"), childValue(doc, b, "price"))
+	}
+
+	// Update a price; the indices follow incrementally (Figure 8 of the
+	// paper): only the changed node and its ancestors are touched.
+	price := doc.FindAll("price")[2]
+	if err := doc.UpdateText(doc.Children(price)[0], "19.99"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAfter raising the third book's price to 19.99:")
+	cheap, _ = doc.Query(`//book[price < 13]`)
+	for _, b := range cheap {
+		fmt.Printf("  - %s (%s)\n", childValue(doc, b, "title"), childValue(doc, b, "price"))
+	}
+
+	// Exact numeric match via the typed index.
+	fmt.Printf("\nNodes whose typed value equals 19.99: %d\n", len(doc.LookupDouble(19.99)))
+
+	// Attribute lookups work too: attributes are first-class indexed
+	// values.
+	ids, _ := doc.Query(`//book/@id[. = "b2"]`)
+	for _, r := range ids {
+		fmt.Printf("Attribute hit: %s = %q\n", r.Path(), r.Value())
+	}
+}
+
+func childValue(doc *xmlvi.Document, r xmlvi.Result, tag string) string {
+	for _, c := range doc.Children(r.Node) {
+		if doc.Name(c) == tag {
+			return doc.StringValue(c)
+		}
+	}
+	return ""
+}

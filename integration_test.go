@@ -1,0 +1,152 @@
+package xmlvi_test
+
+// End-to-end integration: generate each evaluation corpus, shred, index,
+// persist, reload, query, update, and verify — the full life cycle every
+// module participates in.
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	xmlvi "repro"
+	"repro/internal/datagen"
+)
+
+func TestEndToEndAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration is slow in -short mode")
+	}
+	for _, name := range datagen.Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			xml, err := datagen.Generate(name, 0.02, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc, err := xmlvi.Parse(xml)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := doc.Verify(); err != nil {
+				t.Fatalf("fresh build: %v", err)
+			}
+
+			// Persist and reload; reloaded index answers identically.
+			path := filepath.Join(t.TempDir(), name+".xvi")
+			if err := doc.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			doc2, err := xmlvi.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := doc2.Verify(); err != nil {
+				t.Fatalf("reloaded: %v", err)
+			}
+			probe := probeQuery(name)
+			a, err := doc.Query(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := doc2.Query(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("query %q differs after reload: %d vs %d", probe, len(a), len(b))
+			}
+			scan, err := doc2.QueryScan(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(scan) != len(b) {
+				t.Fatalf("query %q: indexed %d vs scan %d", probe, len(b), len(scan))
+			}
+
+			// Random text updates on the reloaded document keep it
+			// consistent.
+			rng := rand.New(rand.NewSource(13))
+			var updates []xmlvi.TextUpdate
+			texts := textNodesOf(doc2)
+			for i := 0; i < 30 && len(texts) > 0; i++ {
+				updates = append(updates, xmlvi.TextUpdate{
+					Node:  texts[rng.Intn(len(texts))],
+					Value: fmt.Sprintf("%d.%02d", rng.Intn(1000), rng.Intn(100)),
+				})
+			}
+			if err := doc2.UpdateTexts(updates); err != nil {
+				t.Fatal(err)
+			}
+			if err := doc2.Verify(); err != nil {
+				t.Fatalf("after updates: %v", err)
+			}
+
+			// Structural churn: delete one subtree, insert a fragment.
+			victims := doc2.FindAll(victimTag(name))
+			if len(victims) > 1 {
+				if err := doc2.Delete(victims[len(victims)/2]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			root := doc2.Children(doc2.Root())[0]
+			if _, err := doc2.InsertXML(root, 0, `<injected><v>42.42</v></injected>`); err != nil {
+				t.Fatal(err)
+			}
+			if err := doc2.Verify(); err != nil {
+				t.Fatalf("after structural churn: %v", err)
+			}
+			if hits := doc2.LookupDouble(42.42); len(hits) == 0 {
+				t.Error("inserted value not queryable")
+			}
+		})
+	}
+}
+
+func probeQuery(dataset string) string {
+	switch dataset {
+	case "epageo":
+		return `//facility[.//accuracy_value < 50]`
+	case "dblp":
+		return `//article[year >= 2000]`
+	case "psd":
+		return `//ProteinEntry[reference/year = 1999]`
+	case "wiki":
+		return `//doc[title != ""]`
+	default:
+		return `//item[quantity >= 9]`
+	}
+}
+
+func victimTag(dataset string) string {
+	switch dataset {
+	case "epageo":
+		return "facility"
+	case "dblp":
+		return "article"
+	case "psd":
+		return "ProteinEntry"
+	case "wiki":
+		return "doc"
+	default:
+		return "item"
+	}
+}
+
+func textNodesOf(d *xmlvi.Document) []xmlvi.Node {
+	var out []xmlvi.Node
+	var walk func(n xmlvi.Node)
+	walk = func(n xmlvi.Node) {
+		for _, c := range d.Children(n) {
+			if d.Name(c) == "" && d.StringValue(c) != "" && len(d.Children(c)) == 0 {
+				out = append(out, c)
+			} else {
+				walk(c)
+			}
+		}
+	}
+	walk(d.Root())
+	return out
+}

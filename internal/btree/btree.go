@@ -1,0 +1,332 @@
+// Package btree implements the B+tree the paper's indices are built on: an
+// ordered map from uint64 keys to uint32 postings (node ids), with
+// duplicate keys, equality scans, and range scans.
+//
+// Keys are uint64 so that one tree serves all three indices:
+//
+//   - the string equi-index stores (hash value, node id),
+//   - the double range index stores (order-encoded float64, node id),
+//   - the dateTime range index stores (order-encoded int64, node id).
+//
+// EncodeFloat64 and EncodeInt64 provide the order-preserving encodings.
+package btree
+
+import "sort"
+
+// Entry is one (key, posting) pair. Duplicate keys are allowed; the pair
+// itself is unique within a tree.
+type Entry struct {
+	Key uint64
+	Val uint32
+}
+
+// less orders entries by (Key, Val).
+func (e Entry) less(o Entry) bool {
+	if e.Key != o.Key {
+		return e.Key < o.Key
+	}
+	return e.Val < o.Val
+}
+
+const (
+	// maxLeaf/maxInner are the fan-outs; chosen so nodes stay around a
+	// cache-friendly few hundred bytes.
+	maxLeaf  = 64
+	maxInner = 64
+	minLeaf  = maxLeaf / 2
+	minInner = maxInner / 2
+)
+
+type leaf struct {
+	entries []Entry
+	next    *leaf
+}
+
+type inner struct {
+	// keys[i] is the smallest entry of children[i+1]'s subtree;
+	// len(children) == len(keys)+1.
+	keys     []Entry
+	children []node
+}
+
+type node interface{ isNode() }
+
+func (*leaf) isNode()  {}
+func (*inner) isNode() {}
+
+// Tree is a B+tree. The zero value is not usable; call New.
+type Tree struct {
+	root   node
+	first  *leaf
+	height int
+	length int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	l := &leaf{}
+	return &Tree{root: l, first: l, height: 1}
+}
+
+// NewFromSorted bulk-loads a tree from entries that must be sorted by
+// (Key, Val) and free of duplicates; it panics otherwise. Bulk loading is
+// what index creation uses after the single document pass.
+func NewFromSorted(entries []Entry) *Tree {
+	for i := 1; i < len(entries); i++ {
+		if !entries[i-1].less(entries[i]) {
+			panic("btree: NewFromSorted input not strictly sorted")
+		}
+	}
+	if len(entries) == 0 {
+		return New()
+	}
+	// Build the leaf level ~85% full so immediate inserts don't split
+	// every node.
+	const fill = maxLeaf * 85 / 100
+	var leaves []node
+	var seps []Entry
+	var first, prev *leaf
+	for off := 0; off < len(entries); {
+		n := fill
+		if rem := len(entries) - off; rem < n {
+			n = rem
+		}
+		// Avoid a dangling underfull last leaf.
+		if rem := len(entries) - off - n; rem > 0 && rem < minLeaf {
+			n = (n + rem + 1) / 2
+		}
+		l := &leaf{entries: append([]Entry(nil), entries[off:off+n]...)}
+		if prev != nil {
+			prev.next = l
+			seps = append(seps, l.entries[0])
+		} else {
+			first = l
+		}
+		prev = l
+		leaves = append(leaves, l)
+		off += n
+	}
+	t := &Tree{first: first, length: len(entries), height: 1}
+	level := leaves
+	for len(level) > 1 {
+		t.height++
+		var up []node
+		var upSeps []Entry
+		for off := 0; off < len(level); {
+			n := maxInner * 85 / 100
+			if rem := len(level) - off; rem < n {
+				n = rem
+			}
+			if rem := len(level) - off - n; rem > 0 && rem < minInner {
+				n = (n + rem + 1) / 2
+			}
+			in := &inner{
+				children: append([]node(nil), level[off:off+n]...),
+				keys:     append([]Entry(nil), seps[off:off+n-1]...),
+			}
+			if len(up) > 0 {
+				upSeps = append(upSeps, seps[off-1])
+			}
+			up = append(up, in)
+			off += n
+		}
+		level, seps = up, upSeps
+	}
+	t.root = level[0]
+	return t
+}
+
+// Len reports the number of entries.
+func (t *Tree) Len() int { return t.length }
+
+// Height reports the number of levels (1 = a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Insert adds the (key, val) pair; it reports whether the pair was new.
+func (t *Tree) Insert(key uint64, val uint32) bool {
+	e := Entry{Key: key, Val: val}
+	split, sep, added := t.insert(t.root, e)
+	if split != nil {
+		t.root = &inner{keys: []Entry{sep}, children: []node{t.root, split}}
+		t.height++
+	}
+	if added {
+		t.length++
+	}
+	return added
+}
+
+// insert descends into n; if n splits, it returns the new right sibling
+// and its separator (the smallest entry of the right sibling's subtree).
+func (t *Tree) insert(n node, e Entry) (right node, sep Entry, added bool) {
+	switch n := n.(type) {
+	case *leaf:
+		i := sort.Search(len(n.entries), func(i int) bool { return !n.entries[i].less(e) })
+		if i < len(n.entries) && n.entries[i] == e {
+			return nil, Entry{}, false
+		}
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		if len(n.entries) <= maxLeaf {
+			return nil, Entry{}, true
+		}
+		mid := len(n.entries) / 2
+		r := &leaf{entries: append([]Entry(nil), n.entries[mid:]...), next: n.next}
+		n.entries = n.entries[:mid:mid]
+		n.next = r
+		return r, r.entries[0], true
+	case *inner:
+		ci := sort.Search(len(n.keys), func(i int) bool { return e.less(n.keys[i]) })
+		r, s, ok := t.insert(n.children[ci], e)
+		if r == nil {
+			return nil, Entry{}, ok
+		}
+		n.keys = append(n.keys, Entry{})
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = s
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = r
+		if len(n.children) <= maxInner {
+			return nil, Entry{}, ok
+		}
+		mid := len(n.keys) / 2
+		sepUp := n.keys[mid]
+		rn := &inner{
+			keys:     append([]Entry(nil), n.keys[mid+1:]...),
+			children: append([]node(nil), n.children[mid+1:]...),
+		}
+		n.keys = n.keys[:mid:mid]
+		n.children = n.children[: mid+1 : mid+1]
+		return rn, sepUp, ok
+	}
+	panic("btree: unknown node type")
+}
+
+// Delete removes the (key, val) pair; it reports whether it was present.
+// Underfull nodes are tolerated (no rebalancing): deletions in the
+// indices are always paired with reinsertions of similar volume, and
+// lookups remain correct on underfull trees. Empty leaves are unlinked
+// lazily during scans.
+func (t *Tree) Delete(key uint64, val uint32) bool {
+	e := Entry{Key: key, Val: val}
+	n := t.root
+	for {
+		switch nn := n.(type) {
+		case *inner:
+			ci := sort.Search(len(nn.keys), func(i int) bool { return e.less(nn.keys[i]) })
+			n = nn.children[ci]
+		case *leaf:
+			i := sort.Search(len(nn.entries), func(i int) bool { return !nn.entries[i].less(e) })
+			if i >= len(nn.entries) || nn.entries[i] != e {
+				return false
+			}
+			nn.entries = append(nn.entries[:i], nn.entries[i+1:]...)
+			t.length--
+			return true
+		}
+	}
+}
+
+// Contains reports whether the exact (key, val) pair is present.
+func (t *Tree) Contains(key uint64, val uint32) bool {
+	e := Entry{Key: key, Val: val}
+	n := t.root
+	for {
+		switch nn := n.(type) {
+		case *inner:
+			ci := sort.Search(len(nn.keys), func(i int) bool { return e.less(nn.keys[i]) })
+			n = nn.children[ci]
+		case *leaf:
+			i := sort.Search(len(nn.entries), func(i int) bool { return !nn.entries[i].less(e) })
+			return i < len(nn.entries) && nn.entries[i] == e
+		}
+	}
+}
+
+// ScanEq calls f with every posting stored under key, in ascending
+// posting order; f returning false stops the scan.
+func (t *Tree) ScanEq(key uint64, f func(val uint32) bool) {
+	t.ScanRange(key, key, func(_ uint64, val uint32) bool { return f(val) })
+}
+
+// ScanRange calls f for every entry with lo <= key <= hi in ascending
+// (key, posting) order; f returning false stops the scan.
+func (t *Tree) ScanRange(lo, hi uint64, f func(key uint64, val uint32) bool) {
+	if lo > hi {
+		return
+	}
+	start := Entry{Key: lo, Val: 0}
+	n := t.root
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			break
+		}
+		ci := sort.Search(len(in.keys), func(i int) bool { return start.less(in.keys[i]) })
+		n = in.children[ci]
+	}
+	l := n.(*leaf)
+	i := sort.Search(len(l.entries), func(i int) bool { return !l.entries[i].less(start) })
+	for l != nil {
+		for ; i < len(l.entries); i++ {
+			e := l.entries[i]
+			if e.Key > hi {
+				return
+			}
+			if !f(e.Key, e.Val) {
+				return
+			}
+		}
+		l = l.next
+		i = 0
+	}
+}
+
+// Scan calls f for every entry in ascending order.
+func (t *Tree) Scan(f func(key uint64, val uint32) bool) {
+	for l := t.first; l != nil; l = l.next {
+		for _, e := range l.entries {
+			if !f(e.Key, e.Val) {
+				return
+			}
+		}
+	}
+}
+
+// Min returns the smallest entry; ok is false on an empty tree.
+func (t *Tree) Min() (Entry, bool) {
+	for l := t.first; l != nil; l = l.next {
+		if len(l.entries) > 0 {
+			return l.entries[0], true
+		}
+	}
+	return Entry{}, false
+}
+
+// EncodeFloat64 maps a float64 to a uint64 preserving numeric order
+// (including -Inf < … < -0 == +0 is NOT preserved: -0 sorts before +0,
+// which is harmless for range lookups; NaN sorts above +Inf and is never
+// stored by the double index).
+func EncodeFloat64(f float64) uint64 {
+	bits := float64bits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | 1<<63
+}
+
+// DecodeFloat64 inverts EncodeFloat64.
+func DecodeFloat64(u uint64) float64 {
+	if u&(1<<63) != 0 {
+		return float64frombits(u &^ (1 << 63))
+	}
+	return float64frombits(^u)
+}
+
+// EncodeInt64 maps an int64 to a uint64 preserving order.
+func EncodeInt64(v int64) uint64 { return uint64(v) ^ (1 << 63) }
+
+// DecodeInt64 inverts EncodeInt64.
+func DecodeInt64(u uint64) int64 { return int64(u ^ (1 << 63)) }

@@ -1,0 +1,339 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// model is the reference implementation: a sorted slice of entries.
+type model struct{ entries []Entry }
+
+func (m *model) insert(e Entry) bool {
+	i := sort.Search(len(m.entries), func(i int) bool { return !m.entries[i].less(e) })
+	if i < len(m.entries) && m.entries[i] == e {
+		return false
+	}
+	m.entries = append(m.entries, Entry{})
+	copy(m.entries[i+1:], m.entries[i:])
+	m.entries[i] = e
+	return true
+}
+
+func (m *model) delete(e Entry) bool {
+	i := sort.Search(len(m.entries), func(i int) bool { return !m.entries[i].less(e) })
+	if i >= len(m.entries) || m.entries[i] != e {
+		return false
+	}
+	m.entries = append(m.entries[:i], m.entries[i+1:]...)
+	return true
+}
+
+func (m *model) scanRange(lo, hi uint64) []Entry {
+	var out []Entry
+	for _, e := range m.entries {
+		if e.Key >= lo && e.Key <= hi {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func collectRange(t *Tree, lo, hi uint64) []Entry {
+	var out []Entry
+	t.ScanRange(lo, hi, func(k uint64, v uint32) bool {
+		out = append(out, Entry{Key: k, Val: v})
+		return true
+	})
+	return out
+}
+
+func entriesEqual(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Error("empty tree Len != 0")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("empty tree has Min")
+	}
+	tr.ScanRange(0, math.MaxUint64, func(uint64, uint32) bool {
+		t.Error("empty tree scanned an entry")
+		return false
+	})
+	if tr.Delete(1, 1) {
+		t.Error("Delete on empty succeeded")
+	}
+}
+
+func TestInsertLookupSmall(t *testing.T) {
+	tr := New()
+	if !tr.Insert(5, 1) || !tr.Insert(5, 2) || !tr.Insert(3, 9) {
+		t.Fatal("fresh inserts must report true")
+	}
+	if tr.Insert(5, 1) {
+		t.Error("duplicate insert must report false")
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tr.Len())
+	}
+	var got []uint32
+	tr.ScanEq(5, func(v uint32) bool { got = append(got, v); return true })
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("ScanEq(5) = %v", got)
+	}
+	if !tr.Contains(3, 9) || tr.Contains(3, 8) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+// TestRandomAgainstModel drives the tree and the reference model with the
+// same random operations and compares behaviours, across tree sizes that
+// force multiple levels and splits.
+func TestRandomAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := New()
+	m := &model{}
+	const ops = 60000
+	for i := 0; i < ops; i++ {
+		key := uint64(rng.Intn(5000))
+		val := uint32(rng.Intn(50))
+		e := Entry{Key: key, Val: val}
+		switch rng.Intn(10) {
+		case 0, 1, 2: // delete
+			if got, want := tr.Delete(key, val), m.delete(e); got != want {
+				t.Fatalf("op %d: Delete(%v) = %v, want %v", i, e, got, want)
+			}
+		default:
+			if got, want := tr.Insert(key, val), m.insert(e); got != want {
+				t.Fatalf("op %d: Insert(%v) = %v, want %v", i, e, got, want)
+			}
+		}
+		if tr.Len() != len(m.entries) {
+			t.Fatalf("op %d: Len %d != model %d", i, tr.Len(), len(m.entries))
+		}
+	}
+	// Full scan equals model.
+	var got []Entry
+	tr.Scan(func(k uint64, v uint32) bool { got = append(got, Entry{k, v}); return true })
+	if !entriesEqual(got, m.entries) {
+		t.Fatalf("full scan diverges: %d vs %d entries", len(got), len(m.entries))
+	}
+	// Random range scans equal model.
+	for i := 0; i < 500; i++ {
+		lo := uint64(rng.Intn(5200))
+		hi := lo + uint64(rng.Intn(300))
+		if !entriesEqual(collectRange(tr, lo, hi), m.scanRange(lo, hi)) {
+			t.Fatalf("range [%d,%d] diverges", lo, hi)
+		}
+	}
+	t.Logf("final tree: %d entries, height %d", tr.Len(), tr.Height())
+}
+
+func TestBulkLoadMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 20000} {
+		seen := map[Entry]bool{}
+		var entries []Entry
+		for len(entries) < n {
+			e := Entry{Key: uint64(rng.Intn(n + 1)), Val: uint32(rng.Intn(1000))}
+			if !seen[e] {
+				seen[e] = true
+				entries = append(entries, e)
+			}
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].less(entries[j]) })
+		bulk := NewFromSorted(entries)
+		if bulk.Len() != n {
+			t.Fatalf("n=%d: bulk Len = %d", n, bulk.Len())
+		}
+		var got []Entry
+		bulk.Scan(func(k uint64, v uint32) bool { got = append(got, Entry{k, v}); return true })
+		if !entriesEqual(got, entries) {
+			t.Fatalf("n=%d: bulk scan diverges", n)
+		}
+		// Bulk-loaded trees must keep accepting inserts and deletes.
+		for i := 0; i < 100 && n > 0; i++ {
+			e := entries[rng.Intn(len(entries))]
+			if bulk.Insert(e.Key, e.Val) {
+				t.Fatalf("n=%d: reinsert of existing entry reported new", n)
+			}
+			if !bulk.Delete(e.Key, e.Val) {
+				t.Fatalf("n=%d: delete of existing entry failed", n)
+			}
+			if !bulk.Insert(e.Key, e.Val) {
+				t.Fatalf("n=%d: insert after delete failed", n)
+			}
+		}
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFromSorted must panic on unsorted input")
+		}
+	}()
+	NewFromSorted([]Entry{{Key: 2}, {Key: 1}})
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(uint64(i), 0)
+	}
+	count := 0
+	tr.ScanRange(0, 999, func(uint64, uint32) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Errorf("early stop scanned %d", count)
+	}
+	count = 0
+	tr.Scan(func(uint64, uint32) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("Scan early stop scanned %d", count)
+	}
+}
+
+func TestMinAfterDeletions(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Insert(uint64(i), 7)
+	}
+	for i := 0; i < 150; i++ {
+		tr.Delete(uint64(i), 7)
+	}
+	e, ok := tr.Min()
+	if !ok || e.Key != 150 {
+		t.Errorf("Min = %v %v, want key 150", e, ok)
+	}
+}
+
+// TestEncodeFloat64Order: the encoding preserves numeric order for all
+// ordered float pairs, via testing/quick.
+func TestEncodeFloat64Order(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ea, eb := EncodeFloat64(a), EncodeFloat64(b)
+		switch {
+		case a < b:
+			return ea < eb
+		case a > b:
+			return ea > eb
+		default:
+			// -0 and +0 encode differently but adjacently; accept both.
+			return true
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeFloat64RoundTrip(t *testing.T) {
+	cases := []float64{0, -0, 1, -1, math.Inf(1), math.Inf(-1), math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64, 42.5, -78.230}
+	for _, v := range cases {
+		if got := DecodeFloat64(EncodeFloat64(v)); got != v && !(v == 0 && got == 0) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		got := DecodeFloat64(EncodeFloat64(v))
+		return got == v || (v == 0 && got == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeInt64Order(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea, eb := EncodeInt64(a), EncodeInt64(b)
+		if a < b {
+			return ea < eb
+		}
+		if a > b {
+			return ea > eb
+		}
+		return ea == eb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(v int64) bool { return DecodeInt64(EncodeInt64(v)) == v }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFloatRangeScan uses encoded floats end to end: a numeric range scan
+// over the tree returns exactly the values within bounds, in order.
+func TestFloatRangeScan(t *testing.T) {
+	tr := New()
+	vals := []float64{-100, -1.5, -0.25, 0, 0.25, 1.5, 42, 78.23, 1e9, math.Inf(1), math.Inf(-1)}
+	for i, v := range vals {
+		tr.Insert(EncodeFloat64(v), uint32(i))
+	}
+	var got []float64
+	tr.ScanRange(EncodeFloat64(-1.5), EncodeFloat64(42), func(k uint64, _ uint32) bool {
+		got = append(got, DecodeFloat64(k))
+		return true
+	})
+	want := []float64{-1.5, -0.25, 0, 0.25, 1.5, 42}
+	if len(got) != len(want) {
+		t.Fatalf("range scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range scan = %v, want %v", got, want)
+		}
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Uint64(), uint32(i))
+	}
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	entries := make([]Entry, 100000)
+	for i := range entries {
+		entries[i] = Entry{Key: uint64(i * 7), Val: uint32(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewFromSorted(entries)
+	}
+}
+
+func BenchmarkScanEq(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Insert(uint64(i%1000), uint32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ScanEq(uint64(i%1000), func(uint32) bool { return true })
+	}
+}

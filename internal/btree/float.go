@@ -1,0 +1,9 @@
+package btree
+
+import "math"
+
+// Thin wrappers keep math out of the hot path signatures and make the
+// encode/decode pair trivially testable.
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,79 @@
+package btree
+
+// SortEntries sorts entries by (Key, Val) ascending with an LSD radix
+// sort — linear in the input, no reflection, and the dominant cost of
+// bulk index creation, so it matters that it is fast. Passes whose digit
+// is constant across the input (common: high key bytes, high posting
+// bytes) are skipped.
+func SortEntries(entries []Entry) {
+	n := len(entries)
+	if n < 2 {
+		return
+	}
+	if n < 256 {
+		insertionSortEntries(entries)
+		return
+	}
+	buf := make([]Entry, n)
+	src, dst := entries, buf
+
+	// Digit extraction per pass: Val low/high 16 bits, then Key in four
+	// 16-bit digits, least significant first.
+	digit := func(e Entry, pass int) uint32 {
+		switch pass {
+		case 0:
+			return uint32(e.Val & 0xFFFF)
+		case 1:
+			return uint32(e.Val >> 16)
+		default:
+			return uint32(e.Key>>(16*(pass-2))) & 0xFFFF
+		}
+	}
+
+	var count [1 << 16]int32
+	for pass := 0; pass < 6; pass++ {
+		first := digit(src[0], pass)
+		same := true
+		for i := range src {
+			d := digit(src[i], pass)
+			count[d]++
+			if d != first {
+				same = false
+			}
+		}
+		if same {
+			count[first] = 0
+			continue
+		}
+		var sum int32
+		for d := range count {
+			c := count[d]
+			count[d] = sum
+			sum += c
+		}
+		for i := range src {
+			d := digit(src[i], pass)
+			dst[count[d]] = src[i]
+			count[d]++
+		}
+		for d := range count {
+			count[d] = 0
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &entries[0] {
+		copy(entries, src)
+	}
+}
+
+func insertionSortEntries(entries []Entry) {
+	for i := 1; i < len(entries); i++ {
+		e := entries[i]
+		j := i - 1
+		for j >= 0 && e.less(entries[j]) {
+			entries[j+1] = entries[j]
+			j--
+		}
+		entries[j+1] = e
+	}
+}

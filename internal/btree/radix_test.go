@@ -1,0 +1,75 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSortEntriesMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{0, 1, 2, 5, 255, 256, 1000, 50000} {
+		for trial := 0; trial < 3; trial++ {
+			entries := make([]Entry, n)
+			for i := range entries {
+				switch trial {
+				case 0: // full-range keys
+					entries[i] = Entry{Key: rng.Uint64(), Val: rng.Uint32()}
+				case 1: // small keys (constant high digits — skip path)
+					entries[i] = Entry{Key: uint64(rng.Intn(1000)), Val: uint32(rng.Intn(4))}
+				default: // constant key (only postings vary)
+					entries[i] = Entry{Key: 42, Val: rng.Uint32()}
+				}
+			}
+			want := append([]Entry(nil), entries...)
+			sort.Slice(want, func(i, j int) bool { return want[i].less(want[j]) })
+			SortEntries(entries)
+			for i := range entries {
+				if entries[i] != want[i] {
+					t.Fatalf("n=%d trial=%d: mismatch at %d: %v vs %v", n, trial, i, entries[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSortEntriesAlreadySorted(t *testing.T) {
+	entries := make([]Entry, 10000)
+	for i := range entries {
+		entries[i] = Entry{Key: uint64(i), Val: uint32(i)}
+	}
+	SortEntries(entries)
+	for i := range entries {
+		if entries[i].Key != uint64(i) {
+			t.Fatalf("disturbed sorted input at %d", i)
+		}
+	}
+}
+
+func BenchmarkSortEntriesRadix(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]Entry, 500000)
+	for i := range base {
+		base[i] = Entry{Key: rng.Uint64(), Val: uint32(i)}
+	}
+	work := make([]Entry, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, base)
+		SortEntries(work)
+	}
+}
+
+func BenchmarkSortEntriesStdlib(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]Entry, 500000)
+	for i := range base {
+		base[i] = Entry{Key: rng.Uint64(), Val: uint32(i)}
+	}
+	work := make([]Entry, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, base)
+		sort.Slice(work, func(x, y int) bool { return work[x].less(work[y]) })
+	}
+}

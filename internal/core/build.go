@@ -1,0 +1,280 @@
+package core
+
+import (
+	"repro/internal/btree"
+	"repro/internal/fsm"
+	"repro/internal/vhash"
+	"repro/internal/xmltree"
+)
+
+// Build creates the selected value indices over doc in a single
+// depth-first pass — the paper's Figure 7 algorithm. Text nodes are hashed
+// with H and fed to the FSMs; every intermediate node's field is the fold
+// of its contributing children through the combination function C and the
+// SCT, so no node's string value is ever materialised.
+func Build(doc *xmltree.Doc, opts Options) *Indexes {
+	n := doc.NumNodes()
+	na := doc.NumAttrs()
+	ix := &Indexes{
+		doc:          doc,
+		opts:         opts,
+		stableOf:     make([]uint32, n),
+		preOf:        make([]int32, n),
+		attrStableOf: make([]uint32, na),
+		attrOf:       make([]int32, na),
+	}
+	for i := 0; i < n; i++ {
+		ix.stableOf[i] = uint32(i)
+		ix.preOf[i] = int32(i)
+	}
+	for i := 0; i < na; i++ {
+		ix.attrStableOf[i] = uint32(i)
+		ix.attrOf[i] = int32(i)
+	}
+	if opts.String {
+		ix.hash = make([]uint32, n)
+		ix.attrHash = make([]uint32, na)
+	}
+	if opts.Double {
+		ix.double = newTypedIndex(fsm.Double(), encodeDouble, n, na)
+	}
+	if opts.DateTime {
+		ix.dateTime = newTypedIndex(fsm.DateTime(), encodeDateTime, n, na)
+	}
+
+	ix.eachTyped(func(ti *typedIndex) { ti.collect = true })
+	ix.buildPass(0, xmltree.NodeID(n-1))
+	ix.buildAttrs(0, xmltree.AttrID(na-1))
+	ix.buildTrees()
+	ix.eachTyped(func(ti *typedIndex) { ti.collect = false; ti.scratch = nil })
+	return ix
+}
+
+// foldFrag combines an accumulated fragment with a child fragment,
+// propagating rejection (the SCT's early-reject).
+func foldFrag(m *fsm.Machine, acc, child fsm.Frag) fsm.Frag {
+	if acc.Elem == fsm.Reject || child.Elem == fsm.Reject {
+		return fsm.Frag{Elem: fsm.Reject}
+	}
+	out, ok := m.Combine(acc, child)
+	if !ok {
+		return fsm.Frag{Elem: fsm.Reject}
+	}
+	return out
+}
+
+// buildFrame accumulates one open element's (or the document's) fields
+// during the depth-first pass: the running hash and the running fragment
+// of each enabled machine.
+type buildFrame struct {
+	node xmltree.NodeID
+	end  xmltree.NodeID // last pre rank inside the subtree
+	hash uint32
+	dbl  fsm.Frag
+	dt   fsm.Frag
+}
+
+// buildPass computes the per-node fields for the pre-order range
+// [from, to], which must cover complete subtrees rooted at nodes whose
+// parents lie outside the range (it is used for the whole document at
+// Build time and for freshly inserted subtrees during structural
+// updates). Fields of the range's root nodes are NOT folded into parents
+// outside the range; callers recompute those ancestors.
+func (ix *Indexes) buildPass(from, to xmltree.NodeID) {
+	doc := ix.doc
+	var stack []buildFrame
+	var dblM, dtM *fsm.Machine
+	if ix.double != nil {
+		dblM = fsm.Double()
+	}
+	if ix.dateTime != nil {
+		dtM = fsm.DateTime()
+	}
+
+	finalize := func(f *buildFrame) {
+		stable := ix.stableOf[f.node]
+		posting := packPosting(stable, false)
+		if ix.hash != nil {
+			ix.hash[f.node] = f.hash
+		}
+		// Elements join the value trees only with COMBINED (mixed-content)
+		// values; single-text wrappers are chain-lifted at query time.
+		combined := isCombinedValue(doc, f.node)
+		if ix.double != nil {
+			ix.double.setFragFresh(f.node, stable, f.dbl)
+			if combined {
+				ix.double.collectEntry(f.dbl, posting)
+			}
+		}
+		if ix.dateTime != nil {
+			ix.dateTime.setFragFresh(f.node, stable, f.dt)
+			if combined {
+				ix.dateTime.collectEntry(f.dt, posting)
+			}
+		}
+		// Fold the completed element into its parent's accumulator (the
+		// paper's C(father.field, cur.field) / SCT probe steps).
+		if len(stack) > 0 {
+			p := &stack[len(stack)-1]
+			if ix.hash != nil {
+				p.hash = vhash.Combine(p.hash, f.hash)
+			}
+			if ix.double != nil {
+				p.dbl = foldFrag(dblM, p.dbl, f.dbl)
+			}
+			if ix.dateTime != nil {
+				p.dt = foldFrag(dtM, p.dt, f.dt)
+			}
+		}
+	}
+
+	for i := from; i <= to; i++ {
+		switch doc.Kind(i) {
+		case xmltree.Element, xmltree.Document:
+			stack = append(stack, buildFrame{
+				node: i,
+				end:  i + xmltree.NodeID(doc.Size(i)),
+				dbl:  fsm.Frag{Elem: fsm.Identity},
+				dt:   fsm.Frag{Elem: fsm.Identity},
+			})
+		case xmltree.Text:
+			val := doc.ValueBytes(i)
+			stable := ix.stableOf[i]
+			var h uint32
+			if ix.hash != nil {
+				h = vhash.Hash(val)
+				ix.hash[i] = h
+			}
+			var df, tf fsm.Frag
+			if ix.double != nil {
+				df, _ = dblM.ParseFrag(val) // rejected → zero Frag (Reject)
+				ix.double.setFragFresh(i, stable, df)
+				ix.double.collectEntry(df, packPosting(stable, false))
+			}
+			if ix.dateTime != nil {
+				tf, _ = dtM.ParseFrag(val)
+				ix.dateTime.setFragFresh(i, stable, tf)
+				ix.dateTime.collectEntry(tf, packPosting(stable, false))
+			}
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if ix.hash != nil {
+					p.hash = vhash.Combine(p.hash, h)
+				}
+				if ix.double != nil {
+					p.dbl = foldFrag(dblM, p.dbl, df)
+				}
+				if ix.dateTime != nil {
+					p.dt = foldFrag(dtM, p.dt, tf)
+				}
+			}
+		case xmltree.Comment, xmltree.PI:
+			// Own value, no contribution to ancestors (XDM), and no
+			// posting in the value trees.
+			stable := ix.stableOf[i]
+			if ix.hash != nil {
+				ix.hash[i] = vhash.Hash(doc.ValueBytes(i))
+			}
+			if ix.double != nil {
+				f, _ := dblM.ParseFrag(doc.ValueBytes(i))
+				ix.double.setFragFresh(i, stable, f)
+			}
+			if ix.dateTime != nil {
+				f, _ := dtM.ParseFrag(doc.ValueBytes(i))
+				ix.dateTime.setFragFresh(i, stable, f)
+			}
+		}
+		// Close every frame whose subtree ends here.
+		for len(stack) > 0 && stack[len(stack)-1].end == i {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			finalize(&f)
+		}
+	}
+}
+
+// buildAttrs computes attribute fields for the id range [from, to].
+// Attribute values never contribute to ancestors.
+func (ix *Indexes) buildAttrs(from, to xmltree.AttrID) {
+	doc := ix.doc
+	var dblM, dtM *fsm.Machine
+	if ix.double != nil {
+		dblM = fsm.Double()
+	}
+	if ix.dateTime != nil {
+		dtM = fsm.DateTime()
+	}
+	for a := from; a <= to; a++ {
+		val := doc.AttrValueBytes(a)
+		stable := ix.attrStableOf[a]
+		if ix.attrHash != nil {
+			ix.attrHash[a] = vhash.Hash(val)
+		}
+		if ix.double != nil {
+			f, _ := dblM.ParseFrag(val)
+			ix.double.setAttrFragFresh(a, stable, f)
+			ix.double.collectEntry(f, packPosting(stable, true))
+		}
+		if ix.dateTime != nil {
+			f, _ := dtM.ParseFrag(val)
+			ix.dateTime.setAttrFragFresh(a, stable, f)
+			ix.dateTime.collectEntry(f, packPosting(stable, true))
+		}
+	}
+}
+
+// indexedNodeKind reports whether tree nodes of kind k receive postings in
+// the B+trees. Comments and PIs keep per-node fields but are not query
+// targets.
+func indexedNodeKind(k xmltree.Kind) bool {
+	return k == xmltree.Element || k == xmltree.Text || k == xmltree.Document
+}
+
+// buildTrees bulk-loads the B+trees from the computed fields.
+func (ix *Indexes) buildTrees() {
+	doc := ix.doc
+	n := doc.NumNodes()
+	na := doc.NumAttrs()
+
+	if ix.hash != nil {
+		entries := make([]btree.Entry, 0, n+na)
+		for i := 0; i < n; i++ {
+			if indexedNodeKind(doc.Kind(xmltree.NodeID(i))) {
+				entries = append(entries, btree.Entry{
+					Key: uint64(ix.hash[i]),
+					Val: packPosting(ix.stableOf[i], false),
+				})
+			}
+		}
+		for a := 0; a < na; a++ {
+			entries = append(entries, btree.Entry{
+				Key: uint64(ix.attrHash[a]),
+				Val: packPosting(ix.attrStableOf[a], true),
+			})
+		}
+		btree.SortEntries(entries)
+		ix.strTree = btree.NewFromSorted(entries)
+	}
+
+	ix.eachTyped(func(ti *typedIndex) {
+		entries := ti.scratch
+		if !ti.collect {
+			// Rebuilt outside the initial pass (not currently exercised,
+			// but kept for safety): scan the fields.
+			entries = entries[:0]
+			for i := 0; i < n; i++ {
+				nd := xmltree.NodeID(i)
+				if key, ok := ti.treeKey(doc, nd, ix.stableOf[i]); ok {
+					entries = append(entries, btree.Entry{Key: key, Val: packPosting(ix.stableOf[i], false)})
+				}
+			}
+			for a := 0; a < na; a++ {
+				if key, ok := ti.attrKey(xmltree.AttrID(a), ix.attrStableOf[a]); ok {
+					entries = append(entries, btree.Entry{Key: key, Val: packPosting(ix.attrStableOf[a], true)})
+				}
+			}
+		}
+		btree.SortEntries(entries)
+		ti.tree = btree.NewFromSorted(entries)
+	})
+}

@@ -1,0 +1,320 @@
+// Package core implements the paper's primary contribution: generic,
+// updatable XML value indices over an entire document.
+//
+// Three indices are maintained, all created in one depth-first pass
+// (Figure 7 of the paper) and updated incrementally (Figure 8):
+//
+//   - the string equi-index: the 32-bit hash H of every node's string
+//     value (document, element, text, attribute), with a B+tree from hash
+//     to node postings; ancestor hashes are maintained with the
+//     associative combination function C, never by re-reading text;
+//   - the xs:double range index: per-node FSM state (monoid element) with
+//     fragment descriptors for live nodes, combined through the SCT, and a
+//     B+tree from order-encoded double values to postings of castable
+//     nodes;
+//   - the xs:dateTime range index: same machinery over the dateTime
+//     machine, keyed by epoch milliseconds.
+//
+// Rejected nodes store no state (absence = reject), as in the paper.
+// Comments and processing instructions carry their own values but do not
+// contribute to ancestors, per the XQuery data model.
+package core
+
+import (
+	"repro/internal/btree"
+	"repro/internal/fsm"
+	"repro/internal/xmltree"
+)
+
+// Options selects which indices to build.
+type Options struct {
+	String   bool
+	Double   bool
+	DateTime bool
+}
+
+// DefaultOptions builds all three indices.
+func DefaultOptions() Options { return Options{String: true, Double: true, DateTime: true} }
+
+// Posting identifies an indexed node: either a tree node or an attribute.
+type Posting struct {
+	Node   xmltree.NodeID
+	Attr   xmltree.AttrID
+	IsAttr bool
+}
+
+// NodePosting wraps a tree node id.
+func NodePosting(n xmltree.NodeID) Posting { return Posting{Node: n} }
+
+// AttrPosting wraps an attribute id.
+func AttrPosting(a xmltree.AttrID) Posting { return Posting{Attr: a, IsAttr: true} }
+
+// Postings are packed into the B+tree's uint32 value as (id << 1 | isAttr).
+// Stable ids (not pre-order ranks) are stored so structural updates do not
+// invalidate the trees.
+func packPosting(stable uint32, isAttr bool) uint32 {
+	p := stable << 1
+	if isAttr {
+		p |= 1
+	}
+	return p
+}
+
+func unpackPosting(p uint32) (stable uint32, isAttr bool) { return p >> 1, p&1 == 1 }
+
+// typedIndex is the per-type half of the range-index pair: the side table
+// of states and fragments (the paper's [node id, state] index) and the
+// value B+tree (the paper's clustered [value, node id] index).
+type typedIndex struct {
+	m *fsm.Machine
+	// encode turns a castable fragment into a B+tree key; ok=false when
+	// the fragment, though syntactically complete, has no value
+	// (semantically invalid dateTime).
+	encode func(fsm.Frag) (uint64, bool)
+
+	elems     []fsm.Elem // per tree node (pre order); Reject = not stored
+	attrElems []fsm.Elem // per attribute
+
+	// items holds the digit runs/punctuation of live nodes (elem != Reject
+	// and non-empty content). Keyed by STABLE ids so structural updates
+	// that shift pre ranks do not invalidate the maps.
+	items     map[uint32][]fsm.Item
+	attrItems map[uint32][]fsm.Item
+
+	tree *btree.Tree // (encoded value, packed posting)
+
+	// collect/scratch gather value-tree entries during the initial build
+	// pass, avoiding a second document scan.
+	collect bool
+	scratch []btree.Entry
+}
+
+// setFragFresh is setFrag for the initial build, when the items maps
+// cannot yet contain the key (skips the miss-delete of the common case).
+func (ti *typedIndex) setFragFresh(n xmltree.NodeID, stable uint32, f fsm.Frag) {
+	ti.elems[n] = f.Elem
+	if f.Elem != fsm.Reject && len(f.Items) > 0 {
+		ti.items[stable] = f.Items
+	}
+}
+
+func (ti *typedIndex) setAttrFragFresh(a xmltree.AttrID, stable uint32, f fsm.Frag) {
+	ti.attrElems[a] = f.Elem
+	if f.Elem != fsm.Reject && len(f.Items) > 0 {
+		ti.attrItems[stable] = f.Items
+	}
+}
+
+// collectEntry appends a value-tree entry for a freshly computed fragment
+// when the build pass is collecting and the fragment is castable. Callers
+// apply the tree-membership rule (texts, attributes, combined elements)
+// before calling.
+func (ti *typedIndex) collectEntry(f fsm.Frag, posting uint32) {
+	if !ti.collect || f.Elem == fsm.Reject || !ti.m.Castable(f.Elem) {
+		return
+	}
+	if key, ok := ti.encode(f); ok {
+		ti.scratch = append(ti.scratch, btree.Entry{Key: key, Val: posting})
+	}
+}
+
+// treeKey returns the value-tree key of node n, which exists only for the
+// postings the tree stores: castable text nodes and castable COMBINED
+// elements (mixed content). Single-text wrapper elements share their
+// text's value and are chain-lifted at query time instead of being stored
+// — this is what keeps the typed index at a few percent of the database,
+// as in the paper.
+func (ti *typedIndex) treeKey(doc *xmltree.Doc, n xmltree.NodeID, stable uint32) (uint64, bool) {
+	e := ti.elems[n]
+	if e == fsm.Reject || !ti.m.Castable(e) {
+		return 0, false
+	}
+	switch doc.Kind(n) {
+	case xmltree.Element, xmltree.Document:
+		if !isCombinedValue(doc, n) {
+			return 0, false
+		}
+	case xmltree.Comment, xmltree.PI:
+		return 0, false
+	}
+	return ti.encode(ti.frag(n, stable))
+}
+
+func (ti *typedIndex) frag(n xmltree.NodeID, stable uint32) fsm.Frag {
+	return fsm.Frag{Elem: ti.elems[n], Items: ti.items[stable]}
+}
+
+func (ti *typedIndex) attrFrag(a xmltree.AttrID, stable uint32) fsm.Frag {
+	return fsm.Frag{Elem: ti.attrElems[a], Items: ti.attrItems[stable]}
+}
+
+func (ti *typedIndex) setFrag(n xmltree.NodeID, stable uint32, f fsm.Frag) {
+	ti.elems[n] = f.Elem
+	if f.Elem != fsm.Reject && len(f.Items) > 0 {
+		ti.items[stable] = f.Items
+	} else {
+		delete(ti.items, stable)
+	}
+}
+
+func (ti *typedIndex) setAttrFrag(a xmltree.AttrID, stable uint32, f fsm.Frag) {
+	ti.attrElems[a] = f.Elem
+	if f.Elem != fsm.Reject && len(f.Items) > 0 {
+		ti.attrItems[stable] = f.Items
+	} else {
+		delete(ti.attrItems, stable)
+	}
+}
+
+// key returns the B+tree key of node n's current fragment, if castable.
+func (ti *typedIndex) key(n xmltree.NodeID, stable uint32) (uint64, bool) {
+	if ti.elems[n] == fsm.Reject || !ti.m.Castable(ti.elems[n]) {
+		return 0, false
+	}
+	return ti.encode(ti.frag(n, stable))
+}
+
+func (ti *typedIndex) attrKey(a xmltree.AttrID, stable uint32) (uint64, bool) {
+	if ti.attrElems[a] == fsm.Reject || !ti.m.Castable(ti.attrElems[a]) {
+		return 0, false
+	}
+	return ti.encode(ti.attrFrag(a, stable))
+}
+
+// Indexes bundles a document with its value indices. All updates to the
+// document must go through Indexes methods so the indices stay consistent.
+type Indexes struct {
+	doc  *xmltree.Doc
+	opts Options
+
+	// Stable node ids: postings in the B+trees survive structural updates.
+	// stableOf[pre] is the node's stable id; preOf[stable] is the current
+	// pre rank or -1 once deleted. Attributes get their own spaces.
+	stableOf     []uint32
+	preOf        []int32
+	attrStableOf []uint32
+	attrOf       []int32
+
+	// String index: hash per tree node and per attribute, plus the B+tree.
+	hash     []uint32
+	attrHash []uint32
+	strTree  *btree.Tree
+
+	double   *typedIndex
+	dateTime *typedIndex
+}
+
+// Doc returns the indexed document. Treat it as read-only; mutate through
+// Indexes methods.
+func (ix *Indexes) Doc() *xmltree.Doc { return ix.doc }
+
+// Options reports which indices were built.
+func (ix *Indexes) Options() Options { return ix.opts }
+
+// NodeHash returns the stored hash of node n's string value.
+func (ix *Indexes) NodeHash(n xmltree.NodeID) uint32 { return ix.hash[n] }
+
+// AttrHash returns the stored hash of attribute a's value.
+func (ix *Indexes) AttrHash(a xmltree.AttrID) uint32 { return ix.attrHash[a] }
+
+// DoubleElem returns node n's double-machine element (fsm.Reject if the
+// node's string value cannot be part of a double).
+func (ix *Indexes) DoubleElem(n xmltree.NodeID) fsm.Elem {
+	if ix.double == nil {
+		return fsm.Reject
+	}
+	return ix.double.elems[n]
+}
+
+// DoubleValue returns the xs:double value of node n, if castable.
+func (ix *Indexes) DoubleValue(n xmltree.NodeID) (float64, bool) {
+	if ix.double == nil || ix.double.elems[n] == fsm.Reject {
+		return 0, false
+	}
+	return fsm.DoubleValue(ix.double.frag(n, ix.stableOf[n]))
+}
+
+// DateTimeValue returns the epoch-millisecond value of node n, if
+// castable.
+func (ix *Indexes) DateTimeValue(n xmltree.NodeID) (int64, bool) {
+	if ix.dateTime == nil || ix.dateTime.elems[n] == fsm.Reject {
+		return 0, false
+	}
+	return fsm.DateTimeValue(ix.dateTime.frag(n, ix.stableOf[n]))
+}
+
+// StableOf returns the stable id of tree node n.
+func (ix *Indexes) StableOf(n xmltree.NodeID) uint32 { return ix.stableOf[n] }
+
+// AttrStableOf returns the stable id of attribute a.
+func (ix *Indexes) AttrStableOf(a xmltree.AttrID) uint32 { return ix.attrStableOf[a] }
+
+// NodeOfStable resolves a stable id to the current pre rank, or
+// xmltree.InvalidNode if the node was deleted.
+func (ix *Indexes) NodeOfStable(s uint32) xmltree.NodeID {
+	if int(s) >= len(ix.preOf) || ix.preOf[s] < 0 {
+		return xmltree.InvalidNode
+	}
+	return xmltree.NodeID(ix.preOf[s])
+}
+
+// AttrOfStable resolves a stable attribute id, or xmltree.InvalidAttr.
+func (ix *Indexes) AttrOfStable(s uint32) xmltree.AttrID {
+	if int(s) >= len(ix.attrOf) || ix.attrOf[s] < 0 {
+		return xmltree.InvalidAttr
+	}
+	return xmltree.AttrID(ix.attrOf[s])
+}
+
+func (ix *Indexes) resolve(packed uint32) (Posting, bool) {
+	stable, isAttr := unpackPosting(packed)
+	if isAttr {
+		a := ix.AttrOfStable(stable)
+		if a == xmltree.InvalidAttr {
+			return Posting{}, false
+		}
+		return AttrPosting(a), true
+	}
+	n := ix.NodeOfStable(stable)
+	if n == xmltree.InvalidNode {
+		return Posting{}, false
+	}
+	return NodePosting(n), true
+}
+
+func newTypedIndex(m *fsm.Machine, encode func(fsm.Frag) (uint64, bool), nNodes, nAttrs int) *typedIndex {
+	return &typedIndex{
+		m:         m,
+		encode:    encode,
+		elems:     make([]fsm.Elem, nNodes), // zero value is fsm.Reject
+		attrElems: make([]fsm.Elem, nAttrs),
+		items:     make(map[uint32][]fsm.Item),
+		attrItems: make(map[uint32][]fsm.Item),
+	}
+}
+
+func encodeDouble(f fsm.Frag) (uint64, bool) {
+	v, ok := fsm.DoubleValue(f)
+	if !ok {
+		return 0, false
+	}
+	return btree.EncodeFloat64(v), true
+}
+
+func encodeDateTime(f fsm.Frag) (uint64, bool) {
+	v, ok := fsm.DateTimeValue(f)
+	if !ok {
+		return 0, false
+	}
+	return btree.EncodeInt64(v), true
+}
+
+// eachTyped calls f for each enabled typed index.
+func (ix *Indexes) eachTyped(f func(*typedIndex)) {
+	if ix.double != nil {
+		f(ix.double)
+	}
+	if ix.dateTime != nil {
+		f(ix.dateTime)
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/btree"
+	"repro/internal/vhash"
+	"repro/internal/xmltree"
+)
+
+// LookupStringCandidates returns the postings whose hash equals H(value),
+// unverified: hash collisions may contribute false positives, which the
+// paper's query pipeline filters afterwards (see LookupString).
+func (ix *Indexes) LookupStringCandidates(value string) []Posting {
+	if ix.strTree == nil {
+		return nil
+	}
+	h := vhash.HashString(value)
+	var out []Posting
+	ix.strTree.ScanEq(uint64(h), func(packed uint32) bool {
+		if p, ok := ix.resolve(packed); ok {
+			out = append(out, p)
+		}
+		return true
+	})
+	return out
+}
+
+// LookupString returns the nodes whose string value equals value,
+// verifying each hash candidate against the document (the candidate check
+// the paper describes in Section 3).
+func (ix *Indexes) LookupString(value string) []Posting {
+	cands := ix.LookupStringCandidates(value)
+	out := cands[:0]
+	for _, p := range cands {
+		if ix.postingStringValue(p) == value {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (ix *Indexes) postingStringValue(p Posting) string {
+	if p.IsAttr {
+		return ix.doc.AttrValue(p.Attr)
+	}
+	return ix.doc.StringValue(p.Node)
+}
+
+// RangeDouble returns the postings of nodes whose xs:double value v
+// satisfies lo ≤ v ≤ hi (with exclusive bounds when incLo/incHi are
+// false), in ascending value order.
+func (ix *Indexes) RangeDouble(lo, hi float64, incLo, incHi bool) []Posting {
+	if ix.double == nil {
+		return nil
+	}
+	klo := btree.EncodeFloat64(lo)
+	khi := btree.EncodeFloat64(hi)
+	if !incLo {
+		if klo == math.MaxUint64 {
+			return nil
+		}
+		klo++
+	}
+	if !incHi {
+		if khi == 0 {
+			return nil
+		}
+		khi--
+	}
+	var out []Posting
+	ix.double.tree.ScanRange(klo, khi, func(_ uint64, packed uint32) bool {
+		if p, ok := ix.resolve(packed); ok {
+			out = ix.appendWithChain(out, p)
+		}
+		return true
+	})
+	return out
+}
+
+// appendWithChain emits a typed-index hit plus its single-child ancestor
+// chain: wrapper elements share their only contributing child's value and
+// are not stored in the value trees, so they are materialised here (the
+// inverse of the storage rule in typedIndex.treeKey).
+func (ix *Indexes) appendWithChain(out []Posting, p Posting) []Posting {
+	out = append(out, p)
+	if p.IsAttr {
+		return out
+	}
+	doc := ix.doc
+	for parent := doc.Parent(p.Node); parent != xmltree.InvalidNode; parent = doc.Parent(parent) {
+		if countContributing(doc, parent) != 1 {
+			break
+		}
+		out = append(out, NodePosting(parent))
+	}
+	return out
+}
+
+// countContributing counts children participating in n's string value
+// (elements and texts; comments/PIs excluded), stopping at 2.
+func countContributing(doc *xmltree.Doc, n xmltree.NodeID) int {
+	cnt := 0
+	for c := doc.FirstChild(n); c != xmltree.InvalidNode; c = doc.NextSibling(c) {
+		if xmltree.ContributesToParent(doc.Kind(c)) {
+			cnt++
+			if cnt > 1 {
+				return cnt
+			}
+		}
+	}
+	return cnt
+}
+
+// LookupDoubleEq returns the postings of nodes whose double value equals v
+// exactly — the generic-index answer to the paper's introduction example
+// //person[.//age = 42], where "42", "42.0", " +4.2E1", and the
+// mixed-content <age><decades>4</decades>2<years/></age> all match.
+func (ix *Indexes) LookupDoubleEq(v float64) []Posting {
+	return ix.RangeDouble(v, v, true, true)
+}
+
+// RangeDateTime returns the postings of nodes whose dateTime value in
+// epoch milliseconds m satisfies lo ≤ m ≤ hi, ascending.
+func (ix *Indexes) RangeDateTime(lo, hi int64) []Posting {
+	if ix.dateTime == nil {
+		return nil
+	}
+	var out []Posting
+	ix.dateTime.tree.ScanRange(btree.EncodeInt64(lo), btree.EncodeInt64(hi), func(_ uint64, packed uint32) bool {
+		if p, ok := ix.resolve(packed); ok {
+			out = ix.appendWithChain(out, p)
+		}
+		return true
+	})
+	return out
+}
+
+// ScanStringEquals is the index-less baseline: walk every indexed node and
+// compare materialised string values. Used by the ablation benches and by
+// tests as ground truth.
+func (ix *Indexes) ScanStringEquals(value string) []Posting {
+	doc := ix.doc
+	var out []Posting
+	for i := 0; i < doc.NumNodes(); i++ {
+		n := xmltree.NodeID(i)
+		if indexedNodeKind(doc.Kind(n)) && doc.StringValue(n) == value {
+			out = append(out, NodePosting(n))
+		}
+	}
+	for a := 0; a < doc.NumAttrs(); a++ {
+		if doc.AttrValue(xmltree.AttrID(a)) == value {
+			out = append(out, AttrPosting(xmltree.AttrID(a)))
+		}
+	}
+	return out
+}
+
+// ScanDoubleRange is the index-less baseline for double range predicates:
+// it materialises and casts every node's string value.
+func (ix *Indexes) ScanDoubleRange(lo, hi float64, incLo, incHi bool) []Posting {
+	doc := ix.doc
+	var out []Posting
+	within := func(v float64) bool {
+		if v < lo || (v == lo && !incLo) {
+			return false
+		}
+		if v > hi || (v == hi && !incHi) {
+			return false
+		}
+		return true
+	}
+	m := doubleMachineForScan()
+	for i := 0; i < doc.NumNodes(); i++ {
+		n := xmltree.NodeID(i)
+		if !indexedNodeKind(doc.Kind(n)) {
+			continue
+		}
+		if v, ok := castDouble(m, doc.StringValue(n)); ok && within(v) {
+			out = append(out, NodePosting(n))
+		}
+	}
+	for a := 0; a < doc.NumAttrs(); a++ {
+		if v, ok := castDouble(m, doc.AttrValue(xmltree.AttrID(a))); ok && within(v) {
+			out = append(out, AttrPosting(xmltree.AttrID(a)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,691 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/btree"
+	"repro/internal/fsm"
+	"repro/internal/storage"
+	"repro/internal/xmltree"
+)
+
+// Snapshot section names. SectionDoc vs the index sections is what the
+// storage-overhead experiment (Figure 9 bottom) compares.
+const (
+	SectionMeta     = "meta"
+	SectionDoc      = "doc"
+	SectionStable   = "stable"
+	SectionHash     = "hash"
+	SectionStrTree  = "strtree"
+	SectionDouble   = "double"
+	SectionDateTime = "datetime"
+)
+
+// Save writes the document and all built indices to a snapshot file at
+// path (page-structured, checksummed; see the storage package).
+func (ix *Indexes) Save(path string) error {
+	w, err := storage.NewWriter(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.save(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+func (ix *Indexes) save(w *storage.Writer) error {
+	sec, err := w.Section(SectionMeta)
+	if err != nil {
+		return err
+	}
+	meta := make([]byte, 3)
+	if ix.opts.String {
+		meta[0] = 1
+	}
+	if ix.opts.Double {
+		meta[1] = 1
+	}
+	if ix.opts.DateTime {
+		meta[2] = 1
+	}
+	if _, err := sec.Write(meta); err != nil {
+		return err
+	}
+
+	sec, err = w.Section(SectionDoc)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.doc.WriteTo(sec); err != nil {
+		return err
+	}
+
+	sec, err = w.Section(SectionStable)
+	if err != nil {
+		return err
+	}
+	se := newSliceEncoder(sec)
+	se.u32s(ix.stableOf)
+	se.i32s(ix.preOf)
+	se.u32s(ix.attrStableOf)
+	se.i32s(ix.attrOf)
+	if err := se.flush(); err != nil {
+		return err
+	}
+
+	if ix.opts.String {
+		sec, err = w.Section(SectionHash)
+		if err != nil {
+			return err
+		}
+		// Only value-carrying leaves persist their hash (4 bytes each,
+		// fixed-width, in document order); element and document hashes
+		// refold from children with C on load — they are derived data.
+		if err := writeU32Fixed(sec, ix.leafHashes()); err != nil {
+			return err
+		}
+		if err := writeU32Fixed(sec, ix.attrHash); err != nil {
+			return err
+		}
+		sec, err = w.Section(SectionStrTree)
+		if err != nil {
+			return err
+		}
+		if err := writeTree(sec, ix.strTree); err != nil {
+			return err
+		}
+	}
+	if ix.double != nil {
+		sec, err = w.Section(SectionDouble)
+		if err != nil {
+			return err
+		}
+		if err := ix.writeTyped(sec, ix.double); err != nil {
+			return err
+		}
+	}
+	if ix.dateTime != nil {
+		sec, err = w.Section(SectionDateTime)
+		if err != nil {
+			return err
+		}
+		if err := ix.writeTyped(sec, ix.dateTime); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a snapshot produced by Save and reconstructs the Indexes
+// (document included) with full checksum verification.
+func Load(path string) (*Indexes, error) {
+	r, err := storage.OpenReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return load(r)
+}
+
+func load(r *storage.Reader) (*Indexes, error) {
+	sec, err := r.Section(SectionMeta)
+	if err != nil {
+		return nil, err
+	}
+	meta := make([]byte, 3)
+	if _, err := io.ReadFull(sec, meta); err != nil {
+		return nil, err
+	}
+	opts := Options{String: meta[0] == 1, Double: meta[1] == 1, DateTime: meta[2] == 1}
+
+	sec, err = r.Section(SectionDoc)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := xmltree.ReadDoc(sec)
+	if err != nil {
+		return nil, err
+	}
+	n, na := doc.NumNodes(), doc.NumAttrs()
+	ix := &Indexes{doc: doc, opts: opts}
+
+	sec, err = r.Section(SectionStable)
+	if err != nil {
+		return nil, err
+	}
+	sd := newSliceDecoder(sec)
+	ix.stableOf = sd.u32s(n)
+	ix.preOf = sd.i32sAny()
+	ix.attrStableOf = sd.u32s(na)
+	ix.attrOf = sd.i32sAny()
+	if sd.err != nil {
+		return nil, sd.err
+	}
+
+	if opts.String {
+		sec, err = r.Section(SectionHash)
+		if err != nil {
+			return nil, err
+		}
+		leafHashes, err := readU32Fixed(sec, countLeaves(doc))
+		if err != nil {
+			return nil, err
+		}
+		ix.hash = make([]uint32, n)
+		li := 0
+		for i := 0; i < n; i++ {
+			switch doc.Kind(xmltree.NodeID(i)) {
+			case xmltree.Text, xmltree.Comment, xmltree.PI:
+				ix.hash[i] = leafHashes[li]
+				li++
+			}
+		}
+		if ix.attrHash, err = readU32Fixed(sec, na); err != nil {
+			return nil, err
+		}
+		sec, err = r.Section(SectionStrTree)
+		if err != nil {
+			return nil, err
+		}
+		ix.strTree, err = readTree(sec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.Double {
+		sec, err = r.Section(SectionDouble)
+		if err != nil {
+			return nil, err
+		}
+		ix.double = newTypedIndex(fsm.Double(), encodeDouble, n, na)
+		if err := ix.readTyped(sec, ix.double, n, na); err != nil {
+			return nil, err
+		}
+	}
+	if opts.DateTime {
+		sec, err = r.Section(SectionDateTime)
+		if err != nil {
+			return nil, err
+		}
+		ix.dateTime = newTypedIndex(fsm.DateTime(), encodeDateTime, n, na)
+		if err := ix.readTyped(sec, ix.dateTime, n, na); err != nil {
+			return nil, err
+		}
+	}
+	ix.completeDerived()
+	return ix, nil
+}
+
+// leafHashes extracts the persisted hash column: value-carrying leaves in
+// document order.
+func (ix *Indexes) leafHashes() []uint32 {
+	doc := ix.doc
+	out := make([]uint32, 0, doc.NumNodes())
+	for i := 0; i < doc.NumNodes(); i++ {
+		switch doc.Kind(xmltree.NodeID(i)) {
+		case xmltree.Text, xmltree.Comment, xmltree.PI:
+			out = append(out, ix.hash[i])
+		}
+	}
+	return out
+}
+
+func countLeaves(doc *xmltree.Doc) int {
+	cnt := 0
+	for i := 0; i < doc.NumNodes(); i++ {
+		switch doc.Kind(xmltree.NodeID(i)) {
+		case xmltree.Text, xmltree.Comment, xmltree.PI:
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// completeDerived reconstructs the derived index fields after a load:
+// states of trivially-recomputable leaves (whitespace-only or rejected
+// texts were not persisted — a fast FSM run restores them), then interior
+// hashes and states by folding children with C and the SCT, bottom-up, in
+// O(document) without materialising any string value.
+func (ix *Indexes) completeDerived() {
+	doc := ix.doc
+	n := doc.NumNodes()
+	var dblM, dtM *fsm.Machine
+	if ix.double != nil {
+		dblM = fsm.Double()
+	}
+	if ix.dateTime != nil {
+		dtM = fsm.DateTime()
+	}
+	for i := 0; i < n; i++ {
+		nd := xmltree.NodeID(i)
+		switch doc.Kind(nd) {
+		case xmltree.Text, xmltree.Comment, xmltree.PI:
+			stable := ix.stableOf[i]
+			if ix.double != nil && ix.double.elems[i] == fsm.Reject {
+				if f, ok := dblM.ParseFrag(doc.ValueBytes(nd)); ok {
+					ix.double.setFragFresh(nd, stable, f)
+				}
+			}
+			if ix.dateTime != nil && ix.dateTime.elems[i] == fsm.Reject {
+				if f, ok := dtM.ParseFrag(doc.ValueBytes(nd)); ok {
+					ix.dateTime.setFragFresh(nd, stable, f)
+				}
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		nd := xmltree.NodeID(i)
+		switch doc.Kind(nd) {
+		case xmltree.Element, xmltree.Document:
+			ix.recomputeInterior(nd)
+		}
+	}
+}
+
+func writeTree(w io.Writer, t *btree.Tree) error {
+	se := newSliceEncoder(w)
+	se.uv(uint64(t.Len()))
+	var prevKey uint64
+	t.Scan(func(key uint64, val uint32) bool {
+		se.uv(key - prevKey) // keys ascend; delta-encode
+		prevKey = key
+		se.uv(uint64(val))
+		return true
+	})
+	return se.flush()
+}
+
+func readTree(r io.Reader) (*btree.Tree, error) {
+	sd := newSliceDecoder(r)
+	n := int(sd.uv())
+	entries := make([]btree.Entry, 0, n)
+	var key uint64
+	for i := 0; i < n && sd.err == nil; i++ {
+		key += sd.uv()
+		entries = append(entries, btree.Entry{Key: key, Val: uint32(sd.uv())})
+	}
+	if sd.err != nil {
+		return nil, sd.err
+	}
+	return btree.NewFromSorted(entries), nil
+}
+
+// writeTyped persists one typed index: the paper's [value, state, node]
+// inventory. Stored sparsely — absence means reject ("the absence of a
+// state signifies the reject state") — and only for nodes whose state is
+// not trivially derivable: leaves with digit/punctuation content and
+// attributes. Whitespace-only leaves and interior elements are derived
+// data, refolded on load via FSM runs and SCT folds.
+func (ix *Indexes) writeTyped(w io.Writer, ti *typedIndex) error {
+	doc := ix.doc
+	se := newSliceEncoder(w)
+	writeEntry := func(posDelta int, e fsm.Elem, items []fsm.Item) {
+		se.uv(uint64(posDelta))
+		se.uv(uint64(e))
+		se.uv(uint64(len(items)))
+		for _, it := range items {
+			se.uv(uint64(it.Punct))
+			se.uv(encodeRunVal(it.Val))
+			se.uv(uint64(it.Len))
+		}
+	}
+	// Count then emit stored leaves.
+	stored := 0
+	for i := 0; i < doc.NumNodes(); i++ {
+		if leafStateStored(doc, xmltree.NodeID(i), ti, ix.stableOf[i]) {
+			stored++
+		}
+	}
+	se.uv(uint64(doc.NumNodes()))
+	se.uv(uint64(stored))
+	prev := 0
+	for i := 0; i < doc.NumNodes(); i++ {
+		if !leafStateStored(doc, xmltree.NodeID(i), ti, ix.stableOf[i]) {
+			continue
+		}
+		writeEntry(i-prev, ti.elems[i], ti.items[ix.stableOf[i]])
+		prev = i
+	}
+	storedAttrs := 0
+	for a := 0; a < doc.NumAttrs(); a++ {
+		if ti.attrElems[a] != fsm.Reject && len(ti.attrItems[ix.attrStableOf[a]]) > 0 {
+			storedAttrs++
+		}
+	}
+	se.uv(uint64(doc.NumAttrs()))
+	se.uv(uint64(storedAttrs))
+	prev = 0
+	for a := 0; a < doc.NumAttrs(); a++ {
+		if ti.attrElems[a] == fsm.Reject || len(ti.attrItems[ix.attrStableOf[a]]) == 0 {
+			continue
+		}
+		writeEntry(a-prev, ti.attrElems[a], ti.attrItems[ix.attrStableOf[a]])
+		prev = a
+	}
+	if err := se.flush(); err != nil {
+		return err
+	}
+	return writeTree(w, ti.tree)
+}
+
+// leafStateStored decides which node states hit the disk: value-carrying
+// leaves whose fragment has digit or punctuation content.
+func leafStateStored(doc *xmltree.Doc, n xmltree.NodeID, ti *typedIndex, stable uint32) bool {
+	switch doc.Kind(n) {
+	case xmltree.Text, xmltree.Comment, xmltree.PI:
+		return ti.elems[n] != fsm.Reject && len(ti.items[stable]) > 0
+	default:
+		return false
+	}
+}
+
+// encodeRunVal compresses a digit-run value: runs are integral by
+// construction, so small ones pack as 2v; values beyond exact-integer
+// float range fall back to tagged IEEE bits (2bits+1).
+func encodeRunVal(v float64) uint64 {
+	if v >= 0 && v < 1<<53 && v == math.Trunc(v) {
+		return uint64(v) << 1
+	}
+	return math.Float64bits(v)<<1 | 1
+}
+
+func decodeRunVal(u uint64) float64 {
+	if u&1 == 0 {
+		return float64(u >> 1)
+	}
+	return math.Float64frombits(u >> 1)
+}
+
+func (ix *Indexes) readTyped(r io.Reader, ti *typedIndex, n, na int) error {
+	sd := newSliceDecoder(r)
+	readEntries := func(want int, assign func(pos int, e fsm.Elem, items []fsm.Item) error) error {
+		if got := int(sd.uv()); got != want {
+			return fmt.Errorf("core: typed index has %d positions, want %d", got, want)
+		}
+		stored := int(sd.uv())
+		pos := 0
+		for i := 0; i < stored && sd.err == nil; i++ {
+			pos += int(sd.uv())
+			e := fsm.Elem(sd.uv())
+			k := int(sd.uv())
+			if k < 0 || k > 1<<20 {
+				return fmt.Errorf("core: implausible item count %d", k)
+			}
+			items := make([]fsm.Item, k)
+			for j := 0; j < k; j++ {
+				items[j] = fsm.Item{
+					Punct: byte(sd.uv()),
+					Val:   decodeRunVal(sd.uv()),
+					Len:   int32(sd.uv()),
+				}
+			}
+			if pos >= want {
+				return fmt.Errorf("core: state position %d out of range", pos)
+			}
+			if err := assign(pos, e, items); err != nil {
+				return err
+			}
+		}
+		return sd.err
+	}
+	err := readEntries(n, func(pos int, e fsm.Elem, items []fsm.Item) error {
+		ti.elems[pos] = e
+		ti.items[ix.stableOf[pos]] = items
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	err = readEntries(na, func(pos int, e fsm.Elem, items []fsm.Item) error {
+		ti.attrElems[pos] = e
+		ti.attrItems[ix.attrStableOf[pos]] = items
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ti.tree, err = readTree(r)
+	return err
+}
+
+// --- fixed-width column codec ---
+
+func writeU32Fixed(w io.Writer, s []uint32) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(s)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 1<<16)
+	for _, v := range s {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+		if len(buf) >= 1<<16-8 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readU32Fixed(r io.Reader, want int) ([]uint32, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if got := int(binary.LittleEndian.Uint32(hdr[:])); got != want {
+		return nil, fmt.Errorf("core: column has %d entries, want %d", got, want)
+	}
+	out := make([]uint32, want)
+	buf := make([]byte, 1<<16)
+	i := 0
+	for i < want {
+		chunk := (want - i) * 4
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		if _, err := io.ReadFull(r, buf[:chunk]); err != nil {
+			return nil, err
+		}
+		for o := 0; o < chunk; o += 4 {
+			out[i] = binary.LittleEndian.Uint32(buf[o : o+4])
+			i++
+		}
+	}
+	return out, nil
+}
+
+// SaveParts selects snapshot sections for staged persistence timing and
+// storage accounting in the experiments: the paper's "shredding" stage
+// writes the document store, index creation writes the index stores.
+// Part files are not loadable by Load (they lack sections); use Save for
+// complete snapshots.
+type SaveParts struct {
+	Doc      bool
+	String   bool
+	Double   bool
+	DateTime bool
+}
+
+// SavePartsTo writes only the selected sections to path.
+func (ix *Indexes) SavePartsTo(path string, parts SaveParts) error {
+	w, err := storage.NewWriter(path)
+	if err != nil {
+		return err
+	}
+	fail := func(e error) error {
+		w.Close()
+		return e
+	}
+	if parts.Doc {
+		sec, err := w.Section(SectionDoc)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := ix.doc.WriteTo(sec); err != nil {
+			return fail(err)
+		}
+	}
+	if parts.String && ix.hash != nil {
+		sec, err := w.Section(SectionHash)
+		if err != nil {
+			return fail(err)
+		}
+		if err := writeU32Fixed(sec, ix.leafHashes()); err != nil {
+			return fail(err)
+		}
+		if err := writeU32Fixed(sec, ix.attrHash); err != nil {
+			return fail(err)
+		}
+		sec, err = w.Section(SectionStrTree)
+		if err != nil {
+			return fail(err)
+		}
+		if err := writeTree(sec, ix.strTree); err != nil {
+			return fail(err)
+		}
+	}
+	if parts.Double && ix.double != nil {
+		sec, err := w.Section(SectionDouble)
+		if err != nil {
+			return fail(err)
+		}
+		if err := ix.writeTyped(sec, ix.double); err != nil {
+			return fail(err)
+		}
+	}
+	if parts.DateTime && ix.dateTime != nil {
+		sec, err := w.Section(SectionDateTime)
+		if err != nil {
+			return fail(err)
+		}
+		if err := ix.writeTyped(sec, ix.dateTime); err != nil {
+			return fail(err)
+		}
+	}
+	return w.Close()
+}
+
+// --- varint slice codecs over io.Writer/Reader ---
+
+type sliceEncoder struct {
+	w   io.Writer
+	buf []byte
+	tmp [binary.MaxVarintLen64]byte
+	err error
+}
+
+func newSliceEncoder(w io.Writer) *sliceEncoder {
+	return &sliceEncoder{w: w, buf: make([]byte, 0, 1<<16)}
+}
+
+func (se *sliceEncoder) uv(v uint64) {
+	if se.err != nil {
+		return
+	}
+	n := binary.PutUvarint(se.tmp[:], v)
+	se.buf = append(se.buf, se.tmp[:n]...)
+	if len(se.buf) >= 1<<16-16 {
+		_, se.err = se.w.Write(se.buf)
+		se.buf = se.buf[:0]
+	}
+}
+
+func (se *sliceEncoder) u32s(s []uint32) {
+	se.uv(uint64(len(s)))
+	for _, v := range s {
+		se.uv(uint64(v))
+	}
+}
+
+func (se *sliceEncoder) i32s(s []int32) {
+	se.uv(uint64(len(s)))
+	for _, v := range s {
+		se.uv(uint64(uint32(v))) // -1 sentinel round-trips through uint32
+	}
+}
+
+func (se *sliceEncoder) flush() error {
+	if se.err != nil {
+		return se.err
+	}
+	if len(se.buf) > 0 {
+		_, se.err = se.w.Write(se.buf)
+		se.buf = se.buf[:0]
+	}
+	return se.err
+}
+
+type sliceDecoder struct {
+	br  io.ByteReader
+	err error
+}
+
+func newSliceDecoder(r io.Reader) *sliceDecoder {
+	if br, ok := r.(io.ByteReader); ok {
+		return &sliceDecoder{br: br}
+	}
+	return &sliceDecoder{br: &oneByteReader{r: r}}
+}
+
+type oneByteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (o *oneByteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(o.r, o.one[:]); err != nil {
+		return 0, err
+	}
+	return o.one[0], nil
+}
+
+func (sd *sliceDecoder) uv() uint64 {
+	if sd.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(sd.br)
+	if err != nil {
+		sd.err = err
+	}
+	return v
+}
+
+func (sd *sliceDecoder) u32s(want int) []uint32 {
+	n := int(sd.uv())
+	if sd.err != nil {
+		return nil
+	}
+	if want >= 0 && n != want {
+		sd.err = fmt.Errorf("core: slice has %d entries, want %d", n, want)
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(sd.uv())
+	}
+	return out
+}
+
+func (sd *sliceDecoder) i32sAny() []int32 {
+	n := int(sd.uv())
+	if sd.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(uint32(sd.uv()))
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"repro/internal/fsm"
+	"repro/internal/xmltree"
+)
+
+// IndexStats summarises index contents and estimated persisted sizes; it
+// backs Table 1 and the storage panels of Figure 9.
+type IndexStats struct {
+	Nodes int // tree nodes + attributes
+	Texts int
+	Attrs int
+
+	// String index.
+	StringEntries int // postings in the hash B+tree
+	StringBytes   int // persisted size estimate: 4 bytes hash + 4 bytes posting per entry
+
+	// Double index (Table 1's "Double Values" and "non-leaf" columns).
+	DoubleLive          int // nodes with a stored (non-reject) state
+	DoubleTexts         int // text nodes with a potentially valid double fragment
+	DoubleCastableTexts int // text nodes whose value casts to a double (Table 1 "Double Values")
+	DoubleCastable      int // entries in the double value B+tree
+	DoubleNonLeaf       int // non-leaf nodes with a castable double value
+	DoubleBytes         int // persisted estimate: 1 byte state + items per live node, 12 bytes per tree entry
+	DateTimeLive        int
+	DateTimeTexts       int
+	DateTimeCastable    int
+	DateTimeBytes       int
+
+	Elements int // element count (Table 1 totals are elements + texts)
+}
+
+// Stats scans the index structures; cost is O(nodes).
+func (ix *Indexes) Stats() IndexStats {
+	doc := ix.doc
+	var s IndexStats
+	s.Attrs = doc.NumAttrs()
+	s.Nodes = doc.NumNodes() + s.Attrs
+
+	for i := 0; i < doc.NumNodes(); i++ {
+		switch doc.Kind(xmltree.NodeID(i)) {
+		case xmltree.Text:
+			s.Texts++
+		case xmltree.Element:
+			s.Elements++
+		}
+	}
+	if ix.strTree != nil {
+		s.StringEntries = ix.strTree.Len()
+		s.StringBytes = s.StringEntries * 8
+	}
+	if ix.double != nil {
+		s.DoubleLive, s.DoubleTexts, s.DoubleCastableTexts, s.DoubleCastable, s.DoubleNonLeaf, s.DoubleBytes = ix.typedStats(ix.double)
+	}
+	if ix.dateTime != nil {
+		s.DateTimeLive, s.DateTimeTexts, _, s.DateTimeCastable, _, s.DateTimeBytes = ix.typedStats(ix.dateTime)
+	}
+	return s
+}
+
+func (ix *Indexes) typedStats(ti *typedIndex) (live, liveTexts, castableTexts, castable, nonLeaf, bytes int) {
+	doc := ix.doc
+	for i := 0; i < doc.NumNodes(); i++ {
+		nd := xmltree.NodeID(i)
+		e := ti.elems[i]
+		if e == fsm.Reject {
+			continue
+		}
+		if e == fsm.Identity && doc.Kind(nd) != xmltree.Text {
+			// Empty elements carry no information; the paper would not
+			// store them either.
+			continue
+		}
+		live++
+		// 1 byte state (paper) + node id reference (4) per stored state.
+		bytes += 5
+		if doc.Kind(nd) == xmltree.Text {
+			liveTexts++
+		}
+		if ti.m.Castable(e) {
+			if _, ok := ti.treeKey(doc, nd, ix.stableOf[i]); ok {
+				castable++
+				bytes += 12 // value (8) + posting (4) in the B+tree
+				switch doc.Kind(nd) {
+				case xmltree.Element, xmltree.Document:
+					nonLeaf++ // combined values only reach the tree
+				case xmltree.Text:
+					castableTexts++
+				}
+			}
+		}
+		// Items persist as compact varints; estimate 2 bytes per item.
+		bytes += 2 * len(ti.items[ix.stableOf[i]])
+	}
+	for a := 0; a < doc.NumAttrs(); a++ {
+		e := ti.attrElems[a]
+		if e == fsm.Reject || e == fsm.Identity {
+			continue
+		}
+		live++
+		bytes += 5
+		if ti.m.Castable(e) {
+			if _, ok := ti.attrKey(xmltree.AttrID(a), ix.attrStableOf[a]); ok {
+				castable++
+				bytes += 12
+			}
+		}
+		bytes += 2 * len(ti.attrItems[ix.attrStableOf[a]])
+	}
+	return live, liveTexts, castableTexts, castable, nonLeaf, bytes
+}
+
+// isCombinedValue reports whether an element's value is assembled across
+// MULTIPLE contributing children — the paper's notion of a "non-leaf"
+// typed value (its <weight><kilos>78</kilos>.<grams>230</grams></weight>
+// example). Wrappers with a single contributing child (a text, or one
+// element) share that child's value exactly and are chain-lifted at query
+// time instead of being stored (see typedIndex.treeKey and
+// Indexes.appendWithChain — the two rules must stay complementary).
+func isCombinedValue(doc *xmltree.Doc, n xmltree.NodeID) bool {
+	return countContributing(doc, n) > 1
+}
+
+// DocBytes estimates the persisted size of the document itself (node
+// columns + live heap + attribute table), the denominator of the storage
+// panels in Figure 9.
+func (ix *Indexes) DocBytes() int {
+	doc := ix.doc
+	// kind 1 + size 4 + level 4 + parent 4 + name 4 + value ref 8 per node,
+	// name 4 + value ref 8 per attribute, plus the live text heap.
+	return doc.NumNodes()*25 + doc.NumAttrs()*12 + doc.LiveHeapBytes()
+}

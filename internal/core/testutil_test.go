@@ -1,0 +1,24 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/xmlparse"
+	"repro/internal/xmltree"
+)
+
+func int32AsNodeID(i int) xmltree.NodeID { return xmltree.NodeID(i) }
+
+func mustParseForTest(t testing.TB, xml string) *xmltree.Doc {
+	t.Helper()
+	doc, err := xmlparse.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func writeGarbage(path string) error {
+	return os.WriteFile(path, []byte("this is not a snapshot file at all, not even close"), 0o644)
+}

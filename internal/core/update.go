@@ -1,0 +1,456 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fsm"
+	"repro/internal/vhash"
+	"repro/internal/xmltree"
+)
+
+// TextUpdate assigns a new value to one text (or comment/PI) node.
+type TextUpdate struct {
+	Node  xmltree.NodeID
+	Value string
+}
+
+// oldKeys snapshots a node's index keys before a mutation, so the B+trees
+// can be diffed afterwards.
+type oldKeys struct {
+	hash   uint32
+	dblKey uint64
+	dblOK  bool
+	dtKey  uint64
+	dtOK   bool
+}
+
+func (ix *Indexes) captureNode(n xmltree.NodeID) oldKeys {
+	var o oldKeys
+	if ix.hash != nil {
+		o.hash = ix.hash[n]
+	}
+	if ix.double != nil {
+		o.dblKey, o.dblOK = ix.double.treeKey(ix.doc, n, ix.stableOf[n])
+	}
+	if ix.dateTime != nil {
+		o.dtKey, o.dtOK = ix.dateTime.treeKey(ix.doc, n, ix.stableOf[n])
+	}
+	return o
+}
+
+// reindexNode diffs a node's keys against the snapshot and repairs the
+// B+trees. Non-indexed kinds (comments, PIs) keep fields but no postings.
+func (ix *Indexes) reindexNode(n xmltree.NodeID, old oldKeys) {
+	if !indexedNodeKind(ix.doc.Kind(n)) {
+		return
+	}
+	posting := packPosting(ix.stableOf[n], false)
+	if ix.strTree != nil && ix.hash[n] != old.hash {
+		ix.strTree.Delete(uint64(old.hash), posting)
+		ix.strTree.Insert(uint64(ix.hash[n]), posting)
+	}
+	if ix.double != nil {
+		key, ok := ix.double.treeKey(ix.doc, n, ix.stableOf[n])
+		diffTyped(ix.double, posting, old.dblKey, old.dblOK, key, ok)
+	}
+	if ix.dateTime != nil {
+		key, ok := ix.dateTime.treeKey(ix.doc, n, ix.stableOf[n])
+		diffTyped(ix.dateTime, posting, old.dtKey, old.dtOK, key, ok)
+	}
+}
+
+func diffTyped(ti *typedIndex, posting uint32, oldKey uint64, oldOK bool, newKey uint64, newOK bool) {
+	if oldOK == newOK && oldKey == newKey {
+		if !oldOK {
+			return
+		}
+		return
+	}
+	if oldOK {
+		ti.tree.Delete(oldKey, posting)
+	}
+	if newOK {
+		ti.tree.Insert(newKey, posting)
+	}
+}
+
+// recomputeLeaf refreshes the fields of a value-carrying node from its
+// (new) character data.
+func (ix *Indexes) recomputeLeaf(n xmltree.NodeID) {
+	val := ix.doc.ValueBytes(n)
+	stable := ix.stableOf[n]
+	if ix.hash != nil {
+		ix.hash[n] = vhash.Hash(val)
+	}
+	if ix.double != nil {
+		f, _ := fsm.Double().ParseFrag(val)
+		ix.double.setFrag(n, stable, f)
+	}
+	if ix.dateTime != nil {
+		f, _ := fsm.DateTime().ParseFrag(val)
+		ix.dateTime.setFrag(n, stable, f)
+	}
+}
+
+// recomputeInterior refolds an element's (or the document's) fields from
+// its immediate children's stored fields — the heart of the Figure 8
+// update algorithm: no text is read, only child hashes and states are
+// combined.
+func (ix *Indexes) recomputeInterior(n xmltree.NodeID) {
+	doc := ix.doc
+	var h uint32
+	dbl := fsm.Frag{Elem: fsm.Identity}
+	dt := fsm.Frag{Elem: fsm.Identity}
+	var dblM, dtM *fsm.Machine
+	if ix.double != nil {
+		dblM = fsm.Double()
+	}
+	if ix.dateTime != nil {
+		dtM = fsm.DateTime()
+	}
+	for c := doc.FirstChild(n); c != xmltree.InvalidNode; c = doc.NextSibling(c) {
+		if !xmltree.ContributesToParent(doc.Kind(c)) {
+			continue
+		}
+		if ix.hash != nil {
+			h = vhash.Combine(h, ix.hash[c])
+		}
+		cs := ix.stableOf[c]
+		if ix.double != nil {
+			dbl = foldFrag(dblM, dbl, ix.double.frag(c, cs))
+		}
+		if ix.dateTime != nil {
+			dt = foldFrag(dtM, dt, ix.dateTime.frag(c, cs))
+		}
+	}
+	stable := ix.stableOf[n]
+	if ix.hash != nil {
+		ix.hash[n] = h
+	}
+	if ix.double != nil {
+		ix.double.setFrag(n, stable, dbl)
+	}
+	if ix.dateTime != nil {
+		ix.dateTime.setFrag(n, stable, dt)
+	}
+}
+
+// UpdateText changes the value of a single text node and maintains all
+// indices.
+func (ix *Indexes) UpdateText(n xmltree.NodeID, value string) error {
+	return ix.UpdateTexts([]TextUpdate{{Node: n, Value: value}})
+}
+
+// UpdateTexts applies a batch of text-node value updates — the paper's
+// Figure 8 algorithm. Each updated node is re-hashed / re-run through the
+// FSMs once; every affected ancestor is then refolded exactly once from
+// its children's stored fields, deepest first, and the B+trees are
+// repaired by diffing keys.
+func (ix *Indexes) UpdateTexts(updates []TextUpdate) error {
+	doc := ix.doc
+	for _, u := range updates {
+		switch doc.Kind(u.Node) {
+		case xmltree.Text, xmltree.Comment, xmltree.PI:
+		default:
+			return fmt.Errorf("core: node %d is a %v, not a value-carrying node", u.Node, doc.Kind(u.Node))
+		}
+	}
+	affected := make(map[xmltree.NodeID]struct{})
+	for _, u := range updates {
+		old := ix.captureNode(u.Node)
+		if err := doc.SetText(u.Node, u.Value); err != nil {
+			return err
+		}
+		ix.recomputeLeaf(u.Node)
+		ix.reindexNode(u.Node, old)
+		if xmltree.ContributesToParent(doc.Kind(u.Node)) {
+			for p := doc.Parent(u.Node); p != xmltree.InvalidNode; p = doc.Parent(p) {
+				if _, seen := affected[p]; seen {
+					break // this ancestor chain is already queued
+				}
+				affected[p] = struct{}{}
+			}
+		}
+	}
+	ix.refoldAncestors(affected)
+	return nil
+}
+
+// refoldAncestors recomputes a set of interior nodes deepest-first
+// (descending pre order guarantees children precede parents).
+func (ix *Indexes) refoldAncestors(affected map[xmltree.NodeID]struct{}) {
+	if len(affected) == 0 {
+		return
+	}
+	order := make([]xmltree.NodeID, 0, len(affected))
+	for n := range affected {
+		order = append(order, n)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] > order[j] })
+	for _, n := range order {
+		old := ix.captureNode(n)
+		ix.recomputeInterior(n)
+		ix.reindexNode(n, old)
+	}
+}
+
+// refoldAncestorsWithOld is refoldAncestors for structural updates, where
+// the pre-mutation keys were captured by the caller.
+func (ix *Indexes) refoldAncestorsWithOld(olds map[xmltree.NodeID]oldKeys) {
+	if len(olds) == 0 {
+		return
+	}
+	order := make([]xmltree.NodeID, 0, len(olds))
+	for n := range olds {
+		order = append(order, n)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] > order[j] })
+	for _, n := range order {
+		ix.recomputeInterior(n)
+		ix.reindexNode(n, olds[n])
+	}
+}
+
+// UpdateAttr changes an attribute value. Attribute values do not
+// contribute to ancestor string values, so no refolding is needed.
+func (ix *Indexes) UpdateAttr(a xmltree.AttrID, value string) error {
+	doc := ix.doc
+	stable := ix.attrStableOf[a]
+	posting := packPosting(stable, true)
+	oldHash := uint32(0)
+	if ix.attrHash != nil {
+		oldHash = ix.attrHash[a]
+	}
+	var oldDblKey, oldDtKey uint64
+	var oldDblOK, oldDtOK bool
+	if ix.double != nil {
+		oldDblKey, oldDblOK = ix.double.attrKey(a, stable)
+	}
+	if ix.dateTime != nil {
+		oldDtKey, oldDtOK = ix.dateTime.attrKey(a, stable)
+	}
+
+	doc.SetAttrValue(a, value)
+	val := doc.AttrValueBytes(a)
+	if ix.attrHash != nil {
+		ix.attrHash[a] = vhash.Hash(val)
+		if ix.attrHash[a] != oldHash {
+			ix.strTree.Delete(uint64(oldHash), posting)
+			ix.strTree.Insert(uint64(ix.attrHash[a]), posting)
+		}
+	}
+	if ix.double != nil {
+		f, _ := fsm.Double().ParseFrag(val)
+		ix.double.setAttrFrag(a, stable, f)
+		key, ok := ix.double.attrKey(a, stable)
+		diffTyped(ix.double, posting, oldDblKey, oldDblOK, key, ok)
+	}
+	if ix.dateTime != nil {
+		f, _ := fsm.DateTime().ParseFrag(val)
+		ix.dateTime.setAttrFrag(a, stable, f)
+		key, ok := ix.dateTime.attrKey(a, stable)
+		diffTyped(ix.dateTime, posting, oldDtKey, oldDtOK, key, ok)
+	}
+	return nil
+}
+
+// DeleteSubtree removes node n with its subtree from the document and all
+// indices, then refolds the ancestor chain (the paper's subtree-deletion
+// variant of Figure 8).
+func (ix *Indexes) DeleteSubtree(n xmltree.NodeID) error {
+	doc := ix.doc
+	if n == 0 {
+		return fmt.Errorf("core: cannot delete the document node")
+	}
+	end := n + xmltree.NodeID(doc.Size(n))
+	parent := doc.Parent(n)
+
+	// Snapshot ancestor keys BEFORE the structure changes: tree
+	// membership of an element depends on its child structure (combined
+	// vs wrapper), so the pre-image must be captured now.
+	oldAnc := make(map[xmltree.NodeID]oldKeys)
+	for p := parent; p != xmltree.InvalidNode; p = doc.Parent(p) {
+		oldAnc[p] = ix.captureNode(p)
+	}
+
+	// Remove postings and side-table entries of every node in the range.
+	for i := n; i <= end; i++ {
+		stable := ix.stableOf[i]
+		if indexedNodeKind(doc.Kind(i)) {
+			posting := packPosting(stable, false)
+			if ix.strTree != nil {
+				ix.strTree.Delete(uint64(ix.hash[i]), posting)
+			}
+			ix.eachTyped(func(ti *typedIndex) {
+				if key, ok := ti.treeKey(doc, i, stable); ok {
+					ti.tree.Delete(key, posting)
+				}
+			})
+		}
+		ix.eachTyped(func(ti *typedIndex) { delete(ti.items, stable) })
+		ix.preOf[stable] = -1
+	}
+	alo, _ := doc.AttrRange(n)
+	_, ahi := doc.AttrRange(end)
+	for a := alo; a < ahi; a++ {
+		stable := ix.attrStableOf[a]
+		posting := packPosting(stable, true)
+		if ix.strTree != nil {
+			ix.strTree.Delete(uint64(ix.attrHash[a]), posting)
+		}
+		ix.eachTyped(func(ti *typedIndex) {
+			if key, ok := ti.attrKey(a, stable); ok {
+				ti.tree.Delete(key, posting)
+			}
+			delete(ti.attrItems, stable)
+		})
+		ix.attrOf[stable] = -1
+	}
+
+	if err := doc.DeleteSubtree(n); err != nil {
+		return err
+	}
+
+	// Splice the per-node columns in step with the document.
+	cnt := int(end-n) + 1
+	ix.stableOf = append(ix.stableOf[:n], ix.stableOf[int(n)+cnt:]...)
+	if ix.hash != nil {
+		ix.hash = append(ix.hash[:n], ix.hash[int(n)+cnt:]...)
+	}
+	ix.eachTyped(func(ti *typedIndex) {
+		ti.elems = append(ti.elems[:n], ti.elems[int(n)+cnt:]...)
+	})
+	for i := int(n); i < len(ix.stableOf); i++ {
+		ix.preOf[ix.stableOf[i]] = int32(i)
+	}
+	acnt := int(ahi - alo)
+	if acnt > 0 {
+		ix.attrStableOf = append(ix.attrStableOf[:alo], ix.attrStableOf[int(alo)+acnt:]...)
+		if ix.attrHash != nil {
+			ix.attrHash = append(ix.attrHash[:alo], ix.attrHash[int(alo)+acnt:]...)
+		}
+		ix.eachTyped(func(ti *typedIndex) {
+			ti.attrElems = append(ti.attrElems[:alo], ti.attrElems[int(alo)+acnt:]...)
+		})
+		for a := int(alo); a < len(ix.attrStableOf); a++ {
+			ix.attrOf[ix.attrStableOf[a]] = int32(a)
+		}
+	}
+
+	// Refold the ancestor chain against the pre-captured keys.
+	ix.refoldAncestorsWithOld(oldAnc)
+	return nil
+}
+
+// InsertChildren inserts a fragment document's top-level nodes under
+// parent at child index pos, indexes the new nodes with a scoped Figure 7
+// pass, and refolds the ancestor chain. It returns the first inserted
+// node.
+func (ix *Indexes) InsertChildren(parent xmltree.NodeID, pos int, frag *xmltree.Doc) (xmltree.NodeID, error) {
+	doc := ix.doc
+	// Pre-capture ancestor keys: insertion can turn a wrapper element
+	// into a combined one, changing its tree membership.
+	oldAnc := make(map[xmltree.NodeID]oldKeys)
+	for p := parent; p != xmltree.InvalidNode; p = doc.Parent(p) {
+		oldAnc[p] = ix.captureNode(p)
+	}
+	at, err := doc.InsertChildren(parent, pos, frag)
+	if err != nil {
+		return xmltree.InvalidNode, err
+	}
+	cnt := frag.NumNodes() - 1
+	last := at + xmltree.NodeID(cnt) - 1
+	alo, _ := doc.AttrRange(at)
+	_, ahi := doc.AttrRange(last)
+	acnt := int(ahi - alo)
+
+	// Splice per-node columns and mint stable ids for the new nodes.
+	newStables := make([]uint32, cnt)
+	for k := 0; k < cnt; k++ {
+		s := uint32(len(ix.preOf))
+		newStables[k] = s
+		ix.preOf = append(ix.preOf, int32(int(at)+k))
+	}
+	ix.stableOf = spliceU32(ix.stableOf, int(at), newStables)
+	if ix.hash != nil {
+		ix.hash = spliceU32(ix.hash, int(at), make([]uint32, cnt))
+	}
+	ix.eachTyped(func(ti *typedIndex) {
+		ti.elems = spliceElems(ti.elems, int(at), make([]fsm.Elem, cnt))
+	})
+	for i := int(at) + cnt; i < len(ix.stableOf); i++ {
+		ix.preOf[ix.stableOf[i]] = int32(i)
+	}
+
+	if acnt > 0 {
+		newAttrStables := make([]uint32, acnt)
+		for k := 0; k < acnt; k++ {
+			s := uint32(len(ix.attrOf))
+			newAttrStables[k] = s
+			ix.attrOf = append(ix.attrOf, int32(int(alo)+k))
+		}
+		ix.attrStableOf = spliceU32(ix.attrStableOf, int(alo), newAttrStables)
+		if ix.attrHash != nil {
+			ix.attrHash = spliceU32(ix.attrHash, int(alo), make([]uint32, acnt))
+		}
+		ix.eachTyped(func(ti *typedIndex) {
+			ti.attrElems = spliceElems(ti.attrElems, int(alo), make([]fsm.Elem, acnt))
+		})
+		for a := int(alo) + acnt; a < len(ix.attrStableOf); a++ {
+			ix.attrOf[ix.attrStableOf[a]] = int32(a)
+		}
+	}
+
+	// Compute fields for the inserted range and add postings.
+	ix.buildPass(at, last)
+	if acnt > 0 {
+		ix.buildAttrs(alo, ahi-1)
+	}
+	for i := at; i <= last; i++ {
+		if !indexedNodeKind(doc.Kind(i)) {
+			continue
+		}
+		stable := ix.stableOf[i]
+		posting := packPosting(stable, false)
+		if ix.strTree != nil {
+			ix.strTree.Insert(uint64(ix.hash[i]), posting)
+		}
+		ix.eachTyped(func(ti *typedIndex) {
+			if key, ok := ti.treeKey(doc, i, stable); ok {
+				ti.tree.Insert(key, posting)
+			}
+		})
+	}
+	for a := alo; a < ahi; a++ {
+		stable := ix.attrStableOf[a]
+		posting := packPosting(stable, true)
+		if ix.strTree != nil {
+			ix.strTree.Insert(uint64(ix.attrHash[a]), posting)
+		}
+		ix.eachTyped(func(ti *typedIndex) {
+			if key, ok := ti.attrKey(a, stable); ok {
+				ti.tree.Insert(key, posting)
+			}
+		})
+	}
+
+	// Refold the chain from the insertion parent upwards against the
+	// pre-captured keys.
+	ix.refoldAncestorsWithOld(oldAnc)
+	return at, nil
+}
+
+func spliceU32(s []uint32, at int, ins []uint32) []uint32 {
+	out := make([]uint32, 0, len(s)+len(ins))
+	out = append(out, s[:at]...)
+	out = append(out, ins...)
+	return append(out, s[at:]...)
+}
+
+func spliceElems(s []fsm.Elem, at int, ins []fsm.Elem) []fsm.Elem {
+	out := make([]fsm.Elem, 0, len(s)+len(ins))
+	out = append(out, s[:at]...)
+	out = append(out, ins...)
+	return append(out, s[at:]...)
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fsm"
+	"repro/internal/vhash"
+	"repro/internal/xmltree"
+)
+
+// doubleMachineForScan and castDouble give the scan baselines the same
+// cast semantics as the index (FSM acceptance + fragment value).
+func doubleMachineForScan() *fsm.Machine { return fsm.Double() }
+
+func castDouble(m *fsm.Machine, s string) (float64, bool) {
+	f, ok := m.ParseFragString(s)
+	if !ok {
+		return 0, false
+	}
+	return fsm.DoubleValue(f)
+}
+
+// Verify checks the full consistency of the indices against ground truth
+// recomputed from the document: per-node hashes equal H of materialised
+// string values, per-node elements and values equal a fresh FSM run, the
+// B+trees contain exactly the expected postings, and the stable-id maps
+// are mutually inverse. It is O(document²·depth) in the worst case and
+// meant for tests.
+func (ix *Indexes) Verify() error {
+	doc := ix.doc
+	n := doc.NumNodes()
+
+	if len(ix.stableOf) != n {
+		return fmt.Errorf("core: stableOf has %d entries, want %d", len(ix.stableOf), n)
+	}
+	for i := 0; i < n; i++ {
+		s := ix.stableOf[i]
+		if int(s) >= len(ix.preOf) || ix.preOf[s] != int32(i) {
+			return fmt.Errorf("core: stable map broken at pre %d (stable %d)", i, s)
+		}
+	}
+	for a := 0; a < doc.NumAttrs(); a++ {
+		s := ix.attrStableOf[a]
+		if int(s) >= len(ix.attrOf) || ix.attrOf[s] != int32(a) {
+			return fmt.Errorf("core: attr stable map broken at %d", a)
+		}
+	}
+
+	var strEntries, dblEntries, dtEntries int
+	for i := 0; i < n; i++ {
+		nd := xmltree.NodeID(i)
+		sv := doc.StringValue(nd)
+		if ix.hash != nil {
+			if want := vhash.HashString(sv); ix.hash[i] != want {
+				return fmt.Errorf("core: node %d hash %#x, want %#x (value %.40q)", i, ix.hash[i], want, sv)
+			}
+		}
+		if err := ix.verifyTyped(nd, sv); err != nil {
+			return err
+		}
+		if indexedNodeKind(doc.Kind(nd)) {
+			strEntries++
+		}
+		if ix.double != nil {
+			if _, ok := ix.double.treeKey(doc, nd, ix.stableOf[i]); ok {
+				dblEntries++
+			}
+		}
+		if ix.dateTime != nil {
+			if _, ok := ix.dateTime.treeKey(doc, nd, ix.stableOf[i]); ok {
+				dtEntries++
+			}
+		}
+	}
+	for a := 0; a < doc.NumAttrs(); a++ {
+		ad := xmltree.AttrID(a)
+		sv := doc.AttrValue(ad)
+		if ix.attrHash != nil {
+			if want := vhash.HashString(sv); ix.attrHash[a] != want {
+				return fmt.Errorf("core: attr %d hash %#x, want %#x", a, ix.attrHash[a], want)
+			}
+		}
+		if err := ix.verifyTypedAttr(ad, sv); err != nil {
+			return err
+		}
+		strEntries++
+		if ix.double != nil {
+			if _, ok := ix.double.attrKey(ad, ix.attrStableOf[a]); ok {
+				dblEntries++
+			}
+		}
+		if ix.dateTime != nil {
+			if _, ok := ix.dateTime.attrKey(ad, ix.attrStableOf[a]); ok {
+				dtEntries++
+			}
+		}
+	}
+
+	// Tree cardinalities, then per-posting membership.
+	if ix.strTree != nil && ix.strTree.Len() != strEntries {
+		return fmt.Errorf("core: string tree has %d entries, want %d", ix.strTree.Len(), strEntries)
+	}
+	if ix.double != nil && ix.double.tree.Len() != dblEntries {
+		return fmt.Errorf("core: double tree has %d entries, want %d", ix.double.tree.Len(), dblEntries)
+	}
+	if ix.dateTime != nil && ix.dateTime.tree.Len() != dtEntries {
+		return fmt.Errorf("core: dateTime tree has %d entries, want %d", ix.dateTime.tree.Len(), dtEntries)
+	}
+	for i := 0; i < n; i++ {
+		nd := xmltree.NodeID(i)
+		if !indexedNodeKind(doc.Kind(nd)) {
+			continue
+		}
+		stable := ix.stableOf[i]
+		posting := packPosting(stable, false)
+		if ix.strTree != nil && !ix.strTree.Contains(uint64(ix.hash[i]), posting) {
+			return fmt.Errorf("core: string tree missing node %d", i)
+		}
+		if ix.double != nil {
+			if key, ok := ix.double.treeKey(doc, nd, stable); ok && !ix.double.tree.Contains(key, posting) {
+				return fmt.Errorf("core: double tree missing node %d", i)
+			}
+		}
+		if ix.dateTime != nil {
+			if key, ok := ix.dateTime.treeKey(doc, nd, stable); ok && !ix.dateTime.tree.Contains(key, posting) {
+				return fmt.Errorf("core: dateTime tree missing node %d", i)
+			}
+		}
+	}
+	for a := 0; a < doc.NumAttrs(); a++ {
+		ad := xmltree.AttrID(a)
+		stable := ix.attrStableOf[a]
+		posting := packPosting(stable, true)
+		if ix.strTree != nil && !ix.strTree.Contains(uint64(ix.attrHash[a]), posting) {
+			return fmt.Errorf("core: string tree missing attr %d", a)
+		}
+		if ix.double != nil {
+			if key, ok := ix.double.attrKey(ad, stable); ok && !ix.double.tree.Contains(key, posting) {
+				return fmt.Errorf("core: double tree missing attr %d", a)
+			}
+		}
+	}
+	return nil
+}
+
+func (ix *Indexes) verifyTyped(n xmltree.NodeID, sv string) error {
+	check := func(ti *typedIndex, name string) error {
+		wantFrag, ok := ti.m.ParseFragString(sv)
+		gotElem := ti.elems[n]
+		if !ok {
+			if gotElem != fsm.Reject {
+				return fmt.Errorf("core: node %d %s elem %d, want Reject (value %.40q)", n, name, gotElem, sv)
+			}
+			return nil
+		}
+		got := ti.frag(n, ix.stableOf[n])
+		if got.Elem != wantFrag.Elem {
+			return fmt.Errorf("core: node %d %s elem %d, want %d (value %.40q)", n, name, got.Elem, wantFrag.Elem, sv)
+		}
+		// Values must agree when castable; item-level equality can differ
+		// harmlessly in >17-digit approximation territory, so compare the
+		// reconstruction.
+		if got.Lexical() != wantFrag.Lexical() {
+			return fmt.Errorf("core: node %d %s lexical %q, want %q", n, name, got.Lexical(), wantFrag.Lexical())
+		}
+		return nil
+	}
+	if ix.double != nil {
+		if err := check(ix.double, "double"); err != nil {
+			return err
+		}
+	}
+	if ix.dateTime != nil {
+		if err := check(ix.dateTime, "dateTime"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ix *Indexes) verifyTypedAttr(a xmltree.AttrID, sv string) error {
+	check := func(ti *typedIndex, name string) error {
+		wantFrag, ok := ti.m.ParseFragString(sv)
+		gotElem := ti.attrElems[a]
+		if !ok {
+			if gotElem != fsm.Reject {
+				return fmt.Errorf("core: attr %d %s elem %d, want Reject", a, name, gotElem)
+			}
+			return nil
+		}
+		got := ti.attrFrag(a, ix.attrStableOf[a])
+		if got.Elem != wantFrag.Elem || got.Lexical() != wantFrag.Lexical() {
+			return fmt.Errorf("core: attr %d %s frag mismatch", a, name)
+		}
+		return nil
+	}
+	if ix.double != nil {
+		if err := check(ix.double, "double"); err != nil {
+			return err
+		}
+	}
+	if ix.dateTime != nil {
+		if err := check(ix.dateTime, "dateTime"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+// Package datagen generates the synthetic stand-ins for the paper's eight
+// evaluation documents (Table 1): four XMark scale points and four
+// "real-life" datasets (EPAGeo, DBLP, PSD, Wiki). The exact originals are
+// not available offline, so each generator reproduces the distributional
+// properties the experiments depend on:
+//
+//   - fraction of text nodes over total nodes (≈56–66 %),
+//   - fraction of text nodes with potentially valid double values
+//     (≈0.1 % for Wiki-like up to ≈10 % for DBLP-like),
+//   - a handful of non-leaf (mixed-content) double values for DBLP- and
+//     PSD-like data,
+//   - Wiki-like URL families whose distinguishing characters repeat at
+//     27-position strides, reproducing the hash-collision clusters of
+//     Figure 11.
+//
+// Generation is deterministic in (name, scale, seed). Scale 1.0
+// corresponds to roughly 1/64 of the paper's node counts so the full
+// suite runs on a laptop; pass larger scales to approach paper sizes.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Names lists the supported dataset names in the paper's Table 1 order.
+var Names = []string{"xmark1", "xmark2", "xmark4", "xmark8", "epageo", "dblp", "psd", "wiki"}
+
+// Generate produces the named dataset at the given scale. Scale 1.0 is
+// the calibrated default (≈1/64 of the paper's node count for the
+// dataset); the same name+scale+seed always yields identical bytes.
+func Generate(name string, scale float64, seed int64) ([]byte, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("datagen: scale must be positive, got %g", scale)
+	}
+	switch name {
+	case "xmark1":
+		return XMark(scale, seed), nil
+	case "xmark2":
+		return XMark(2*scale, seed), nil
+	case "xmark4":
+		return XMark(4*scale, seed), nil
+	case "xmark8":
+		return XMark(8*scale, seed), nil
+	case "epageo":
+		return EPAGeo(scale, seed), nil
+	case "dblp":
+		return DBLP(scale, seed), nil
+	case "psd":
+		return PSD(scale, seed), nil
+	case "wiki":
+		return Wiki(scale, seed), nil
+	default:
+		return nil, fmt.Errorf("datagen: unknown dataset %q (known: %v)", name, Names)
+	}
+}
+
+// PaperStats records the Table 1 row the generator imitates, for
+// paper-vs-measured reporting in the experiments.
+type PaperStats struct {
+	SizeMB     float64
+	TotalNodes int
+	TextPct    float64
+	DoublePct  float64
+	NonLeaf    int
+}
+
+// PaperTable1 is the paper's Table 1, keyed by dataset name.
+var PaperTable1 = map[string]PaperStats{
+	"xmark1": {112, 4690640, 64, 8, 0},
+	"xmark2": {224, 9394467, 64, 8, 0},
+	"xmark4": {448, 18827157, 64, 8, 0},
+	"xmark8": {896, 37642301, 64, 8, 0},
+	"epageo": {170, 6558707, 66, 7, 0},
+	"dblp":   {474, 34799707, 66, 10, 21},
+	"psd":    {685, 58445809, 63, 4, 902},
+	"wiki":   {2024, 94672619, 56, 0.1, 0},
+}
+
+// --- shared generator machinery ---
+
+// xw is an XML writer for generator output that pretty-prints structural
+// content (each child element on its own indented line, like the paper's
+// downloaded datasets) and tracks the node counts the document will shred
+// into. Indentation whitespace becomes real text nodes under the XQuery
+// data model, which is precisely how the paper's Table 1 reaches text
+// shares of 56–66 %: its "Total Nodes" column equals elements + texts.
+//
+// Inside beginCompact/endCompact regions (mixed-content prose, numeric
+// mixed content) no indentation is emitted.
+type xw struct {
+	buf     []byte
+	open    []string
+	hasElem []bool // per open element: has element children so far
+	compact int
+
+	// Shredded-node accounting (document node excluded).
+	elems int
+	texts int
+	attrs int
+}
+
+func newXW() *xw { return &xw{buf: make([]byte, 0, 1<<20)} }
+
+// nodes reports the Table 1 "total": elements + text nodes.
+func (w *xw) nodes() int { return w.elems + w.texts }
+
+func (w *xw) indent() {
+	if w.compact > 0 || len(w.open) == 0 {
+		return
+	}
+	w.buf = append(w.buf, '\n')
+	for i := 0; i < len(w.open); i++ {
+		w.buf = append(w.buf, ' ')
+	}
+	// Indentation inside the root element is a text node; whitespace
+	// directly under the document is not.
+	w.texts++
+}
+
+func (w *xw) start(tag string, attrs ...string) {
+	if len(w.hasElem) > 0 {
+		w.hasElem[len(w.hasElem)-1] = true
+	}
+	w.indent()
+	w.buf = append(w.buf, '<')
+	w.buf = append(w.buf, tag...)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		w.buf = append(w.buf, ' ')
+		w.buf = append(w.buf, attrs[i]...)
+		w.buf = append(w.buf, '=', '"')
+		w.buf = appendEscaped(w.buf, attrs[i+1])
+		w.buf = append(w.buf, '"')
+		w.attrs++
+	}
+	w.buf = append(w.buf, '>')
+	w.open = append(w.open, tag)
+	w.hasElem = append(w.hasElem, false)
+	w.elems++
+}
+
+func (w *xw) end() {
+	tag := w.open[len(w.open)-1]
+	hadElem := w.hasElem[len(w.hasElem)-1]
+	w.open = w.open[:len(w.open)-1]
+	w.hasElem = w.hasElem[:len(w.hasElem)-1]
+	if hadElem {
+		w.indent() // closing tag on its own line for structural elements
+	}
+	w.buf = append(w.buf, '<', '/')
+	w.buf = append(w.buf, tag...)
+	w.buf = append(w.buf, '>')
+}
+
+func (w *xw) text(s string) {
+	if len(s) == 0 {
+		return
+	}
+	w.buf = appendEscaped(w.buf, s)
+	w.texts++
+}
+
+func (w *xw) leaf(tag, content string) {
+	w.start(tag)
+	w.text(content)
+	w.end()
+}
+
+// beginCompact suppresses indentation until the matching endCompact —
+// used for mixed content whose text must stay contiguous.
+func (w *xw) beginCompact() { w.compact++ }
+func (w *xw) endCompact()   { w.compact-- }
+
+func (w *xw) bytes() []byte {
+	if len(w.open) != 0 {
+		panic("datagen: unclosed elements " + fmt.Sprint(w.open))
+	}
+	return w.buf
+}
+
+func appendEscaped(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '"':
+			dst = append(dst, "&quot;"...)
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}
+
+// wordSource deals deterministic pseudo-natural text.
+type wordSource struct {
+	rng   *rand.Rand
+	words []string
+}
+
+var baseWords = []string{
+	"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "data",
+	"value", "index", "query", "update", "node", "tree", "hash", "range",
+	"lookup", "document", "element", "content", "system", "engine", "fast",
+	"generic", "mixed", "storage", "paper", "result", "table", "figure",
+	"amsterdam", "research", "science", "protein", "auction", "item",
+	"person", "category", "region", "europe", "asia", "africa", "bidder",
+	"seller", "description", "annotation", "shipping", "payment", "credit",
+}
+
+func newWordSource(rng *rand.Rand) *wordSource {
+	ws := &wordSource{rng: rng, words: make([]string, 0, len(baseWords)+400)}
+	ws.words = append(ws.words, baseWords...)
+	// Synthetic vocabulary tail for realistic distinct-string counts.
+	for i := 0; i < 400; i++ {
+		ws.words = append(ws.words, fmt.Sprintf("w%c%c%d", 'a'+rng.Intn(26), 'a'+rng.Intn(26), i))
+	}
+	return ws
+}
+
+func (ws *wordSource) word() string { return ws.words[ws.rng.Intn(len(ws.words))] }
+
+// sentence returns n words joined by spaces.
+func (ws *wordSource) sentence(n int) string {
+	out := make([]byte, 0, n*6)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, ws.word()...)
+	}
+	return string(out)
+}
+
+// name returns a capitalised personal-name-like token.
+func (ws *wordSource) name() string {
+	w := ws.word()
+	b := []byte(w)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}
+
+// price renders a two-decimal monetary value.
+func price(rng *rand.Rand) string {
+	return fmt.Sprintf("%d.%02d", rng.Intn(5000), rng.Intn(100))
+}
+
+// dateStr renders an xs:date-like value (live but not castable as
+// dateTime — exactly like the paper's date fields).
+func dateStr(rng *rand.Rand) string {
+	return fmt.Sprintf("%04d-%02d-%02d", 1998+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(28))
+}
+
+// dateTimeStr renders a full xs:dateTime.
+func dateTimeStr(rng *rand.Rand) string {
+	return fmt.Sprintf("%04d-%02d-%02dT%02d:%02d:%02dZ",
+		1998+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(28),
+		rng.Intn(24), rng.Intn(60), rng.Intn(60))
+}
+
+// CollisionURLFamily returns k distinct URL-like strings engineered to
+// share one hash value: their distinguishing character appears at two
+// positions exactly 27 apart in the hash function's offset cycle, so the
+// circular XOR cancels it — the failure mode the paper observes on Wiki
+// URLs (Figure 11).
+func CollisionURLFamily(rng *rand.Rand, k int) []string {
+	// Layout: "http://" + 20 filler + [c] + 26 filler + [c] + tail.
+	// Positions of the variable characters differ by 27.
+	filler := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+	prefix := "http://www." + filler(9) // 20 chars
+	middle := filler(26)
+	tail := ".org/wiki/" + filler(4)
+	out := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		c := string(rune('a' + i))
+		out = append(out, prefix+c+middle+c+tail)
+	}
+	return out
+}
+
+// SortedUnique sorts and dedupes a string slice in place (generator
+// helper used by tests).
+func SortedUnique(ss []string) []string {
+	sort.Strings(ss)
+	out := ss[:0]
+	for i, s := range ss {
+		if i == 0 || s != ss[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Node-count calibration: scale 1.0 targets the paper's Table 1 node
+// counts divided by 64. "Nodes" follows Table 1's arithmetic: elements +
+// text nodes (whitespace text included, attributes not counted).
+const scaleDivisor = 64
+
+func targetNodes(paperNodes int, scale float64) int {
+	n := int(float64(paperNodes) / scaleDivisor * scale)
+	if n < 500 {
+		n = 500
+	}
+	return n
+}
+
+// XMark generates an auction-site document in the style of the XMark
+// benchmark: regions with items, people with profiles, and open auctions.
+// Factor 1.0 imitates the paper's XMark1 row (scaled down by 64):
+// ≈64 % text nodes, ≈8 % castable doubles, no non-leaf doubles.
+func XMark(factor float64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed ^ 0x9a7c))
+	ws := newWordSource(rng)
+	w := newXW()
+	target := targetNodes(PaperTable1["xmark1"].TotalNodes, factor)
+	itemID, personID, auctionID := 0, 0, 0
+
+	w.start("site")
+	regions := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	w.start("regions")
+	itemBudget := target * 40 / 100
+	regionBase := w.nodes()
+	for ri, region := range regions {
+		w.start(region)
+		for w.nodes() < regionBase+itemBudget*(ri+1)/len(regions) {
+			itemID++
+			emitXMarkItem(w, ws, rng, itemID)
+		}
+		w.end()
+	}
+	w.end()
+
+	w.start("people")
+	for w.nodes() < target*70/100 {
+		personID++
+		emitXMarkPerson(w, ws, rng, personID)
+	}
+	w.end()
+
+	w.start("open_auctions")
+	for w.nodes() < target {
+		auctionID++
+		emitXMarkAuction(w, ws, rng, auctionID, personID, itemID)
+	}
+	w.end()
+	w.end() // site
+	return w.bytes()
+}
+
+// emitProse writes an XMark-style mixed-content block: contiguous text
+// with inline <keyword>/<bold>/<emph> markup. Each block yields roughly
+// 2.3 text nodes per element, the device behind the paper's 64 % text
+// share in content-heavy regions.
+func emitProse(w *xw, ws *wordSource, rng *rand.Rand, sentences int) {
+	w.start("text")
+	w.beginCompact()
+	w.text(ws.sentence(4 + rng.Intn(8)))
+	for s := 0; s < sentences; s++ {
+		tag := []string{"keyword", "bold", "emph"}[rng.Intn(3)]
+		w.start(tag)
+		w.text(ws.word())
+		w.end()
+		w.text(" " + ws.sentence(3+rng.Intn(7)))
+	}
+	w.endCompact()
+	w.end()
+}
+
+func emitXMarkItem(w *xw, ws *wordSource, rng *rand.Rand, id int) {
+	w.start("item", "id", fmt.Sprintf("item%d", id))
+	w.leaf("location", ws.name())
+	w.leaf("quantity", fmt.Sprint(1+rng.Intn(10)))
+	w.leaf("name", ws.sentence(2))
+	w.leaf("payment", "Creditcard")
+	w.leaf("reserve", price(rng))
+	w.leaf("weight", fmt.Sprintf("%d.%d", 1+rng.Intn(40), rng.Intn(10)))
+	w.start("description")
+	w.start("parlist")
+	items := 1 + rng.Intn(2)
+	for i := 0; i < items; i++ {
+		w.start("listitem")
+		emitProse(w, ws, rng, 2+rng.Intn(3))
+		w.end()
+	}
+	w.end()
+	w.end()
+	w.leaf("shipping", "Will ship internationally")
+	if rng.Intn(3) > 0 {
+		w.start("mailbox")
+		w.start("mail")
+		w.leaf("from", ws.name()+" "+ws.name())
+		w.leaf("to", ws.name()+" "+ws.name())
+		w.leaf("date", dateStr(rng))
+		emitProse(w, ws, rng, 2+rng.Intn(4))
+		w.end()
+		w.end()
+	}
+	w.end()
+}
+
+func emitXMarkPerson(w *xw, ws *wordSource, rng *rand.Rand, id int) {
+	w.start("person", "id", fmt.Sprintf("person%d", id))
+	w.leaf("name", ws.name()+" "+ws.name())
+	w.leaf("emailaddress", "mailto:"+ws.word()+"@"+ws.word()+".example")
+	if rng.Intn(2) == 0 {
+		w.leaf("phone", fmt.Sprintf("+%d (%d) %d", 1+rng.Intn(40), rng.Intn(999), rng.Intn(99999999)))
+	}
+	if rng.Intn(2) == 0 {
+		w.start("address")
+		w.leaf("street", fmt.Sprintf("%d %s St", 1+rng.Intn(99), ws.name()))
+		w.leaf("city", ws.name())
+		w.leaf("country", ws.name())
+		w.leaf("zipcode", fmt.Sprint(10000+rng.Intn(89999)))
+		w.end()
+	}
+	w.start("profile")
+	w.leaf("income", price(rng))
+	w.leaf("interest", ws.word())
+	w.leaf("education", "Graduate School")
+	w.leaf("age", fmt.Sprint(18+rng.Intn(60)))
+	w.leaf("rating", fmt.Sprintf("%d.%d", rng.Intn(5), rng.Intn(10)))
+	w.end()
+	w.end()
+}
+
+func emitXMarkAuction(w *xw, ws *wordSource, rng *rand.Rand, id, maxPerson, maxItem int) {
+	w.start("open_auction", "id", fmt.Sprintf("auction%d", id))
+	w.leaf("initial", price(rng))
+	for b := rng.Intn(3); b > 0; b-- {
+		w.start("bidder")
+		w.leaf("date", dateStr(rng))
+		w.leaf("time", fmt.Sprintf("%02d:%02d:%02d", rng.Intn(24), rng.Intn(60), rng.Intn(60)))
+		w.leaf("increase", price(rng))
+		w.end()
+	}
+	w.leaf("current", price(rng))
+	w.leaf("quantity", fmt.Sprint(1+rng.Intn(5)))
+	w.leaf("reserve", price(rng))
+	w.start("itemref", "item", fmt.Sprintf("item%d", 1+rng.Intn(maxItem+1)))
+	w.end()
+	w.start("seller", "person", fmt.Sprintf("person%d", 1+rng.Intn(maxPerson+1)))
+	w.end()
+	w.start("annotation")
+	emitProse(w, ws, rng, 2+rng.Intn(3))
+	w.end()
+	w.end()
+}
+
+// EPAGeo generates geospatial facility records: flat, coordinate-heavy
+// leaves (≈66 % texts from pretty-printed structure, ≈7 % doubles).
+func EPAGeo(factor float64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed ^ 0x3e0a))
+	ws := newWordSource(rng)
+	w := newXW()
+	target := targetNodes(PaperTable1["epageo"].TotalNodes, factor)
+	w.start("geospatial")
+	id := 0
+	for w.nodes() < target {
+		id++
+		w.start("facility", "registry_id", fmt.Sprintf("110%07d", id))
+		w.leaf("facility_name", ws.name()+" "+ws.word()+" plant")
+		w.start("location_address")
+		w.leaf("address", fmt.Sprintf("%d %s Road", 1+rng.Intn(9999), ws.name()))
+		w.leaf("city_name", ws.name())
+		w.leaf("state_code", []string{"NY", "CA", "TX", "WA", "OR"}[rng.Intn(5)])
+		w.leaf("postal_code", fmt.Sprintf("%05d-%04d", 10000+rng.Intn(89999), rng.Intn(9999))) // not castable
+		w.end()
+		w.start("geo_coordinates")
+		w.leaf("latitude", fmt.Sprintf("%.6f", 24+rng.Float64()*25))
+		w.leaf("longitude", fmt.Sprintf("-%.6f", 66+rng.Float64()*58))
+		w.leaf("accuracy_value", fmt.Sprint(rng.Intn(500)))
+		w.leaf("collection_method", ws.sentence(3))
+		w.leaf("reference_datum", "NAD83")
+		w.end()
+		w.end()
+	}
+	w.end()
+	return w.bytes()
+}
+
+// DBLP generates bibliography records (≈66 % texts; ≈10 % doubles from
+// year/volume/number fields) and injects a fixed small number of
+// mixed-content numeric nodes reproducing the paper's 21 non-leaf
+// doubles.
+func DBLP(factor float64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed ^ 0xdb19))
+	ws := newWordSource(rng)
+	w := newXW()
+	target := targetNodes(PaperTable1["dblp"].TotalNodes, factor)
+	w.start("dblp")
+	id := 0
+	nonLeafBudget := PaperTable1["dblp"].NonLeaf
+	for w.nodes() < target {
+		id++
+		kind := []string{"article", "inproceedings", "phdthesis"}[rng.Intn(3)]
+		w.start(kind, "mdate", dateStr(rng), "key", fmt.Sprintf("%s/x/Y%d", kind, id))
+		for a := 1 + rng.Intn(3); a > 0; a-- {
+			w.leaf("author", ws.name()+" "+ws.name())
+		}
+		w.leaf("title", ws.sentence(4+rng.Intn(8))+".")
+		if nonLeafBudget > 0 && id%300 == 0 {
+			// Mixed-content year: <year><century>20</century>04</year>
+			// casts to 2004 — a non-leaf double, as in the paper's count.
+			nonLeafBudget--
+			w.start("year")
+			w.beginCompact()
+			w.start("century")
+			w.text("20")
+			w.end()
+			w.text(fmt.Sprintf("%02d", rng.Intn(10)))
+			w.endCompact()
+			w.end()
+		} else {
+			w.leaf("year", fmt.Sprint(1990+rng.Intn(20)))
+		}
+		w.leaf("pages", fmt.Sprintf("%d-%d", 100+rng.Intn(400), 500+rng.Intn(400)))
+		w.leaf("cites", fmt.Sprint(rng.Intn(300)))
+		if kind == "article" {
+			w.leaf("volume", fmt.Sprint(1+rng.Intn(40)))
+			w.leaf("number", fmt.Sprint(1+rng.Intn(12)))
+			w.leaf("journal", ws.name()+" Journal of "+ws.name())
+		} else {
+			w.leaf("booktitle", ws.name()+" Conf.")
+		}
+		w.leaf("ee", "db/"+ws.word()+"/"+ws.word()+fmt.Sprint(id)+".html")
+		w.end()
+	}
+	w.end()
+	return w.bytes()
+}
+
+// PSD generates protein-sequence entries (≈63 % texts, ≈4 % doubles) and
+// injects mixed-content numeric constructs for the paper's 902 non-leaf
+// doubles (scaled with the document).
+func PSD(factor float64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed ^ 0x95d0))
+	ws := newWordSource(rng)
+	w := newXW()
+	target := targetNodes(PaperTable1["psd"].TotalNodes, factor)
+	nonLeafEvery := 40 // entries per injected mixed-content weight
+	w.start("ProteinDatabase")
+	id := 0
+	amino := "ACDEFGHIKLMNPQRSTVWY"
+	for w.nodes() < target {
+		id++
+		w.start("ProteinEntry", "id", fmt.Sprintf("PSD%06d", id))
+		w.start("header")
+		w.leaf("uid", fmt.Sprintf("PSD%06d", id))
+		w.leaf("accession", fmt.Sprintf("A%05d", rng.Intn(99999)))
+		w.end()
+		w.leaf("protein", ws.name()+" "+ws.word()+" protein")
+		w.leaf("organism", ws.name()+" "+ws.word())
+		w.start("reference")
+		w.leaf("authors", ws.name()+", "+ws.name())
+		w.leaf("year", fmt.Sprint(1980+rng.Intn(25)))
+		w.leaf("title", ws.sentence(5+rng.Intn(6)))
+		w.end()
+		if id%nonLeafEvery == 0 {
+			// Mixed-content molecular weight casting to kilo.dalton.
+			w.start("molecular-weight")
+			w.beginCompact()
+			w.start("kilo")
+			w.text(fmt.Sprint(1 + rng.Intn(99)))
+			w.end()
+			w.text(".")
+			w.start("dalton")
+			w.text(fmt.Sprintf("%03d", rng.Intn(1000)))
+			w.end()
+			w.endCompact()
+			w.end()
+		} else {
+			w.leaf("molecular-weight", fmt.Sprintf("%d kDa", 5+rng.Intn(200))) // unit text: not castable
+		}
+		w.leaf("length", fmt.Sprintf("%d aa", 50+rng.Intn(2000))) // not castable
+		seq := make([]byte, 40+rng.Intn(120))
+		for i := range seq {
+			seq[i] = amino[rng.Intn(len(amino))]
+		}
+		w.leaf("sequence", string(seq))
+		w.leaf("crc", fmt.Sprint(rng.Intn(1<<30))) // castable
+		w.end()
+	}
+	w.end()
+	return w.bytes()
+}
+
+// Wiki generates article abstracts: long prose, link lists with URL
+// families engineered for 27-stride hash collisions, and almost no
+// numeric content (≈56 % texts, ≈0.1 % doubles) — the Figure 11 stress
+// case.
+func Wiki(factor float64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed ^ 0x31c1))
+	ws := newWordSource(rng)
+	w := newXW()
+	target := targetNodes(PaperTable1["wiki"].TotalNodes, factor)
+	w.start("feed")
+	id := 0
+	emitSublink := func(url string) {
+		w.beginCompact()
+		w.start("sublink", "linktype", "nav")
+		w.start("anchor")
+		w.text(ws.word())
+		w.end()
+		w.start("link")
+		w.text(url)
+		w.end()
+		w.end()
+		w.endCompact()
+	}
+	for w.nodes() < target {
+		id++
+		w.start("doc")
+		w.leaf("title", "Wikipedia: "+ws.name()+" "+ws.word())
+		w.leaf("abstract", ws.sentence(15+rng.Intn(30)))
+		if id%35 == 0 {
+			w.leaf("pageid", fmt.Sprint(id)) // the rare castable double
+		}
+		w.start("links")
+		// Every few docs, emit a whole collision family — clusters of up
+		// to 9 distinct URLs sharing one hash value.
+		if rng.Intn(12) == 0 {
+			for _, u := range CollisionURLFamily(rng, 2+rng.Intn(8)) {
+				emitSublink(u)
+			}
+		} else {
+			for l := 1 + rng.Intn(3); l > 0; l-- {
+				emitSublink("http://en.wikipedia.org/wiki/" + ws.name() + "_" + ws.word())
+			}
+		}
+		w.end()
+		w.end()
+	}
+	w.end()
+	return w.bytes()
+}

@@ -1,0 +1,117 @@
+package fsm
+
+import "sync"
+
+// Base DFA for the lexical space of xs:date (no timezone — documented
+// restriction, matching the dateTime machine's scope):
+//
+//	ws* yyyy '-' mm '-' dd ws*
+//
+// The machine demonstrates that the framework generalises to any ordered
+// XML type exactly as Section 4 claims: define the complete-value DFA and
+// the monoid, SCT, and fragment algebra follow mechanically. The person
+// document's <birthday>1966-09-26</birthday> is castable here while
+// remaining only a live fragment for the dateTime machine.
+const (
+	daW0 = iota // start, leading whitespace
+	daY1
+	daY2
+	daY3
+	daY4
+	daP1 // '-' after year
+	daM1
+	daM2
+	daP2 // '-' after month
+	daD1
+	daD2 // complete               (final)
+	daTW // trailing whitespace    (final)
+	daRej
+	daNum
+)
+
+const (
+	dacWS = iota
+	dacDigit
+	dacDash
+	dacOther
+	dacNum
+)
+
+func newDateDFA() *baseDFA {
+	d := &baseDFA{
+		name:     "date",
+		nState:   daNum,
+		init:     daW0,
+		rejState: daRej,
+		final:    make([]bool, daNum),
+		nClass:   dacNum,
+	}
+	d.final[daD2] = true
+	d.final[daTW] = true
+
+	for i := range d.classOf {
+		d.classOf[i] = dacOther
+	}
+	for _, b := range []byte{' ', '\t', '\n', '\r'} {
+		d.classOf[b] = dacWS
+	}
+	for b := byte('0'); b <= '9'; b++ {
+		d.classOf[b] = dacDigit
+	}
+	d.classOf['-'] = dacDash
+
+	d.delta = make([][]state, daNum)
+	for s := range d.delta {
+		row := make([]state, dacNum)
+		for c := range row {
+			row[c] = daRej
+		}
+		d.delta[s] = row
+	}
+	set := func(s, c, t int) { d.delta[s][c] = state(t) }
+	set(daW0, dacWS, daW0)
+	set(daW0, dacDigit, daY1)
+	set(daY1, dacDigit, daY2)
+	set(daY2, dacDigit, daY3)
+	set(daY3, dacDigit, daY4)
+	set(daY4, dacDash, daP1)
+	set(daP1, dacDigit, daM1)
+	set(daM1, dacDigit, daM2)
+	set(daM2, dacDash, daP2)
+	set(daP2, dacDigit, daD1)
+	set(daD1, dacDigit, daD2)
+	set(daD2, dacWS, daTW)
+	set(daTW, dacWS, daTW)
+	return d
+}
+
+var (
+	dateOnce sync.Once
+	dateM    *Machine
+)
+
+// Date returns the compiled xs:date machine (built once, shared).
+func Date() *Machine {
+	dateOnce.Do(func() { dateM = compile(newDateDFA()) })
+	return dateM
+}
+
+// DateValue extracts the value of a castable date fragment as days since
+// the Unix epoch (proleptic Gregorian). ok is false for syntactically
+// incomplete or semantically impossible dates (month 13, Feb 30, …).
+func DateValue(f Frag) (days int64, ok bool) {
+	if !Date().Castable(f.Elem) {
+		return 0, false
+	}
+	it := f.Items
+	// Castable shape: run4 '-' run2 '-' run2.
+	if len(it) != 5 || it[0].Punct != 0 || it[1].Punct != '-' ||
+		it[2].Punct != 0 || it[3].Punct != '-' || it[4].Punct != 0 {
+		return 0, false
+	}
+	year, mon, day := int(it[0].Val), int(it[2].Val), int(it[4].Val)
+	if mon < 1 || mon > 12 || day < 1 || day > daysInMonth(year, mon) {
+		return 0, false
+	}
+	return daysFromCivil(year, mon, day), true
+}

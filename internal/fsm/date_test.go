@@ -1,0 +1,145 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDateMachineProperties(t *testing.T) {
+	m := Date()
+	t.Logf("date machine: %d elements", m.NumElems())
+	if m.NumElems() > 256 {
+		t.Errorf("date machine has %d elements, exceeds a byte", m.NumElems())
+	}
+	// SCT property on the date alphabet.
+	rng := rand.New(rand.NewSource(61))
+	alphabet := []byte("0123456789- x")
+	randStr := func(n int) string {
+		b := make([]byte, rng.Intn(n))
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 4000; trial++ {
+		x, y := randStr(8), randStr(8)
+		ex, ey := m.ElemOf([]byte(x)), m.ElemOf([]byte(y))
+		direct := m.ElemOf([]byte(x + y))
+		var combined Elem
+		if ex == Reject || ey == Reject {
+			combined = Reject
+		} else {
+			combined = m.CombineElem(ex, ey)
+		}
+		if combined != direct {
+			t.Fatalf("SCT mismatch for %q + %q", x, y)
+		}
+	}
+}
+
+func TestDateValueAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 2000; trial++ {
+		y := 1 + rng.Intn(9998)
+		mo := 1 + rng.Intn(12)
+		d := 1 + rng.Intn(daysInMonth(y, mo))
+		s := pad(y, 4) + "-" + pad(mo, 2) + "-" + pad(d, 2)
+		f, ok := Date().ParseFragString(s)
+		if !ok {
+			t.Fatalf("valid date %q rejected", s)
+		}
+		got, ok := DateValue(f)
+		if !ok {
+			t.Fatalf("valid date %q has no value", s)
+		}
+		want := time.Date(y, time.Month(mo), d, 0, 0, 0, 0, time.UTC).Unix() / 86400
+		if got != want {
+			t.Fatalf("DateValue(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestDateSemanticRejects(t *testing.T) {
+	for _, s := range []string{"2026-13-01", "2026-00-10", "2026-02-30", "2025-02-29", "2026-04-31"} {
+		f, ok := Date().ParseFragString(s)
+		if !ok {
+			t.Fatalf("%q should be syntactically live", s)
+		}
+		if _, ok := DateValue(f); ok {
+			t.Errorf("%q should have no value", s)
+		}
+	}
+}
+
+func TestDateMixedContent(t *testing.T) {
+	m := Date()
+	// <birthday><y>1966</y>-<md>09-26</md></birthday> style fragments.
+	parts := []string{"1966", "-09", "-26"}
+	frags := make([]Frag, len(parts))
+	for i, p := range parts {
+		f, ok := m.ParseFragString(p)
+		if !ok {
+			t.Fatalf("part %q rejected", p)
+		}
+		frags[i] = f
+	}
+	comb, ok := m.CombineAll(frags...)
+	if !ok {
+		t.Fatal("combine rejected")
+	}
+	v, ok := DateValue(comb)
+	if !ok {
+		t.Fatal("no value")
+	}
+	want := time.Date(1966, 9, 26, 0, 0, 0, 0, time.UTC).Unix() / 86400
+	if v != want {
+		t.Errorf("combined date = %d, want %d", v, want)
+	}
+}
+
+func TestDateVsDateTimeLiveness(t *testing.T) {
+	// The paper's birthday: a complete date, an incomplete dateTime.
+	s := "1966-09-26"
+	if e := Date().ElemOf([]byte(s)); !Date().Castable(e) {
+		t.Error("date machine must accept a plain date")
+	}
+	if e := DateTime().ElemOf([]byte(s)); e == Reject || DateTime().Castable(e) {
+		t.Error("dateTime machine must hold a plain date live but not castable")
+	}
+	// Whitespace handling matches the other machines.
+	if e := Date().ElemOf([]byte("  1966-09-26  ")); !Date().Castable(e) {
+		t.Error("padded date must cast")
+	}
+	if Date().ElemOf([]byte("1966 -09-26")) != Reject {
+		t.Error("interior whitespace must reject")
+	}
+}
+
+func TestDateFragCombineMatchesParse(t *testing.T) {
+	m := Date()
+	rng := rand.New(rand.NewSource(63))
+	pieces := []string{"19", "66", "-", "09", "-26", " ", "2026-", "01-01", "x"}
+	for trial := 0; trial < 3000; trial++ {
+		x := pieces[rng.Intn(len(pieces))] + pieces[rng.Intn(len(pieces))]
+		y := pieces[rng.Intn(len(pieces))]
+		fx, okx := m.ParseFragString(x)
+		fy, oky := m.ParseFragString(y)
+		direct, okd := m.ParseFragString(x + y)
+		if !okx || !oky {
+			continue
+		}
+		comb, okc := m.Combine(fx, fy)
+		if okc != okd {
+			t.Fatalf("combine ok=%v direct ok=%v for %q+%q", okc, okd, x, y)
+		}
+		if okc && !fragEqual(comb, direct) {
+			t.Fatalf("frag mismatch for %q+%q", x, y)
+		}
+	}
+	// Lexical reconstruction reproduces canonical dates.
+	f, _ := m.ParseFragString(" 1966-09-26 ")
+	if got := f.Lexical(); got != "1966-09-26" {
+		t.Errorf("Lexical = %q", got)
+	}
+}

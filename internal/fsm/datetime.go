@@ -1,0 +1,274 @@
+package fsm
+
+import "sync"
+
+// Base DFA for the lexical space of xs:dateTime:
+//
+//	ws* yyyy '-' mm '-' dd 'T' hh ':' mm ':' ss ('.' d+)?
+//	    ( ('+'|'-') hh ':' mm | 'Z' )? ws*
+//
+// The machine is purely syntactic (any digits in any field), as in the
+// paper; field-range validation (month 1–12, day vs month length, …)
+// happens during value extraction, so a syntactically complete but
+// semantically impossible dateTime is simply never given a value.
+// Negative and >4-digit years are out of scope (documented substitution).
+const (
+	tW0 = iota // start, leading whitespace
+	tY1
+	tY2
+	tY3
+	tY4
+	tP1 // '-' after year
+	tM1
+	tM2
+	tP2 // '-' after month
+	tD1
+	tD2
+	tT0 // 'T'
+	tH1
+	tH2
+	tC1 // ':' after hour
+	tN1
+	tN2
+	tC2 // ':' after minute
+	tS1
+	tS2  // complete seconds            (final)
+	tDot // '.' before fraction
+	tF1  // fraction digits             (final)
+	tZS  // timezone sign
+	tZ1
+	tZ2
+	tZC // ':' in timezone
+	tZ3
+	tZ4 // complete timezone            (final)
+	tZZ // 'Z'                          (final)
+	tTW // trailing whitespace          (final)
+	tRej
+	tNum
+)
+
+const (
+	tcWS = iota
+	tcDigit
+	tcDash
+	tcColon
+	tcDot
+	tcT
+	tcZ
+	tcPlus
+	tcOther
+	tcNum
+)
+
+func newDateTimeDFA() *baseDFA {
+	d := &baseDFA{
+		name:     "dateTime",
+		nState:   tNum,
+		init:     tW0,
+		rejState: tRej,
+		final:    make([]bool, tNum),
+		nClass:   tcNum,
+	}
+	for _, f := range []int{tS2, tF1, tZ4, tZZ, tTW} {
+		d.final[f] = true
+	}
+
+	for i := range d.classOf {
+		d.classOf[i] = tcOther
+	}
+	for _, b := range []byte{' ', '\t', '\n', '\r'} {
+		d.classOf[b] = tcWS
+	}
+	for b := byte('0'); b <= '9'; b++ {
+		d.classOf[b] = tcDigit
+	}
+	d.classOf['-'] = tcDash
+	d.classOf[':'] = tcColon
+	d.classOf['.'] = tcDot
+	d.classOf['T'] = tcT
+	d.classOf['Z'] = tcZ
+	d.classOf['+'] = tcPlus
+
+	d.delta = make([][]state, tNum)
+	for s := range d.delta {
+		row := make([]state, tcNum)
+		for c := range row {
+			row[c] = tRej
+		}
+		d.delta[s] = row
+	}
+	set := func(s, c, t int) { d.delta[s][c] = state(t) }
+
+	set(tW0, tcWS, tW0)
+	set(tW0, tcDigit, tY1)
+	set(tY1, tcDigit, tY2)
+	set(tY2, tcDigit, tY3)
+	set(tY3, tcDigit, tY4)
+	set(tY4, tcDash, tP1)
+	set(tP1, tcDigit, tM1)
+	set(tM1, tcDigit, tM2)
+	set(tM2, tcDash, tP2)
+	set(tP2, tcDigit, tD1)
+	set(tD1, tcDigit, tD2)
+	set(tD2, tcT, tT0)
+	set(tT0, tcDigit, tH1)
+	set(tH1, tcDigit, tH2)
+	set(tH2, tcColon, tC1)
+	set(tC1, tcDigit, tN1)
+	set(tN1, tcDigit, tN2)
+	set(tN2, tcColon, tC2)
+	set(tC2, tcDigit, tS1)
+	set(tS1, tcDigit, tS2)
+	set(tS2, tcDot, tDot)
+	set(tS2, tcDash, tZS)
+	set(tS2, tcPlus, tZS)
+	set(tS2, tcZ, tZZ)
+	set(tS2, tcWS, tTW)
+	set(tDot, tcDigit, tF1)
+	set(tF1, tcDigit, tF1)
+	set(tF1, tcDash, tZS)
+	set(tF1, tcPlus, tZS)
+	set(tF1, tcZ, tZZ)
+	set(tF1, tcWS, tTW)
+	set(tZS, tcDigit, tZ1)
+	set(tZ1, tcDigit, tZ2)
+	set(tZ2, tcColon, tZC)
+	set(tZC, tcDigit, tZ3)
+	set(tZ3, tcDigit, tZ4)
+	set(tZ4, tcWS, tTW)
+	set(tZZ, tcWS, tTW)
+	set(tTW, tcWS, tTW)
+	return d
+}
+
+var (
+	dateTimeOnce sync.Once
+	dateTimeM    *Machine
+)
+
+// DateTime returns the compiled xs:dateTime machine (built once, shared).
+func DateTime() *Machine {
+	dateTimeOnce.Do(func() { dateTimeM = compile(newDateTimeDFA()) })
+	return dateTimeM
+}
+
+// DateTimeValue extracts the value of a castable dateTime fragment as
+// milliseconds since the Unix epoch (UTC, proleptic Gregorian calendar;
+// fraction digits beyond milliseconds are truncated). ok is false when
+// the fragment is syntactically incomplete or semantically invalid
+// (month 13, June 31st, hour 25, timezone beyond ±14:00, …).
+func DateTimeValue(f Frag) (millis int64, ok bool) {
+	if !DateTime().Castable(f.Elem) {
+		return 0, false
+	}
+	// A castable fragment's items are exactly:
+	//   run4 '-' run2 '-' run2 'T' run2 ':' run2 ':' run2
+	//   [ '.' runF ] [ ('+'|'-') run2 ':' run2 | 'Z' ]
+	it := f.Items
+	need := func(i int, punct byte) bool { return i < len(it) && it[i].Punct == punct }
+	run := func(i int) (int, bool) {
+		if i < len(it) && it[i].Punct == 0 {
+			return int(it[i].Val), true
+		}
+		return 0, false
+	}
+	year, ok1 := run(0)
+	mon, ok2 := run(2)
+	day, ok3 := run(4)
+	hour, ok4 := run(6)
+	min, ok5 := run(8)
+	sec, ok6 := run(10)
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 &&
+		need(1, '-') && need(3, '-') && need(5, 'T') && need(7, ':') && need(9, ':')) {
+		return 0, false
+	}
+	if mon < 1 || mon > 12 || day < 1 || day > daysInMonth(year, mon) ||
+		hour > 23 || min > 59 || sec > 59 {
+		return 0, false
+	}
+	i := 11
+	var fracMillis int64
+	if need(i, '.') {
+		fr := it[i+1]
+		v, l := fr.Val, fr.Len
+		for l > 3 {
+			v = v / 10
+			l--
+		}
+		for l < 3 {
+			v = v * 10
+			l++
+		}
+		fracMillis = int64(v)
+		i += 2
+	}
+	var offMinutes int64
+	switch {
+	case need(i, 'Z'):
+		i++
+	case need(i, '+') || need(i, '-'):
+		sign := int64(1)
+		if it[i].Punct == '-' {
+			sign = -1
+		}
+		zh, okh := run(i + 1)
+		zm, okm := run(i + 3)
+		if !okh || !okm || !need(i+2, ':') {
+			return 0, false
+		}
+		if zh > 14 || zm > 59 || (zh == 14 && zm != 0) {
+			return 0, false
+		}
+		offMinutes = sign * int64(zh*60+zm)
+		i += 4
+	}
+	if i != len(it) {
+		return 0, false
+	}
+	days := daysFromCivil(year, mon, day)
+	millis = days*86400000 + int64(hour)*3600000 + int64(min)*60000 + int64(sec)*1000 + fracMillis
+	millis -= offMinutes * 60000 // normalise to UTC
+	return millis, true
+}
+
+// daysInMonth reports the number of days of mon in year (proleptic
+// Gregorian).
+func daysInMonth(year, mon int) int {
+	switch mon {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	default:
+		if isLeap(year) {
+			return 29
+		}
+		return 28
+	}
+}
+
+func isLeap(year int) bool {
+	return year%4 == 0 && (year%100 != 0 || year%400 == 0)
+}
+
+// daysFromCivil converts a proleptic-Gregorian date to days since
+// 1970-01-01 (Howard Hinnant's algorithm).
+func daysFromCivil(y, m, d int) int64 {
+	if m <= 2 {
+		y--
+	}
+	era := y / 400
+	if y < 0 && y%400 != 0 {
+		era--
+	}
+	yoe := y - era*400 // [0, 399]
+	var mp int
+	if m > 2 {
+		mp = m - 3
+	} else {
+		mp = m + 9
+	}
+	doy := (153*mp+2)/5 + d - 1                    // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy         // [0, 146096]
+	return int64(era)*146097 + int64(doe) - 719468 // epoch shift
+}

@@ -1,0 +1,221 @@
+package fsm
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Base DFA for the numeric lexical space of xs:double (paper Figure 5):
+//
+//	ws* (+|-)? ( [0-9]+ ('.' [0-9]*)? | '.' [0-9]+ ) ([eE] (+|-)? [0-9]+)? ws*
+//
+// The special values INF, -INF, and NaN are not part of the paper's
+// machine and are likewise omitted here.
+const (
+	dS0   = iota // start, leading whitespace
+	dSign        // after mantissa sign
+	dInt         // in integer digits                      (final)
+	dFrac        // after '.' preceded by integer digits,
+	// or in fraction digits                               (final)
+	dDotOnly // after '.' with no integer digits: needs fraction digits
+	dExp     // after 'e'/'E'
+	dExpSign // after exponent sign
+	dExpDig  // in exponent digits                         (final)
+	dTrailWS // trailing whitespace                        (final)
+	dRej     // reject sink
+	dNum     // state count
+)
+
+const (
+	dcWS = iota
+	dcSign
+	dcDigit
+	dcDot
+	dcE
+	dcOther
+	dcNum
+)
+
+func newDoubleDFA() *baseDFA {
+	d := &baseDFA{
+		name:     "double",
+		nState:   dNum,
+		init:     dS0,
+		rejState: dRej,
+		final:    make([]bool, dNum),
+		nClass:   dcNum,
+	}
+	d.final[dInt] = true
+	d.final[dFrac] = true
+	d.final[dExpDig] = true
+	d.final[dTrailWS] = true
+
+	for i := range d.classOf {
+		d.classOf[i] = dcOther
+	}
+	for _, b := range []byte{' ', '\t', '\n', '\r'} {
+		d.classOf[b] = dcWS
+	}
+	d.classOf['+'] = dcSign
+	d.classOf['-'] = dcSign
+	for b := byte('0'); b <= '9'; b++ {
+		d.classOf[b] = dcDigit
+	}
+	d.classOf['.'] = dcDot
+	d.classOf['e'] = dcE
+	d.classOf['E'] = dcE
+
+	d.delta = make([][]state, dNum)
+	for s := range d.delta {
+		row := make([]state, dcNum)
+		for c := range row {
+			row[c] = dRej
+		}
+		d.delta[s] = row
+	}
+	set := func(s int, c int, t int) { d.delta[s][c] = state(t) }
+	set(dS0, dcWS, dS0)
+	set(dS0, dcSign, dSign)
+	set(dS0, dcDigit, dInt)
+	set(dS0, dcDot, dDotOnly)
+
+	set(dSign, dcDigit, dInt)
+	set(dSign, dcDot, dDotOnly)
+
+	set(dInt, dcDigit, dInt)
+	set(dInt, dcDot, dFrac)
+	set(dInt, dcE, dExp)
+	set(dInt, dcWS, dTrailWS)
+
+	set(dFrac, dcDigit, dFrac)
+	set(dFrac, dcE, dExp)
+	set(dFrac, dcWS, dTrailWS)
+
+	set(dDotOnly, dcDigit, dFrac)
+
+	set(dExp, dcSign, dExpSign)
+	set(dExp, dcDigit, dExpDig)
+
+	set(dExpSign, dcDigit, dExpDig)
+
+	set(dExpDig, dcDigit, dExpDig)
+	set(dExpDig, dcWS, dTrailWS)
+
+	set(dTrailWS, dcWS, dTrailWS)
+	return d
+}
+
+var (
+	doubleOnce sync.Once
+	doubleM    *Machine
+)
+
+// Double returns the compiled xs:double machine (built once, shared).
+func Double() *Machine {
+	doubleOnce.Do(func() { doubleM = compile(newDoubleDFA()) })
+	return doubleM
+}
+
+// DoubleValue extracts the xs:double value of a castable fragment by
+// reconstructing its canonical lexical form and parsing it — bit-identical
+// to casting the original text for digit runs up to 15 digits. ok is false
+// when the fragment is not a complete valid double.
+func DoubleValue(f Frag) (v float64, ok bool) {
+	if !Double().Castable(f.Elem) {
+		return 0, false
+	}
+	if v, ok := doubleValueFast(f.Items); ok {
+		return v, true
+	}
+	v, err := strconv.ParseFloat(f.Lexical(), 64)
+	if err != nil {
+		// Out-of-range magnitudes overflow to ±Inf, which is what an
+		// xs:double cast retains; anything else cannot happen for a
+		// castable fragment.
+		if ne, isNum := err.(*strconv.NumError); !isNum || ne.Err != strconv.ErrRange {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// doubleValueFast covers the Clinger exact cases without materialising a
+// string: mantissa with at most 15 digits and a decimal exponent within
+// ±22 computes bit-identically to a correctly rounded parse using one
+// exactly-representable multiplication or division.
+func doubleValueFast(items []Item) (float64, bool) {
+	var neg bool
+	var mant float64
+	var digits, frac int32
+	var expNeg bool
+	var exp int32
+	i := 0
+	if i < len(items) && items[i].Punct != 0 {
+		switch items[i].Punct {
+		case '-':
+			neg = true
+			i++
+		case '+':
+			i++
+		}
+	}
+	if i < len(items) && items[i].Punct == 0 {
+		mant = items[i].Val
+		digits = items[i].Len
+		i++
+	}
+	if i < len(items) && items[i].Punct == '.' {
+		i++
+		if i < len(items) && items[i].Punct == 0 {
+			it := items[i]
+			if digits+it.Len > 15 {
+				return 0, false
+			}
+			mant = mant*pow10(it.Len) + it.Val
+			digits += it.Len
+			frac = it.Len
+			i++
+		}
+	}
+	if digits > 15 {
+		return 0, false
+	}
+	if i < len(items) && (items[i].Punct == 'e' || items[i].Punct == 'E') {
+		i++
+		if i < len(items) && items[i].Punct != 0 {
+			switch items[i].Punct {
+			case '-':
+				expNeg = true
+				i++
+			case '+':
+				i++
+			}
+		}
+		if i >= len(items) || items[i].Punct != 0 || items[i].Len > 4 {
+			return 0, false
+		}
+		exp = int32(items[i].Val)
+		i++
+	}
+	if i != len(items) {
+		return 0, false
+	}
+	if expNeg {
+		exp = -exp
+	}
+	exp -= frac
+	v := mant
+	switch {
+	case exp == 0:
+	case exp > 0 && exp <= 22:
+		v = mant * pow10(exp)
+	case exp < 0 && exp >= -22:
+		v = mant / pow10(-exp)
+	default:
+		return 0, false
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}

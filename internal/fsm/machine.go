@@ -1,0 +1,339 @@
+// Package fsm implements the typed range-index machinery of Section 4 of
+// the paper: finite state machines that recognise fragments of an XML
+// type's lexical space, the state combination table (SCT) that combines
+// the states of two adjacent fragments, and fragment descriptors from
+// which lexical representations (and hence typed values) are
+// reconstructed without re-reading document text.
+//
+// # From the paper's "normalised FSM" to a transition monoid
+//
+// The paper expands its FSM "in such a way that [multiple] paths lead to
+// different copies of the same state", so that a state uniquely identifies
+// the effect of the consumed input, and then defines the SCT over those
+// expanded states. The precise algebraic object behind this construction
+// is the transition monoid of the base DFA: the "state" attached to a
+// string x is the function f_x mapping every base-DFA state s to the state
+// reached from s by consuming x. Then
+//
+//	State(x·y) = SCT[State(x)][State(y)] = f_y ∘ f_x
+//
+// is associative by construction, which is exactly what the one-pass
+// create/update algorithms (Figures 7 and 8) and the commutative-commit
+// argument (Section 5.1) require. Elements whose function cannot take any
+// reachable state to a co-reachable one are "dead": they collapse into the
+// single Reject element, which — as in the paper — is not stored (absence
+// of state means rejected).
+//
+// Machines are defined by a small base DFA (see double.go, datetime.go);
+// the monoid elements and the SCT are computed once at first use.
+package fsm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Elem identifies a monoid element ("expanded FSM state" in the paper's
+// terminology). Two values are reserved: Reject (the dead element, not
+// stored in indices) and Identity (the element of the empty string).
+type Elem uint16
+
+const (
+	// Reject is the dead element: no continuation of the consumed input
+	// can be part of a valid lexical value.
+	Reject Elem = 0
+	// Identity is the element of the empty string: combining with it is a
+	// no-op.
+	Identity Elem = 1
+)
+
+// state indexes the base DFA.
+type state uint8
+
+// baseDFA is the hand-written recogniser of the complete lexical space of
+// one XML type. Machines derive everything else from it.
+type baseDFA struct {
+	name     string
+	nState   int
+	init     state
+	rejState state
+	final    []bool
+	// classOf maps input bytes to character classes; delta is indexed
+	// [state][class].
+	classOf [256]uint8
+	nClass  int
+	delta   [][]state
+}
+
+// Machine is a compiled typed-value recogniser: the base DFA, its
+// transition monoid, the per-byte element transition table (the paper's
+// expanded FSM), and the state combination table (the paper's SCT).
+type Machine struct {
+	dfa *baseDFA
+
+	// elems[i] is the transition function of element i over base states;
+	// elems[Reject] and elems[Identity] are fixed.
+	elems [][]state
+
+	// step[e][class] = element after consuming one character of class.
+	step [][]Elem
+
+	// sct[left][right] = element of the concatenation.
+	sct [][]Elem
+
+	// castable[e] reports f_e(init) ∈ final.
+	castable []bool
+
+	// example[e] is a shortest string producing element e (diagnostics).
+	example []string
+}
+
+// compile builds the transition monoid, step table, and SCT from the base
+// DFA. It panics on inconsistent DFAs (programmer error in the machine
+// definition, caught by tests).
+func compile(d *baseDFA) *Machine {
+	if len(d.final) != d.nState || len(d.delta) != d.nState {
+		panic("fsm: inconsistent base DFA " + d.name)
+	}
+	reach := d.reachable()
+	coreach := d.coReachable()
+
+	// Per-class generators.
+	gens := make([][]state, d.nClass)
+	for c := 0; c < d.nClass; c++ {
+		g := make([]state, d.nState)
+		for s := 0; s < d.nState; s++ {
+			g[s] = d.delta[s][c]
+		}
+		gens[c] = g
+	}
+
+	dead := func(f []state) bool {
+		for s := 0; s < d.nState; s++ {
+			if reach[s] && coreach[f[s]] {
+				return false
+			}
+		}
+		return true
+	}
+
+	identity := make([]state, d.nState)
+	for s := range identity {
+		identity[s] = state(s)
+	}
+	rejectFn := make([]state, d.nState)
+	for s := range rejectFn {
+		rejectFn[s] = d.rejState
+	}
+
+	m := &Machine{dfa: d}
+	m.elems = [][]state{rejectFn, identity}
+	m.example = []string{"<reject>", ""}
+	index := map[string]Elem{key(rejectFn): Reject, key(identity): Identity}
+
+	// BFS closure over single-character extensions: every string's element
+	// is reachable from Identity by appending characters, and composition
+	// of two string elements is again a string element, so the closure is
+	// complete for the SCT.
+	queue := []Elem{Identity}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		f := m.elems[e]
+		for c := 0; c < d.nClass; c++ {
+			g := composeFns(f, gens[c])
+			if dead(g) {
+				continue
+			}
+			k := key(g)
+			if _, ok := index[k]; ok {
+				continue
+			}
+			id := Elem(len(m.elems))
+			if int(id) != len(m.elems) || len(m.elems) >= 1<<16 {
+				panic("fsm: monoid too large for " + d.name)
+			}
+			index[k] = id
+			m.elems = append(m.elems, g)
+			m.example = append(m.example, m.example[e]+exampleChar(d, c))
+			queue = append(queue, id)
+		}
+	}
+
+	n := len(m.elems)
+	// Step table.
+	m.step = make([][]Elem, n)
+	for e := 0; e < n; e++ {
+		row := make([]Elem, d.nClass)
+		if Elem(e) == Reject {
+			m.step[e] = row // all Reject
+			continue
+		}
+		for c := 0; c < d.nClass; c++ {
+			g := composeFns(m.elems[e], gens[c])
+			if dead(g) {
+				row[c] = Reject
+			} else {
+				row[c] = index[key(g)]
+			}
+		}
+		m.step[e] = row
+	}
+
+	// SCT: sct[a][b] = element of x·y for State(x)=a, State(y)=b.
+	m.sct = make([][]Elem, n)
+	for a := 0; a < n; a++ {
+		row := make([]Elem, n)
+		if Elem(a) != Reject {
+			for b := 0; b < n; b++ {
+				if Elem(b) == Reject {
+					continue
+				}
+				g := composeFns(m.elems[a], m.elems[b])
+				if dead(g) {
+					row[b] = Reject
+				} else {
+					row[b] = index[key(g)]
+				}
+			}
+		}
+		m.sct[a] = row
+	}
+
+	m.castable = make([]bool, n)
+	for e := 1; e < n; e++ {
+		m.castable[e] = d.final[m.elems[e][d.init]]
+	}
+	return m
+}
+
+// composeFns returns g∘f as a state function: first f, then g.
+func composeFns(f, g []state) []state {
+	out := make([]state, len(f))
+	for s := range f {
+		out[s] = g[f[s]]
+	}
+	return out
+}
+
+func key(f []state) string {
+	b := make([]byte, len(f))
+	for i, s := range f {
+		b[i] = byte(s)
+	}
+	return string(b)
+}
+
+func exampleChar(d *baseDFA, class int) string {
+	// Pick the smallest printable byte of the class for diagnostics.
+	for b := 32; b < 127; b++ {
+		if int(d.classOf[b]) == class {
+			return string(rune(b))
+		}
+	}
+	for b := 0; b < 256; b++ {
+		if int(d.classOf[b]) == class {
+			return fmt.Sprintf("\\x%02x", b)
+		}
+	}
+	return "?"
+}
+
+func (d *baseDFA) reachable() []bool {
+	seen := make([]bool, d.nState)
+	stack := []state{d.init}
+	seen[d.init] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for c := 0; c < d.nClass; c++ {
+			t := d.delta[s][c]
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+func (d *baseDFA) coReachable() []bool {
+	// Reverse reachability from final states.
+	rev := make([][]state, d.nState)
+	for s := 0; s < d.nState; s++ {
+		for c := 0; c < d.nClass; c++ {
+			t := d.delta[s][c]
+			rev[t] = append(rev[t], state(s))
+		}
+	}
+	seen := make([]bool, d.nState)
+	var stack []state
+	for s := 0; s < d.nState; s++ {
+		if d.final[s] {
+			seen[s] = true
+			stack = append(stack, state(s))
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[s] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// Name reports the machine's type name ("double", "dateTime").
+func (m *Machine) Name() string { return m.dfa.name }
+
+// NumElems reports the number of monoid elements including Reject and
+// Identity — the paper's "number of states" of the expanded FSM (60 for
+// its double machine).
+func (m *Machine) NumElems() int { return len(m.elems) }
+
+// StepElem advances element e by one input byte: the expanded-FSM
+// transition. Reject is absorbing.
+func (m *Machine) StepElem(e Elem, b byte) Elem {
+	return m.step[e][m.dfa.classOf[b]]
+}
+
+// ElemOf runs the expanded FSM over text and returns its element, Reject
+// if the text cannot be part of any valid lexical value.
+func (m *Machine) ElemOf(text []byte) Elem {
+	e := Identity
+	for _, b := range text {
+		e = m.step[e][m.dfa.classOf[b]]
+		if e == Reject {
+			return Reject
+		}
+	}
+	return e
+}
+
+// CombineElem probes the SCT: the element of the concatenation of two
+// strings with elements a and b.
+func (m *Machine) CombineElem(a, b Elem) Elem { return m.sct[a][b] }
+
+// Castable reports whether a string with element e is a complete, valid
+// lexical value of the machine's type (syntactically; machines with
+// semantic constraints such as dateTime field ranges additionally validate
+// during value extraction).
+func (m *Machine) Castable(e Elem) bool { return m.castable[e] }
+
+// Example returns a shortest input producing element e, for diagnostics
+// and tests.
+func (m *Machine) Example(e Elem) string { return m.example[e] }
+
+// LiveElems returns all non-Reject element ids in ascending order.
+func (m *Machine) LiveElems() []Elem {
+	out := make([]Elem, 0, len(m.elems)-1)
+	for e := 1; e < len(m.elems); e++ {
+		out = append(out, Elem(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,280 @@
+package fsm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// machines under test share these generic property suites.
+func machines() map[string]*Machine {
+	return map[string]*Machine{"double": Double(), "dateTime": DateTime()}
+}
+
+// fragAlphabet are characters that exercise every class of both machines
+// plus rejectable noise.
+var fragAlphabet = []byte("0123456789+-.eETZ: x")
+
+func randomFragString(rng *rand.Rand, maxLen int) string {
+	n := rng.Intn(maxLen)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = fragAlphabet[rng.Intn(len(fragAlphabet))]
+	}
+	return string(b)
+}
+
+// validDoubleStrings generates syntactically valid doubles for positive
+// testing.
+func validDoubleString(rng *rand.Rand) string {
+	var sb strings.Builder
+	if rng.Intn(3) == 0 {
+		sb.WriteString(" ")
+	}
+	if rng.Intn(3) == 0 {
+		sb.WriteByte("+-"[rng.Intn(2)])
+	}
+	digits := func(n int) {
+		for i := 0; i < n; i++ {
+			sb.WriteByte(byte('0' + rng.Intn(10)))
+		}
+	}
+	hasInt := rng.Intn(4) > 0
+	if hasInt {
+		digits(1 + rng.Intn(10))
+		if rng.Intn(2) == 0 {
+			sb.WriteByte('.')
+			digits(rng.Intn(8))
+		}
+	} else {
+		sb.WriteByte('.')
+		digits(1 + rng.Intn(8))
+	}
+	if rng.Intn(3) == 0 {
+		sb.WriteByte("eE"[rng.Intn(2)])
+		if rng.Intn(2) == 0 {
+			sb.WriteByte("+-"[rng.Intn(2)])
+		}
+		digits(1 + rng.Intn(3))
+	}
+	if rng.Intn(3) == 0 {
+		sb.WriteString("  ")
+	}
+	return sb.String()
+}
+
+// TestElemOfConcatMatchesSCT is the defining SCT property (Section 4):
+// State(x·y) == SCT[State(x)][State(y)] for arbitrary strings, with Reject
+// handled as "absence".
+func TestElemOfConcatMatchesSCT(t *testing.T) {
+	for name, m := range machines() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			for trial := 0; trial < 5000; trial++ {
+				x := randomFragString(rng, 12)
+				y := randomFragString(rng, 12)
+				ex, ey := m.ElemOf([]byte(x)), m.ElemOf([]byte(y))
+				direct := m.ElemOf([]byte(x + y))
+				var combined Elem
+				if ex == Reject || ey == Reject {
+					combined = Reject
+				} else {
+					combined = m.CombineElem(ex, ey)
+				}
+				if combined != direct {
+					t.Fatalf("SCT mismatch: State(%q)=%d State(%q)=%d SCT=%d direct=%d",
+						x, ex, y, ey, combined, direct)
+				}
+			}
+		})
+	}
+}
+
+// TestSCTAssociativity: combining three fragments in either association
+// yields the same element — required by the one-pass algorithms.
+func TestSCTAssociativity(t *testing.T) {
+	for name, m := range machines() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2))
+			for trial := 0; trial < 3000; trial++ {
+				a := m.ElemOf([]byte(randomFragString(rng, 8)))
+				b := m.ElemOf([]byte(randomFragString(rng, 8)))
+				c := m.ElemOf([]byte(randomFragString(rng, 8)))
+				if m.CombineElem(m.CombineElem(a, b), c) != m.CombineElem(a, m.CombineElem(b, c)) {
+					t.Fatalf("associativity violated for %d,%d,%d", a, b, c)
+				}
+			}
+		})
+	}
+}
+
+// TestIdentityElement: the empty string's element is Identity and is
+// neutral in the SCT.
+func TestIdentityElement(t *testing.T) {
+	for name, m := range machines() {
+		t.Run(name, func(t *testing.T) {
+			if m.ElemOf(nil) != Identity {
+				t.Fatal("ElemOf(empty) != Identity")
+			}
+			for _, e := range m.LiveElems() {
+				if m.CombineElem(Identity, e) != e || m.CombineElem(e, Identity) != e {
+					t.Fatalf("Identity not neutral for element %d (%q)", e, m.Example(e))
+				}
+			}
+		})
+	}
+}
+
+// TestRejectAbsorbing: Reject combined with anything stays Reject.
+func TestRejectAbsorbing(t *testing.T) {
+	for name, m := range machines() {
+		t.Run(name, func(t *testing.T) {
+			for _, e := range m.LiveElems() {
+				if m.CombineElem(Reject, e) != Reject || m.CombineElem(e, Reject) != Reject {
+					t.Fatalf("Reject not absorbing with %d", e)
+				}
+			}
+			if m.StepElem(Reject, '5') != Reject {
+				t.Fatal("StepElem(Reject) must stay Reject")
+			}
+		})
+	}
+}
+
+// TestMonoidSizeBounds documents the expanded-FSM sizes. The paper reports
+// 60 states (including reject) for its double machine; the transition
+// monoid is the canonical minimal version of that construction, so the
+// count must be the same order of magnitude.
+func TestMonoidSizeBounds(t *testing.T) {
+	nd := Double().NumElems()
+	t.Logf("double machine: %d elements (paper's expanded FSM: 60)", nd)
+	if nd < 20 || nd > 200 {
+		t.Errorf("double monoid size %d out of plausible range", nd)
+	}
+	nt := DateTime().NumElems()
+	t.Logf("dateTime machine: %d elements", nt)
+	if nt < 30 || nt > 5000 {
+		t.Errorf("dateTime monoid size %d out of plausible range", nt)
+	}
+}
+
+// TestLiveElementsHaveWitnesses: every element's recorded example string
+// must reproduce the element, and must be live (usable inside some valid
+// lexical value).
+func TestLiveElementsHaveWitnesses(t *testing.T) {
+	for name, m := range machines() {
+		t.Run(name, func(t *testing.T) {
+			for _, e := range m.LiveElems() {
+				ex := m.Example(e)
+				if got := m.ElemOf([]byte(ex)); got != e {
+					t.Fatalf("Example(%d) = %q maps to %d", e, ex, got)
+				}
+			}
+		})
+	}
+}
+
+// TestCastableMatchesCompleteness: an element is castable iff its witness
+// extends the empty left context to a final state; cross-check castable
+// against a direct run for valid and truncated doubles.
+func TestCastableMatchesCompleteness(t *testing.T) {
+	m := Double()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		s := validDoubleString(rng)
+		e := m.ElemOf([]byte(s))
+		if e == Reject || !m.Castable(e) {
+			t.Fatalf("valid double %q not castable (elem %d)", s, e)
+		}
+	}
+	for _, s := range []string{"", ".", "+", "-", "E", "e+", "12E", "12E+", " .", "+.", "1 2"} {
+		if e := m.ElemOf([]byte(s)); e != Reject && m.Castable(e) {
+			t.Errorf("incomplete fragment %q reported castable", s)
+		}
+	}
+}
+
+// TestPaperFragmentExamples reproduces the paper's Section 4 examples.
+func TestPaperFragmentExamples(t *testing.T) {
+	m := Double()
+	// "E+93 " is a potential valid representation (state s4 in the paper).
+	if m.ElemOf([]byte("E+93 ")) == Reject {
+		t.Error(`"E+93 " must be live`)
+	}
+	// " +32.3" is live and castable.
+	if e := m.ElemOf([]byte(" +32.3")); e == Reject || !m.Castable(e) {
+		t.Error(`" +32.3" must be castable`)
+	}
+	// "42 text" is rejected.
+	if m.ElemOf([]byte("42 text")) != Reject {
+		t.Error(`"42 text" must be rejected`)
+	}
+	// "." (the <weight> text in Figure 1) is live but not castable.
+	if e := m.ElemOf([]byte(".")); e == Reject || m.Castable(e) {
+		t.Error(`"." must be live and not castable`)
+	}
+	// "78" is castable.
+	if e := m.ElemOf([]byte("78")); !m.Castable(e) {
+		t.Error(`"78" must be castable`)
+	}
+	// "26" + "E+" → "26E+" (the paper's reconstruction example) is live.
+	f1, _ := m.ParseFragString("26")
+	f2, _ := m.ParseFragString("E+")
+	comb, ok := m.Combine(f1, f2)
+	if !ok {
+		t.Fatal(`"26"+"E+" must combine`)
+	}
+	if got := comb.Lexical(); got != "26E+" {
+		t.Errorf("Lexical = %q, want 26E+", got)
+	}
+	// The paper's <weight> example: "78" + "." + "230" = 78.230.
+	fa, _ := m.ParseFragString("78")
+	fb, _ := m.ParseFragString(".")
+	fc, _ := m.ParseFragString("230")
+	all, ok := m.CombineAll(fa, fb, fc)
+	if !ok {
+		t.Fatal("78+.+230 must combine")
+	}
+	v, ok := DoubleValue(all)
+	if !ok || v != 78.230 {
+		t.Errorf("combined value = %v %v, want 78.23", v, ok)
+	}
+}
+
+// TestStateFitsInByte: the paper stores a state per node in one byte; our
+// double machine must satisfy that too (dateTime may exceed it, which the
+// index accommodates with uint16).
+func TestStateFitsInByte(t *testing.T) {
+	if n := Double().NumElems(); n > 256 {
+		t.Errorf("double machine has %d elements; paper stores state in 1 byte", n)
+	}
+}
+
+func BenchmarkElemOfCastable(b *testing.B) {
+	m := Double()
+	in := []byte("  +1234.5678E-12 ")
+	b.SetBytes(int64(len(in)))
+	for i := 0; i < b.N; i++ {
+		sinkElem = m.ElemOf(in)
+	}
+}
+
+func BenchmarkElemOfRejected(b *testing.B) {
+	m := Double()
+	in := []byte("clearly not a number at all")
+	b.SetBytes(int64(len(in)))
+	for i := 0; i < b.N; i++ {
+		sinkElem = m.ElemOf(in)
+	}
+}
+
+func BenchmarkSCTProbe(b *testing.B) {
+	m := Double()
+	x := m.ElemOf([]byte("12"))
+	y := m.ElemOf([]byte(".5"))
+	for i := 0; i < b.N; i++ {
+		sinkElem = m.CombineElem(x, y)
+	}
+}
+
+var sinkElem Elem

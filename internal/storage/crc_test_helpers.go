@@ -1,0 +1,12 @@
+package storage
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Helpers shared with tests that need to forge checksums.
+
+func crc32ChecksumIEEE(p []byte) uint32 { return crc32.ChecksumIEEE(p) }
+
+func putU32(dst []byte, v uint32) { binary.LittleEndian.PutUint32(dst, v) }

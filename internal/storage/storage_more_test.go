@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenPageFileErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing file.
+	if _, _, err := OpenPageFile(filepath.Join(dir, "missing.db")); err == nil {
+		t.Error("missing file must error")
+	}
+
+	// Not page aligned.
+	p := filepath.Join(dir, "ragged.db")
+	os.WriteFile(p, make([]byte, PageSize+100), 0o644)
+	if _, _, err := OpenPageFile(p); err == nil {
+		t.Error("ragged file must error")
+	}
+
+	// Wrong magic.
+	p = filepath.Join(dir, "magic.db")
+	os.WriteFile(p, make([]byte, PageSize), 0o644)
+	if _, _, err := OpenPageFile(p); err == nil {
+		t.Error("zeroed header must error")
+	}
+
+	// Wrong version: forge a header with valid CRC but version 99.
+	p = filepath.Join(dir, "version.db")
+	h := make([]byte, PageSize)
+	copy(h, magic)
+	putU32(h[8:], 99)
+	putU32(h[12:], 1) // nPages low word (stored as u64; high word zero)
+	putU32(h[pagePayload:], crc32ChecksumIEEE(h[:pagePayload]))
+	os.WriteFile(p, h, 0o644)
+	if _, _, err := OpenPageFile(p); err == nil {
+		t.Error("future version must error")
+	}
+
+	// Header page-count mismatch.
+	p = filepath.Join(dir, "count.db")
+	h = make([]byte, 2*PageSize)
+	copy(h, magic)
+	putU32(h[8:], formatVersion)
+	putU32(h[12:], 9) // claims 9 pages, file has 2
+	putU32(h[pagePayload:], crc32ChecksumIEEE(h[:pagePayload]))
+	os.WriteFile(p, h, 0o644)
+	if _, _, err := OpenPageFile(p); err == nil {
+		t.Error("page-count mismatch must error")
+	}
+}
+
+func TestOpenReaderRejectsBrokenDirectory(t *testing.T) {
+	// A valid page file whose directory pointer aims at a page of noise.
+	path := filepath.Join(t.TempDir(), "dir.db")
+	pf, err := CreatePageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := bytes.Repeat([]byte{0xFF}, 64) // uvarint entry count = huge
+	pg, err := pf.AppendPage(noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.WriteHeader(pg); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	if _, err := OpenReader(path); err == nil {
+		t.Error("nonsense directory must be rejected")
+	}
+}
+
+func TestWriterSectionAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "closed.db")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Section("late"); err == nil {
+		t.Error("Section after Close must fail")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double Close should be a no-op, got %v", err)
+	}
+}
+
+func TestManySmallSections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "many.db")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		sec, err := w.Section(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sec.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := len(r.Sections()); got != n {
+		t.Fatalf("sections = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		name := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		sec, err := r.Section(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(sec)
+		if err != nil || len(b) != 1 || b[0] != byte(i) {
+			t.Fatalf("section %s = %v (%v)", name, b, err)
+		}
+	}
+}
+
+func TestSectionReaderByteInterface(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bytes.db")
+	w, _ := NewWriter(path)
+	sec, _ := w.Section("s")
+	sec.Write([]byte{1, 2, 3})
+	w.Close()
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, _ := r.Section("s")
+	br, ok := got.(io.ByteReader)
+	if !ok {
+		t.Fatal("section reader must implement io.ByteReader for varint decoding")
+	}
+	for want := byte(1); want <= 3; want++ {
+		b, err := br.ReadByte()
+		if err != nil || b != want {
+			t.Fatalf("ReadByte = %d,%v want %d", b, err, want)
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Errorf("ReadByte at EOF = %v", err)
+	}
+}

@@ -1,0 +1,249 @@
+package storage
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPageFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	pf, err := CreatePageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xAB}, pagePayload),
+		{},
+		[]byte("world"),
+	}
+	var pages []int64
+	for _, p := range payloads {
+		pg, err := pf.AppendPage(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, pg)
+	}
+	if err := pf.WriteHeader(pages[0]); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	pf2, dir, err := OpenPageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	if dir != pages[0] {
+		t.Errorf("dir page = %d, want %d", dir, pages[0])
+	}
+	buf := make([]byte, pagePayload)
+	for i, p := range payloads {
+		if err := pf2.ReadPage(pages[i], buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf[:len(p)], p) {
+			t.Errorf("page %d payload mismatch", i)
+		}
+	}
+	if err := pf2.ReadPage(99, buf); err == nil {
+		t.Error("out-of-range read must fail")
+	}
+}
+
+func TestPageOverflowRejected(t *testing.T) {
+	pf, err := CreatePageFile(filepath.Join(t.TempDir(), "x.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if _, err := pf.AppendPage(make([]byte, pagePayload+1)); err == nil {
+		t.Error("oversized payload must be rejected")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.db")
+	pf, _ := CreatePageFile(path)
+	pg, _ := pf.AppendPage([]byte("precious data"))
+	pf.WriteHeader(pg)
+	pf.Close()
+
+	// Flip a byte in the payload.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[PageSize+3] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pf2, _, err := OpenPageFile(path)
+	if err != nil {
+		t.Fatal(err) // header is intact
+	}
+	defer pf2.Close()
+	buf := make([]byte, pagePayload)
+	if err := pf2.ReadPage(1, buf); err == nil {
+		t.Error("corrupted page must fail checksum")
+	}
+}
+
+func TestHeaderCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.db")
+	pf, _ := CreatePageFile(path)
+	pg, _ := pf.AppendPage([]byte("x"))
+	pf.WriteHeader(pg)
+	pf.Close()
+	raw, _ := os.ReadFile(path)
+	raw[10] ^= 0xFF
+	os.WriteFile(path, raw, 0o644)
+	if _, _, err := OpenPageFile(path); err == nil {
+		t.Error("corrupted header must be rejected")
+	}
+}
+
+func TestSnapshotSections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.db")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	// Three sections: tiny, page-boundary-sized, large random.
+	small := []byte("small section")
+	exact := bytes.Repeat([]byte{7}, pagePayload)
+	big := make([]byte, 3*pagePayload+1234)
+	rng.Read(big)
+
+	for _, s := range []struct {
+		name string
+		data []byte
+	}{{"small", small}, {"exact", exact}, {"big", big}} {
+		sec, err := w.Section(s.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Write in awkward chunk sizes.
+		for off := 0; off < len(s.data); {
+			n := 1 + rng.Intn(5000)
+			if off+n > len(s.data) {
+				n = len(s.data) - off
+			}
+			if _, err := sec.Write(s.data[off : off+n]); err != nil {
+				t.Fatal(err)
+			}
+			off += n
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Sections(); len(got) != 3 {
+		t.Fatalf("sections = %v", got)
+	}
+	for _, s := range []struct {
+		name string
+		data []byte
+	}{{"small", small}, {"exact", exact}, {"big", big}} {
+		if r.SectionLen(s.name) != int64(len(s.data)) {
+			t.Errorf("SectionLen(%s) = %d, want %d", s.name, r.SectionLen(s.name), len(s.data))
+		}
+		sec, err := r.Section(s.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(sec)
+		if err != nil {
+			t.Fatalf("section %s: %v", s.name, err)
+		}
+		if !bytes.Equal(got, s.data) {
+			t.Errorf("section %s content mismatch (%d vs %d bytes)", s.name, len(got), len(s.data))
+		}
+	}
+	if r.SectionLen("missing") != -1 {
+		t.Error("missing section must report -1")
+	}
+	if _, err := r.Section("missing"); err == nil {
+		t.Error("missing section must error")
+	}
+}
+
+func TestSnapshotEmptySection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.db")
+	w, _ := NewWriter(path)
+	if _, err := w.Section("empty"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sec, err := r.Section("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(sec)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty section read = %d bytes, err %v", len(got), err)
+	}
+}
+
+func TestDuplicateSectionRejected(t *testing.T) {
+	w, _ := NewWriter(filepath.Join(t.TempDir(), "d.db"))
+	defer w.Close()
+	if _, err := w.Section("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Section("a"); err == nil {
+		t.Error("duplicate section must be rejected")
+	}
+}
+
+func TestSectionDataCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.db")
+	w, _ := NewWriter(path)
+	sec, _ := w.Section("data")
+	payload := bytes.Repeat([]byte("abcdefgh"), 4096)
+	sec.Write(payload)
+	w.Close()
+
+	raw, _ := os.ReadFile(path)
+	// Corrupt a payload byte AND fix up its page CRC so only the section
+	// CRC can catch it.
+	off := PageSize + 100
+	raw[off] ^= 0x01
+	// Recompute that page's CRC trailer.
+	pageStart := (off / PageSize) * PageSize
+	crc := crc32ChecksumIEEE(raw[pageStart : pageStart+pagePayload])
+	putU32(raw[pageStart+pagePayload:], crc)
+	os.WriteFile(path, raw, 0o644)
+
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sec2, err := r.Section("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(sec2); err == nil {
+		t.Error("section CRC must catch payload corruption")
+	}
+}

@@ -1,0 +1,169 @@
+package substr
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmlparse"
+	"repro/internal/xmltree"
+)
+
+func buildIndex(t testing.TB, xml string) (*core.Indexes, *Index) {
+	t.Helper()
+	doc, err := xmlparse.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := core.Build(doc, core.Options{String: true})
+	return ix, Build(ix)
+}
+
+func TestContainsBasic(t *testing.T) {
+	_, s := buildIndex(t, `<r><a>hello world</a><b>goodbye world</b><c id="worldly">nothing here</c></r>`)
+	hits := s.Contains("world")
+	if len(hits) != 3 { // two texts + the attribute
+		t.Fatalf("Contains(world) = %d hits", len(hits))
+	}
+	hits = s.Contains("hello")
+	if len(hits) != 1 {
+		t.Fatalf("Contains(hello) = %d hits", len(hits))
+	}
+	if hits := s.Contains("absent-pattern"); len(hits) != 0 {
+		t.Fatalf("Contains(absent) = %d hits", len(hits))
+	}
+}
+
+func TestContainsShortPatternFallsBack(t *testing.T) {
+	_, s := buildIndex(t, `<r><a>xyz</a><b>axbycz</b></r>`)
+	hits := s.Contains("xy")
+	if len(hits) != 1 {
+		t.Fatalf("short pattern = %d hits", len(hits))
+	}
+}
+
+func TestContainsMatchesScanRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zetetic"}
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 300; i++ {
+		sb.WriteString("<x>")
+		for j := 0; j < 1+rng.Intn(5); j++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteString(" ")
+		}
+		sb.WriteString("</x>")
+	}
+	sb.WriteString("</r>")
+	_, s := buildIndex(t, sb.String())
+	patterns := []string{"alp", "eta", "gamma", "delta eps", "zet", "a b", "lpha gam", "nosuchthing"}
+	for _, p := range patterns {
+		idx := postingSet(s.Contains(p))
+		scan := postingSet(s.ScanContains(p))
+		if idx != scan {
+			t.Errorf("pattern %q: indexed %v != scan %v", p, idx, scan)
+		}
+	}
+}
+
+func postingSet(ps []core.Posting) string {
+	keys := make([]string, 0, len(ps))
+	for _, p := range ps {
+		keys = append(keys, fmt.Sprintf("%v/%d/%d", p.IsAttr, p.Node, p.Attr))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+func TestSyncTextMaintainsIndex(t *testing.T) {
+	ix, s := buildIndex(t, `<r><a>first value</a><b>second value</b></r>`)
+	doc := ix.Doc()
+	var txt xmltree.NodeID
+	for i := 0; i < doc.NumNodes(); i++ {
+		if doc.Kind(xmltree.NodeID(i)) == xmltree.Text && doc.Value(xmltree.NodeID(i)) == "first value" {
+			txt = xmltree.NodeID(i)
+		}
+	}
+	if err := ix.UpdateText(txt, "replacement text"); err != nil {
+		t.Fatal(err)
+	}
+	s.SyncText(txt)
+	if hits := s.Contains("first"); len(hits) != 0 {
+		t.Errorf("stale pattern still found: %d", len(hits))
+	}
+	if hits := s.Contains("replacement"); len(hits) != 1 {
+		t.Errorf("new pattern not found: %d", len(hits))
+	}
+	if hits := s.Contains("value"); len(hits) != 1 {
+		t.Errorf("Contains(value) = %d, want 1", len(hits))
+	}
+	// Update to a gram-less (short) value.
+	if err := ix.UpdateText(txt, "xy"); err != nil {
+		t.Fatal(err)
+	}
+	s.SyncText(txt)
+	if hits := s.Contains("replacement"); len(hits) != 0 {
+		t.Errorf("grams of removed text remain: %d", len(hits))
+	}
+}
+
+func TestGramsOfProperties(t *testing.T) {
+	if gramsOf([]byte("ab")) != nil {
+		t.Error("short values have no grams")
+	}
+	gs := gramsOf([]byte("abcabc"))
+	// "abc", "bca", "cab" — deduplicated.
+	if len(gs) != 3 {
+		t.Errorf("grams of abcabc = %d, want 3", len(gs))
+	}
+	for i := 1; i < len(gs); i++ {
+		if gs[i-1] >= gs[i] {
+			t.Error("grams not sorted/deduped")
+		}
+	}
+}
+
+func TestLenGrowsWithContent(t *testing.T) {
+	_, small := buildIndex(t, `<r><a>tiny</a></r>`)
+	_, big := buildIndex(t, `<r><a>`+strings.Repeat("many different words here ", 50)+`</a></r>`)
+	if small.Len() >= big.Len() {
+		t.Errorf("Len: small %d, big %d", small.Len(), big.Len())
+	}
+}
+
+func BenchmarkContainsIndexed(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&sb, "<x>document text number %d with filler %d</x>", i, rng.Intn(1000))
+	}
+	sb.WriteString("<x>the unique needle sentence</x></r>")
+	_, s := buildIndex(b, sb.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.Contains("needle sentence")) != 1 {
+			b.Fatal("needle missing")
+		}
+	}
+}
+
+func BenchmarkContainsScan(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&sb, "<x>document text number %d</x>", i)
+	}
+	sb.WriteString("<x>the unique needle sentence</x></r>")
+	_, s := buildIndex(b, sb.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.ScanContains("needle sentence")) != 1 {
+			b.Fatal("needle missing")
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package txn implements the transaction-management scheme of Section 5.1
+// of the paper for the string and typed value indices.
+//
+// The challenge: every text update changes the hash of ALL its ancestors,
+// including the root, so naive two-phase locking would make the root a
+// global bottleneck. The paper's observation is that because the
+// combination function C is associative and index maintenance refolds an
+// ancestor from its children's CURRENT stored fields, concurrent
+// transactions touching disjoint text nodes commute: no ancestor locks are
+// needed. A committing transaction re-reads the latest fields of the
+// affected ancestors (and their children) and recomputes — even if
+// siblings changed in the meantime, the result is correct.
+//
+// Manager implements that protocol: per-leaf locks only, staged writes,
+// and a short commit section that applies the batch through the Figure 8
+// update algorithm. LockingManager implements the baseline the paper
+// argues against — locking the full ancestor chain for the transaction's
+// lifetime — for the A5 ablation benchmark.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/xmltree"
+)
+
+// ErrConflict is returned when a transaction tries to lock a node already
+// locked by another live transaction.
+var ErrConflict = errors.New("txn: write-write conflict")
+
+// ErrClosed is returned by operations on committed or aborted
+// transactions.
+var ErrClosed = errors.New("txn: transaction is closed")
+
+// Manager coordinates commutative transactions over one index set.
+type Manager struct {
+	mu     sync.Mutex // guards lockOwner and commit application
+	ix     *core.Indexes
+	locked map[xmltree.NodeID]*Txn
+
+	commits uint64
+	aborts  uint64
+}
+
+// NewManager wraps an index set.
+func NewManager(ix *core.Indexes) *Manager {
+	return &Manager{ix: ix, locked: make(map[xmltree.NodeID]*Txn)}
+}
+
+// Indexes exposes the underlying index set (reads are safe between
+// commits; the commit section is the only writer).
+func (m *Manager) Indexes() *core.Indexes { return m.ix }
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	return &Txn{mgr: m, writes: make(map[xmltree.NodeID]string)}
+}
+
+// Stats reports commit/abort counts.
+func (m *Manager) Stats() (commits, aborts uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commits, m.aborts
+}
+
+// Txn is a commutative transaction: it locks only the text nodes it
+// writes — never their ancestors — and stages values until Commit.
+type Txn struct {
+	mgr    *Manager
+	writes map[xmltree.NodeID]string
+	held   []xmltree.NodeID
+	closed bool
+}
+
+// SetText stages a new value for a text node, acquiring only that node's
+// lock. It fails with ErrConflict if another live transaction holds it.
+func (t *Txn) SetText(n xmltree.NodeID, value string) error {
+	if t.closed {
+		return ErrClosed
+	}
+	switch t.mgr.ix.Doc().Kind(n) {
+	case xmltree.Text, xmltree.Comment, xmltree.PI:
+	default:
+		return fmt.Errorf("txn: node %d is not a value-carrying node", n)
+	}
+	if _, mine := t.writes[n]; !mine {
+		m := t.mgr
+		m.mu.Lock()
+		if owner, taken := m.locked[n]; taken && owner != t {
+			m.mu.Unlock()
+			return ErrConflict
+		}
+		m.locked[n] = t
+		m.mu.Unlock()
+		t.held = append(t.held, n)
+	}
+	t.writes[n] = value
+	return nil
+}
+
+// GetText reads a text node with read-your-writes semantics.
+func (t *Txn) GetText(n xmltree.NodeID) (string, error) {
+	if t.closed {
+		return "", ErrClosed
+	}
+	if v, ok := t.writes[n]; ok {
+		return v, nil
+	}
+	return t.mgr.ix.Doc().Value(n), nil
+}
+
+// Commit applies the staged writes through the index update algorithm.
+// Ancestor fields are recomputed from their children's current state
+// inside the commit section, so sibling updates committed meanwhile are
+// folded in correctly — the commutativity argument of Section 5.1.
+func (t *Txn) Commit() error {
+	if t.closed {
+		return ErrClosed
+	}
+	t.closed = true
+	m := t.mgr
+	updates := make([]core.TextUpdate, 0, len(t.writes))
+	for n, v := range t.writes {
+		updates = append(updates, core.TextUpdate{Node: n, Value: v})
+	}
+	sort.Slice(updates, func(i, j int) bool { return updates[i].Node < updates[j].Node })
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	err := m.ix.UpdateTexts(updates)
+	t.releaseLocked()
+	if err != nil {
+		m.aborts++
+		return err
+	}
+	m.commits++
+	return nil
+}
+
+// Abort drops the staged writes and releases locks.
+func (t *Txn) Abort() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t.releaseLocked()
+	m.aborts++
+}
+
+// releaseLocked must run under mgr.mu.
+func (t *Txn) releaseLocked() {
+	for _, n := range t.held {
+		if t.mgr.locked[n] == t {
+			delete(t.mgr.locked, n)
+		}
+	}
+	t.held = nil
+}
+
+// --- ancestor-locking baseline (ablation A5) ---
+
+// LockingManager implements the conventional protocol the paper argues
+// against: a transaction holds locks on the written node AND its entire
+// ancestor chain (root included) until commit. Every transaction
+// therefore conflicts at the root.
+type LockingManager struct {
+	mu     sync.Mutex
+	ix     *core.Indexes
+	locked map[xmltree.NodeID]*LockingTxn
+
+	commits uint64
+	aborts  uint64
+}
+
+// NewLockingManager wraps an index set with ancestor locking.
+func NewLockingManager(ix *core.Indexes) *LockingManager {
+	return &LockingManager{ix: ix, locked: make(map[xmltree.NodeID]*LockingTxn)}
+}
+
+// Indexes exposes the underlying index set.
+func (m *LockingManager) Indexes() *core.Indexes { return m.ix }
+
+// Begin starts an ancestor-locking transaction.
+func (m *LockingManager) Begin() *LockingTxn {
+	return &LockingTxn{mgr: m, writes: make(map[xmltree.NodeID]string)}
+}
+
+// Stats reports commit/abort counts.
+func (m *LockingManager) Stats() (commits, aborts uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commits, m.aborts
+}
+
+// LockingTxn stages writes while holding leaf-to-root lock chains.
+type LockingTxn struct {
+	mgr    *LockingManager
+	writes map[xmltree.NodeID]string
+	held   map[xmltree.NodeID]bool
+	closed bool
+}
+
+// SetText stages a write after locking the node and every ancestor. It
+// fails with ErrConflict if any node on the chain is held elsewhere —
+// which, with the root on every chain, means any two concurrent
+// transactions conflict.
+func (t *LockingTxn) SetText(n xmltree.NodeID, value string) error {
+	if t.closed {
+		return ErrClosed
+	}
+	doc := t.mgr.ix.Doc()
+	switch doc.Kind(n) {
+	case xmltree.Text, xmltree.Comment, xmltree.PI:
+	default:
+		return fmt.Errorf("txn: node %d is not a value-carrying node", n)
+	}
+	chain := append([]xmltree.NodeID{n}, doc.Ancestors(n)...)
+	m := t.mgr
+	m.mu.Lock()
+	for _, c := range chain {
+		if owner, taken := m.locked[c]; taken && owner != t {
+			m.mu.Unlock()
+			return ErrConflict
+		}
+	}
+	if t.held == nil {
+		t.held = make(map[xmltree.NodeID]bool, len(chain))
+	}
+	for _, c := range chain {
+		m.locked[c] = t
+		t.held[c] = true
+	}
+	m.mu.Unlock()
+	t.writes[n] = value
+	return nil
+}
+
+// Commit applies staged writes and releases the chains.
+func (t *LockingTxn) Commit() error {
+	if t.closed {
+		return ErrClosed
+	}
+	t.closed = true
+	m := t.mgr
+	updates := make([]core.TextUpdate, 0, len(t.writes))
+	for n, v := range t.writes {
+		updates = append(updates, core.TextUpdate{Node: n, Value: v})
+	}
+	sort.Slice(updates, func(i, j int) bool { return updates[i].Node < updates[j].Node })
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	err := m.ix.UpdateTexts(updates)
+	for c := range t.held {
+		if m.locked[c] == t {
+			delete(m.locked, c)
+		}
+	}
+	if err != nil {
+		m.aborts++
+		return err
+	}
+	m.commits++
+	return nil
+}
+
+// Abort releases the chains without applying writes.
+func (t *LockingTxn) Abort() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for c := range t.held {
+		if m.locked[c] == t {
+			delete(m.locked, c)
+		}
+	}
+	m.aborts++
+}

@@ -1,0 +1,127 @@
+// Package vhash implements the 32-bit XML string-value hash function H and
+// the associative combination function C from Sidirourgos & Boncz,
+// "Generic and updatable XML value indices covering equality and range
+// lookups" (EDBT 2009), Figures 2 and 4.
+//
+// A hash value has the layout
+//
+//	bits 31..5  c-array  (27 bits) — circular-XOR accumulation of characters
+//	bits  4..0  offc     (5 bits)  — the c-array offset where the NEXT
+//	                                 character would be XOR-ed (an element
+//	                                 of Z_27)
+//
+// The defining property, proven by induction in the paper, is
+//
+//	H(concat(a, b)) == Combine(H(a), H(b))
+//
+// for arbitrary byte strings a and b, and Combine is associative. This lets
+// an XML database maintain the hash of every element node (whose string
+// value is the concatenation of all descendant text nodes) by combining the
+// already-computed hashes of its children, without re-reading text.
+package vhash
+
+// Width of the character accumulation array, in bits. The paper fixes this
+// at 27 = 32 - 5: offsets live in Z_27 and need 5 bits of the word.
+const (
+	carrayBits = 27
+	offcBits   = 5
+	offcMask   = 1<<offcBits - 1 // 0b11111
+	step       = 5               // offset increment per character
+	charBits   = 7               // low bits of each byte that are hashed
+	charMask   = 1<<charBits - 1 // 0x7f
+)
+
+// Hash computes H(s): the 32-bit hash of an XML string value.
+//
+// Each character contributes its 7 low bits, XOR-ed into the 27-bit c-array
+// at the current offset; offsets advance by 5 and wrap modulo 27 (a
+// "circular XOR"). Bits that would spill past position 26 wrap around to
+// position 0. The final offset is stored in the 5 low bits of the result so
+// that Combine can continue the circle.
+//
+// Hash of the empty string is 0, which is also the identity of Combine.
+func Hash(s []byte) uint32 {
+	var hval uint32
+	var offset uint32
+	for _, b := range s {
+		c := uint32(b) & charMask
+		hval ^= c << offset
+		if offset > carrayBits-charBits { // spill past bit 26: wrap to bit 0
+			hval ^= c >> (carrayBits - offset)
+		}
+		offset += step
+		if offset >= carrayBits {
+			offset -= carrayBits
+		}
+	}
+	// The shift discards any garbage accumulated above bit 26 by the
+	// unmasked spills; the c-array lands in bits 31..5.
+	hval <<= offcBits
+	return hval | offset
+}
+
+// HashString is Hash for a string without copying.
+func HashString(s string) uint32 {
+	var hval uint32
+	var offset uint32
+	for i := 0; i < len(s); i++ {
+		c := uint32(s[i]) & charMask
+		hval ^= c << offset
+		if offset > carrayBits-charBits {
+			hval ^= c >> (carrayBits - offset)
+		}
+		offset += step
+		if offset >= carrayBits {
+			offset -= carrayBits
+		}
+	}
+	hval <<= offcBits
+	return hval | offset
+}
+
+// Combine computes C(left, right): the hash of the concatenation of the two
+// strings whose hashes are left and right.
+//
+// The right operand's c-array is rotated left (in the 27-bit circle) by the
+// left operand's offset, XOR-ed into the left c-array, and the offsets add
+// modulo 27. Combine is associative and has identity 0 (= Hash(nil)).
+func Combine(left, right uint32) uint32 {
+	cl := left &^ offcMask  // c-array of left, bits 31..5
+	cr := right &^ offcMask // c-array of right, bits 31..5
+	ol := left & offcMask   // offset of left, 0..26
+	or := right & offcMask
+
+	// Circular left shift of the 27-bit c-array stored in bits 31..5:
+	// bits that overflow bit 31 fall off the register (correct, they are
+	// the rotated-out high bits) and re-enter at bit 5 via the masked
+	// right shift.
+	h := cl ^ ((cr << ol) | ((cr >> (carrayBits - ol)) &^ offcMask))
+	off := ol + or
+	if off >= carrayBits {
+		off -= carrayBits
+	}
+	return h | off
+}
+
+// CombineAll folds Combine over hs left to right, returning the hash of the
+// concatenation of all underlying strings. CombineAll() == 0 == Hash(nil).
+func CombineAll(hs ...uint32) uint32 {
+	var h uint32
+	for _, x := range hs {
+		h = Combine(h, x)
+	}
+	return h
+}
+
+// Identity is the hash of the empty string and the neutral element of
+// Combine: Combine(Identity, h) == Combine(h, Identity) == h.
+const Identity uint32 = 0
+
+// Offset reports the offc field of h: the c-array position (in Z_27) where
+// the next character of a continued string would be XOR-ed. Equivalently,
+// 5 * length(s) mod 27 for h = Hash(s).
+func Offset(h uint32) uint32 { return h & offcMask }
+
+// CArray reports the 27-bit character accumulation array of h, right
+// aligned (bits 26..0).
+func CArray(h uint32) uint32 { return h >> offcBits }

@@ -1,0 +1,275 @@
+package vhash
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashEmpty(t *testing.T) {
+	if got := Hash(nil); got != 0 {
+		t.Errorf("Hash(nil) = %#x, want 0", got)
+	}
+	if got := Hash([]byte{}); got != 0 {
+		t.Errorf("Hash(empty) = %#x, want 0", got)
+	}
+	if got := HashString(""); got != 0 {
+		t.Errorf(`HashString("") = %#x, want 0`, got)
+	}
+}
+
+func TestHashSingleChar(t *testing.T) {
+	// One character c: c-array = c at positions 0..6, offset = 5.
+	// hval = (c << 5) | 5.
+	for _, c := range []byte{'A', 'z', '0', ' ', 0x7f, 0x00} {
+		want := (uint32(c)&0x7f)<<5 | 5
+		if got := Hash([]byte{c}); got != want {
+			t.Errorf("Hash(%q) = %#x, want %#x", c, got, want)
+		}
+	}
+}
+
+func TestHashHighBitMasked(t *testing.T) {
+	// Only the 7 low bits of each byte participate.
+	if Hash([]byte{0x41}) != Hash([]byte{0xc1}) {
+		t.Errorf("Hash must mask byte to 7 bits")
+	}
+}
+
+// TestHashArthurPaperExample reproduces Figure 3 of the paper: the hash of
+// "Arthur" has offc = 3 and the c-array shown in the figure.
+func TestHashArthurPaperExample(t *testing.T) {
+	h := HashString("Arthur")
+	if off := Offset(h); off != 3 {
+		t.Errorf("Offset(H(Arthur)) = %d, want 3", off)
+	}
+	// Recompute the c-array independently, straight from the figure's
+	// procedure: XOR the 7-bit chars at offsets 0,5,10,15,20,25 with
+	// wraparound at 27.
+	chars := []byte("Arthur")
+	var want uint32
+	off := 0
+	for _, c := range chars {
+		v := uint32(c) & 0x7f
+		for bit := 0; bit < 7; bit++ {
+			if v&(1<<bit) != 0 {
+				want ^= 1 << uint((off+bit)%27)
+			}
+		}
+		off = (off + 5) % 27
+	}
+	if got := CArray(h); got != want {
+		t.Errorf("CArray(H(Arthur)) = %#b, want %#b", got, want)
+	}
+}
+
+func TestOffsetIsLengthTimes5Mod27(t *testing.T) {
+	for n := 0; n <= 100; n++ {
+		s := strings.Repeat("x", n)
+		want := uint32(5*n) % 27
+		if got := Offset(HashString(s)); got != want {
+			t.Errorf("Offset(H(x^%d)) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestHashStringMatchesHash(t *testing.T) {
+	f := func(s string) bool { return HashString(s) == Hash([]byte(s)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCombineProperty is the defining property of C (paper eq. before Fig 4):
+// H(concat(a,b)) == C(H(a), H(b)).
+func TestCombineProperty(t *testing.T) {
+	f := func(a, b []byte) bool {
+		return Hash(append(append([]byte{}, a...), b...)) == Combine(Hash(a), Hash(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCombinePropertyLong exercises strings much longer than the 27-bit
+// circle so every offset and wraparound case is hit.
+func TestCombinePropertyLong(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		a := randBytes(rng, rng.Intn(200))
+		b := randBytes(rng, rng.Intn(200))
+		want := Hash(append(append([]byte{}, a...), b...))
+		if got := Combine(Hash(a), Hash(b)); got != want {
+			t.Fatalf("trial %d: Combine(H(%q),H(%q)) = %#x, want %#x", trial, a, b, got, want)
+		}
+	}
+}
+
+// TestCombineAssociativity is eq.1 of the paper: arbitrary parenthesisation
+// of C over a sequence of hashes yields the same value.
+func TestCombineAssociativity(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		ha, hb, hc := Hash(a), Hash(b), Hash(c)
+		return Combine(Combine(ha, hb), hc) == Combine(ha, Combine(hb, hc))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineIdentity(t *testing.T) {
+	f := func(a []byte) bool {
+		h := Hash(a)
+		return Combine(Identity, h) == h && Combine(h, Identity) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCombineAllFoldsLeft checks CombineAll against H of the concatenation
+// of many pieces — the n-ary version of the defining property.
+func TestCombineAllFoldsLeft(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(10)
+		var cat []byte
+		hs := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			p := randBytes(rng, rng.Intn(40))
+			cat = append(cat, p...)
+			hs[i] = Hash(p)
+		}
+		if got, want := CombineAll(hs...), Hash(cat); got != want {
+			t.Fatalf("trial %d: CombineAll = %#x, want %#x", trial, got, want)
+		}
+	}
+}
+
+// TestUpdateScenarioPaperSection3 walks the paper's Section 3 update
+// example: the person document where <family> changes from "Dent" to
+// "Prefect", and the ancestors' hashes are rebuilt with C instead of
+// re-hashing reconstructed strings.
+func TestUpdateScenarioPaperSection3(t *testing.T) {
+	hFirst := HashString("Arthur")
+	hFamily := HashString("Prefect")
+	hName := Combine(hFirst, hFamily)
+	if want := HashString("ArthurPrefect"); hName != want {
+		t.Fatalf("h<name> = %#x, want %#x", hName, want)
+	}
+	hBirthday := HashString("1966-09-26")
+	hAge := Combine(HashString("4"), HashString("2"))
+	hWeight := CombineAll(HashString("78"), HashString("."), HashString("230"))
+	hPerson := Combine(hName, Combine(hBirthday, Combine(hAge, hWeight)))
+	if want := HashString("ArthurPrefect1966-09-264278.230"); hPerson != want {
+		t.Fatalf("h<person> = %#x, want %#x", hPerson, want)
+	}
+}
+
+// TestMixedContentAge checks the paper's introduction example: the string
+// value of <age><decades>4</decades>2<years/></age> is "42" and hashes
+// equal to a plain text node "42".
+func TestMixedContentAge(t *testing.T) {
+	if Combine(HashString("4"), HashString("2")) != HashString("42") {
+		t.Error("mixed-content 4+2 must hash like 42")
+	}
+}
+
+// TestKnown27StrideCollision documents the failure mode the paper observes
+// on Wiki URLs: characters differing at positions exactly 27 apart in the
+// 5-bit stride cycle can cancel. Two strings whose differing character
+// repeats with period 27*k in offset-space collide.
+func TestKnown27StrideCollision(t *testing.T) {
+	// After 27 characters the offset returns to its start (27*5 mod 27 == 0
+	// every 27 chars). A character XOR-ed twice at the same offset cancels,
+	// so two strings that differ by a transposition 27 apart... simplest
+	// demonstrable collision: s1 has 'a' at i and 'b' at i+27, s2 swaps
+	// them; both XOR 'a' and 'b' at the same offset.
+	base := []byte(strings.Repeat("http://www.example.o/", 3))[:54]
+	s1 := append([]byte{}, base...)
+	s2 := append([]byte{}, base...)
+	s1[0], s1[27] = 'a', 'b'
+	s2[0], s2[27] = 'b', 'a'
+	if string(s1) == string(s2) {
+		t.Fatal("test strings must differ")
+	}
+	if Hash(s1) != Hash(s2) {
+		t.Errorf("expected 27-stride collision: H(%q)=%#x H(%q)=%#x", s1, Hash(s1), s2, Hash(s2))
+	}
+}
+
+func TestCArrayOffsetRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		h := HashString(s)
+		return h == CArray(h)<<5|Offset(h) && Offset(h) < 27
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistributionSmoke is a light stability check: hashing the decimal
+// representations of 0..9999 should yield nearly all-distinct values.
+func TestDistributionSmoke(t *testing.T) {
+	seen := make(map[uint32][]string)
+	collisions := 0
+	for i := 0; i < 10000; i++ {
+		s := itoa(i)
+		h := HashString(s)
+		if prev := seen[h]; len(prev) > 0 {
+			collisions++
+		}
+		seen[h] = append(seen[h], s)
+	}
+	if collisions > 100 { // <1% collisions expected on short numerics
+		t.Errorf("too many collisions among 10000 short numerics: %d", collisions)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+func BenchmarkHash64B(b *testing.B) {
+	s := []byte(strings.Repeat("abcdefgh", 8))
+	b.SetBytes(int64(len(s)))
+	for i := 0; i < b.N; i++ {
+		sink32 = Hash(s)
+	}
+}
+
+func BenchmarkHash1KB(b *testing.B) {
+	s := []byte(strings.Repeat("abcdefgh", 128))
+	b.SetBytes(int64(len(s)))
+	for i := 0; i < b.N; i++ {
+		sink32 = Hash(s)
+	}
+}
+
+func BenchmarkCombine(b *testing.B) {
+	l, r := HashString("Arthur"), HashString("Dent")
+	for i := 0; i < b.N; i++ {
+		sink32 = Combine(l, r)
+	}
+}
+
+var sink32 uint32

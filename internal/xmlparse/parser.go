@@ -1,0 +1,248 @@
+package xmlparse
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Options configure parsing (shredding).
+type Options struct {
+	// StripWhitespaceText drops text nodes consisting solely of XML
+	// whitespace (pretty-printing indentation). Off by default: the XQuery
+	// data model preserves boundary whitespace.
+	StripWhitespaceText bool
+	// SkipComments drops comment nodes.
+	SkipComments bool
+	// SkipPIs drops processing-instruction nodes.
+	SkipPIs bool
+}
+
+// Parse shreds the XML byte slice into an xmltree.Doc using default
+// options.
+func Parse(in []byte) (*xmltree.Doc, error) { return ParseWith(in, Options{}) }
+
+// ParseString shreds an XML string.
+func ParseString(in string) (*xmltree.Doc, error) { return ParseWith([]byte(in), Options{}) }
+
+// ParseWith shreds the XML byte slice with explicit options. Adjacent
+// character data (including CDATA sections and resolved entities) merges
+// into a single text node, per the XQuery data model.
+func ParseWith(in []byte, opts Options) (*xmltree.Doc, error) {
+	s := newScanner(in)
+	b := xmltree.NewBuilder()
+	var stack []string
+	var textBuf []byte // pending character data, merged across tokens
+	sawContent := false
+
+	flushText := func() {
+		if len(textBuf) == 0 {
+			return
+		}
+		// Whitespace outside the root element is not a node (non-space
+		// there was already rejected); inside, whitespace-only runs are
+		// dropped when configured.
+		if len(stack) > 0 && !(opts.StripWhitespaceText && allSpace(textBuf)) {
+			b.TextBytes(textBuf)
+		}
+		textBuf = textBuf[:0]
+	}
+
+	for {
+		tok, err := s.next()
+		if err != nil {
+			return nil, err
+		}
+		switch tok.kind {
+		case tokEOF:
+			if len(stack) > 0 {
+				return nil, fmt.Errorf("xmlparse: unexpected EOF, %d unclosed elements (innermost <%s>)", len(stack), stack[len(stack)-1])
+			}
+			if !sawContent {
+				return nil, fmt.Errorf("xmlparse: no root element")
+			}
+			flushText()
+			return b.Finish()
+
+		case tokStartTag:
+			if len(stack) == 0 && sawContent {
+				return nil, fmt.Errorf("xmlparse: multiple root elements (<%s>)", tok.name)
+			}
+			flushText()
+			sawContent = true
+			b.StartElement(tok.name)
+			for _, a := range tok.attrs {
+				v, err := decodeEntities(a.val, s)
+				if err != nil {
+					return nil, err
+				}
+				b.Attribute(a.name, string(v))
+			}
+			if tok.selfClose {
+				b.EndElement()
+			} else {
+				stack = append(stack, tok.name)
+			}
+
+		case tokEndTag:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmlparse: unmatched </%s>", tok.name)
+			}
+			if top := stack[len(stack)-1]; top != tok.name {
+				return nil, fmt.Errorf("xmlparse: mismatched </%s>, open element is <%s>", tok.name, top)
+			}
+			flushText()
+			stack = stack[:len(stack)-1]
+			b.EndElement()
+
+		case tokText:
+			if tok.name == "CDATA" {
+				textBuf = append(textBuf, tok.text...)
+				break
+			}
+			decoded, err := decodeEntities(tok.text, s)
+			if err != nil {
+				return nil, err
+			}
+			if len(stack) == 0 && !allSpace(decoded) {
+				return nil, fmt.Errorf("xmlparse: character data outside root element")
+			}
+			textBuf = append(textBuf, decoded...)
+
+		case tokComment:
+			if opts.SkipComments {
+				break
+			}
+			if len(stack) == 0 {
+				break // prolog/epilog comments are not document children here
+			}
+			flushText()
+			b.Comment(string(tok.text))
+
+		case tokPI:
+			if opts.SkipPIs {
+				break
+			}
+			if len(stack) == 0 {
+				break
+			}
+			flushText()
+			b.PI(tok.name, string(tok.text))
+		}
+	}
+}
+
+func allSpace(b []byte) bool {
+	for _, c := range b {
+		if !isSpace(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeEntities resolves the predefined entities and character references
+// in raw. If raw contains no '&', it is returned unchanged (no copy).
+func decodeEntities(raw []byte, s *scanner) ([]byte, error) {
+	amp := -1
+	for i, c := range raw {
+		if c == '&' {
+			amp = i
+			break
+		}
+	}
+	if amp < 0 {
+		return raw, nil
+	}
+	out := make([]byte, 0, len(raw))
+	out = append(out, raw[:amp]...)
+	for i := amp; i < len(raw); {
+		c := raw[i]
+		if c != '&' {
+			out = append(out, c)
+			i++
+			continue
+		}
+		end := -1
+		for j := i + 1; j < len(raw) && j < i+12; j++ {
+			if raw[j] == ';' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return nil, &SyntaxError{Off: s.pos, Msg: "unterminated entity reference"}
+		}
+		ent := string(raw[i+1 : end])
+		switch ent {
+		case "lt":
+			out = append(out, '<')
+		case "gt":
+			out = append(out, '>')
+		case "amp":
+			out = append(out, '&')
+		case "apos":
+			out = append(out, '\'')
+		case "quot":
+			out = append(out, '"')
+		default:
+			if len(ent) > 1 && ent[0] == '#' {
+				r, err := parseCharRef(ent[1:])
+				if err != nil {
+					return nil, &SyntaxError{Off: s.pos, Msg: err.Error()}
+				}
+				out = appendRune(out, r)
+			} else {
+				return nil, &SyntaxError{Off: s.pos, Msg: "unknown entity &" + ent + ";"}
+			}
+		}
+		i = end + 1
+	}
+	return out, nil
+}
+
+func parseCharRef(s string) (rune, error) {
+	var v rune
+	if len(s) > 1 && (s[0] == 'x' || s[0] == 'X') {
+		for _, c := range s[1:] {
+			switch {
+			case c >= '0' && c <= '9':
+				v = v*16 + (c - '0')
+			case c >= 'a' && c <= 'f':
+				v = v*16 + (c - 'a' + 10)
+			case c >= 'A' && c <= 'F':
+				v = v*16 + (c - 'A' + 10)
+			default:
+				return 0, fmt.Errorf("bad hex character reference &#%s;", s)
+			}
+			if v > 0x10FFFF {
+				return 0, fmt.Errorf("character reference out of range")
+			}
+		}
+		return v, nil
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad character reference &#%s;", s)
+		}
+		v = v*10 + (c - '0')
+		if v > 0x10FFFF {
+			return 0, fmt.Errorf("character reference out of range")
+		}
+	}
+	return v, nil
+}
+
+// appendRune appends the UTF-8 encoding of r to b.
+func appendRune(b []byte, r rune) []byte {
+	switch {
+	case r < 0x80:
+		return append(b, byte(r))
+	case r < 0x800:
+		return append(b, byte(0xC0|r>>6), byte(0x80|r&0x3F))
+	case r < 0x10000:
+		return append(b, byte(0xE0|r>>12), byte(0x80|r>>6&0x3F), byte(0x80|r&0x3F))
+	default:
+		return append(b, byte(0xF0|r>>18), byte(0x80|r>>12&0x3F), byte(0x80|r>>6&0x3F), byte(0x80|r&0x3F))
+	}
+}

@@ -1,0 +1,289 @@
+// Package xmlparse implements the XML shredding substrate: a fast
+// byte-oriented scanner, a parser that drives an xmltree.Builder (the
+// "shredding" step whose cost Figure 9 of the paper measures index-creation
+// overhead against), and a serializer that writes documents back out.
+//
+// The dialect is the subset of XML 1.0 needed by the paper's datasets:
+// elements, attributes (single- or double-quoted), character data, CDATA
+// sections, comments, processing instructions, the five predefined
+// entities, and decimal/hex character references. DOCTYPE declarations are
+// skipped; namespaces are not expanded (prefixes stay part of the name, as
+// in most shredders).
+package xmlparse
+
+import (
+	"fmt"
+)
+
+// tokenKind identifies a scanner token.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokStartTag
+	tokEndTag
+	tokText
+	tokComment
+	tokPI
+)
+
+// attr is a scanned attribute; values are raw (entities not yet decoded).
+type attr struct {
+	name string
+	val  []byte
+}
+
+// token is one scanned XML event.
+type token struct {
+	kind tokenKind
+	name string // tag name or PI target
+	text []byte // raw text/comment/PI content (entities not decoded)
+
+	attrs     []attr
+	selfClose bool
+}
+
+// SyntaxError reports a scanning failure with a byte offset.
+type SyntaxError struct {
+	Off int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xmlparse: syntax error at byte %d: %s", e.Off, e.Msg)
+}
+
+// scanner walks the input byte slice, producing tokens without copying
+// text content.
+type scanner struct {
+	in  []byte
+	pos int
+
+	// attrBuf is reused between start tags to avoid per-tag allocations.
+	attrBuf []attr
+}
+
+func newScanner(in []byte) *scanner { return &scanner{in: in} }
+
+func (s *scanner) errf(format string, args ...any) error {
+	return &SyntaxError{Off: s.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next token. The returned token's byte slices alias the
+// input and are valid until the next call mutates nothing — they alias the
+// immutable input, so they stay valid; attrs alias the scanner's reusable
+// buffer and are valid only until the next call.
+func (s *scanner) next() (token, error) {
+	if s.pos >= len(s.in) {
+		return token{kind: tokEOF}, nil
+	}
+	if s.in[s.pos] != '<' {
+		return s.scanText()
+	}
+	// Markup.
+	if s.pos+1 >= len(s.in) {
+		return token{}, s.errf("unexpected end after '<'")
+	}
+	switch s.in[s.pos+1] {
+	case '/':
+		return s.scanEndTag()
+	case '!':
+		return s.scanBang()
+	case '?':
+		return s.scanPI()
+	default:
+		return s.scanStartTag()
+	}
+}
+
+func (s *scanner) scanText() (token, error) {
+	start := s.pos
+	for s.pos < len(s.in) && s.in[s.pos] != '<' {
+		s.pos++
+	}
+	return token{kind: tokText, text: s.in[start:s.pos]}, nil
+}
+
+func (s *scanner) scanName() (string, error) {
+	start := s.pos
+	for s.pos < len(s.in) && isNameByte(s.in[s.pos], s.pos == start) {
+		s.pos++
+	}
+	if s.pos == start {
+		return "", s.errf("expected name")
+	}
+	return string(s.in[start:s.pos]), nil
+}
+
+func isNameByte(b byte, first bool) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':', b >= 0x80:
+		return true
+	case b >= '0' && b <= '9', b == '-', b == '.':
+		return !first
+	default:
+		return false
+	}
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+func (s *scanner) skipSpace() {
+	for s.pos < len(s.in) && isSpace(s.in[s.pos]) {
+		s.pos++
+	}
+}
+
+func (s *scanner) scanStartTag() (token, error) {
+	s.pos++ // consume '<'
+	name, err := s.scanName()
+	if err != nil {
+		return token{}, err
+	}
+	t := token{kind: tokStartTag, name: name, attrs: s.attrBuf[:0]}
+	for {
+		s.skipSpace()
+		if s.pos >= len(s.in) {
+			return token{}, s.errf("unterminated start tag <%s", name)
+		}
+		switch s.in[s.pos] {
+		case '>':
+			s.pos++
+			s.attrBuf = t.attrs
+			return t, nil
+		case '/':
+			if s.pos+1 >= len(s.in) || s.in[s.pos+1] != '>' {
+				return token{}, s.errf("expected '/>' in tag <%s", name)
+			}
+			s.pos += 2
+			t.selfClose = true
+			s.attrBuf = t.attrs
+			return t, nil
+		}
+		aname, err := s.scanName()
+		if err != nil {
+			return token{}, err
+		}
+		s.skipSpace()
+		if s.pos >= len(s.in) || s.in[s.pos] != '=' {
+			return token{}, s.errf("expected '=' after attribute %s", aname)
+		}
+		s.pos++
+		s.skipSpace()
+		if s.pos >= len(s.in) || (s.in[s.pos] != '"' && s.in[s.pos] != '\'') {
+			return token{}, s.errf("expected quoted value for attribute %s", aname)
+		}
+		quote := s.in[s.pos]
+		s.pos++
+		vstart := s.pos
+		for s.pos < len(s.in) && s.in[s.pos] != quote {
+			s.pos++
+		}
+		if s.pos >= len(s.in) {
+			return token{}, s.errf("unterminated value for attribute %s", aname)
+		}
+		t.attrs = append(t.attrs, attr{name: aname, val: s.in[vstart:s.pos]})
+		s.pos++ // closing quote
+	}
+}
+
+func (s *scanner) scanEndTag() (token, error) {
+	s.pos += 2 // consume '</'
+	name, err := s.scanName()
+	if err != nil {
+		return token{}, err
+	}
+	s.skipSpace()
+	if s.pos >= len(s.in) || s.in[s.pos] != '>' {
+		return token{}, s.errf("expected '>' in </%s", name)
+	}
+	s.pos++
+	return token{kind: tokEndTag, name: name}, nil
+}
+
+func (s *scanner) scanBang() (token, error) {
+	// <!-- comment -->, <![CDATA[ ... ]]>, or <!DOCTYPE ...>
+	rest := s.in[s.pos:]
+	switch {
+	case hasPrefix(rest, "<!--"):
+		end := indexOf(s.in, s.pos+4, "-->")
+		if end < 0 {
+			return token{}, s.errf("unterminated comment")
+		}
+		t := token{kind: tokComment, text: s.in[s.pos+4 : end]}
+		s.pos = end + 3
+		return t, nil
+	case hasPrefix(rest, "<![CDATA["):
+		end := indexOf(s.in, s.pos+9, "]]>")
+		if end < 0 {
+			return token{}, s.errf("unterminated CDATA section")
+		}
+		// CDATA is literal text: mark with name "CDATA" so the parser
+		// skips entity decoding.
+		t := token{kind: tokText, name: "CDATA", text: s.in[s.pos+9 : end]}
+		s.pos = end + 3
+		return t, nil
+	case hasPrefix(rest, "<!DOCTYPE"):
+		// Skip to the matching '>' tracking nested brackets of the
+		// internal subset.
+		depth := 0
+		for i := s.pos; i < len(s.in); i++ {
+			switch s.in[i] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			case '>':
+				if depth <= 0 {
+					s.pos = i + 1
+					return s.next()
+				}
+			}
+		}
+		return token{}, s.errf("unterminated DOCTYPE")
+	default:
+		return token{}, s.errf("unsupported markup declaration")
+	}
+}
+
+func (s *scanner) scanPI() (token, error) {
+	s.pos += 2 // consume '<?'
+	name, err := s.scanName()
+	if err != nil {
+		return token{}, err
+	}
+	s.skipSpace()
+	end := indexOf(s.in, s.pos, "?>")
+	if end < 0 {
+		return token{}, s.errf("unterminated processing instruction")
+	}
+	t := token{kind: tokPI, name: name, text: s.in[s.pos:end]}
+	s.pos = end + 2
+	if name == "xml" || name == "XML" {
+		// XML declaration: not a node; skip.
+		return s.next()
+	}
+	return t, nil
+}
+
+func hasPrefix(b []byte, p string) bool {
+	if len(b) < len(p) {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		if b[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func indexOf(b []byte, from int, sub string) int {
+	c0 := sub[0]
+	for i := from; i+len(sub) <= len(b); i++ {
+		if b[i] == c0 && hasPrefix(b[i:], sub) {
+			return i
+		}
+	}
+	return -1
+}

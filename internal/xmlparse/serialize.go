@@ -1,0 +1,184 @@
+package xmlparse
+
+import (
+	"io"
+
+	"repro/internal/xmltree"
+)
+
+// Serialize writes the document as XML to w. Text and attribute values are
+// escaped; the output parses back (Parse ∘ Serialize = identity on the
+// data model, up to adjacent-text merging which the builder already
+// guarantees).
+func Serialize(w io.Writer, d *xmltree.Doc) error {
+	s := &serializer{w: w, d: d}
+	root := d.Root()
+	for c := d.FirstChild(root); c != xmltree.InvalidNode; c = d.NextSibling(c) {
+		if err := s.node(c); err != nil {
+			return err
+		}
+	}
+	return s.flush()
+}
+
+// SerializeToBytes renders the document as XML in memory.
+func SerializeToBytes(d *xmltree.Doc) ([]byte, error) {
+	var sink bytesSink
+	if err := Serialize(&sink, d); err != nil {
+		return nil, err
+	}
+	return sink.b, nil
+}
+
+type bytesSink struct{ b []byte }
+
+func (s *bytesSink) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+type serializer struct {
+	w   io.Writer
+	d   *xmltree.Doc
+	buf []byte
+}
+
+func (s *serializer) flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	_, err := s.w.Write(s.buf)
+	s.buf = s.buf[:0]
+	return err
+}
+
+func (s *serializer) raw(b []byte) error {
+	s.buf = append(s.buf, b...)
+	if len(s.buf) >= 1<<16 {
+		return s.flush()
+	}
+	return nil
+}
+
+func (s *serializer) rawString(str string) error {
+	s.buf = append(s.buf, str...)
+	if len(s.buf) >= 1<<16 {
+		return s.flush()
+	}
+	return nil
+}
+
+func (s *serializer) node(n xmltree.NodeID) error {
+	d := s.d
+	switch d.Kind(n) {
+	case xmltree.Text:
+		return s.escapeText(d.ValueBytes(n))
+	case xmltree.Comment:
+		if err := s.rawString("<!--"); err != nil {
+			return err
+		}
+		if err := s.rawString(d.Value(n)); err != nil {
+			return err
+		}
+		return s.rawString("-->")
+	case xmltree.PI:
+		if err := s.rawString("<?" + d.Name(n)); err != nil {
+			return err
+		}
+		if v := d.Value(n); v != "" {
+			if err := s.rawString(" " + v); err != nil {
+				return err
+			}
+		}
+		return s.rawString("?>")
+	case xmltree.Element:
+		if err := s.rawString("<" + d.Name(n)); err != nil {
+			return err
+		}
+		lo, hi := d.AttrRange(n)
+		for a := lo; a < hi; a++ {
+			if err := s.rawString(" " + d.AttrName(a) + "=\""); err != nil {
+				return err
+			}
+			if err := s.escapeAttr(d.AttrValueBytes(a)); err != nil {
+				return err
+			}
+			if err := s.rawString("\""); err != nil {
+				return err
+			}
+		}
+		first := d.FirstChild(n)
+		if first == xmltree.InvalidNode {
+			return s.rawString("/>")
+		}
+		if err := s.rawString(">"); err != nil {
+			return err
+		}
+		for c := first; c != xmltree.InvalidNode; c = d.NextSibling(c) {
+			if err := s.node(c); err != nil {
+				return err
+			}
+		}
+		return s.rawString("</" + d.Name(n) + ">")
+	default:
+		return nil
+	}
+}
+
+func (s *serializer) escapeText(b []byte) error {
+	last := 0
+	for i, c := range b {
+		var esc string
+		switch c {
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '&':
+			esc = "&amp;"
+		case '\r':
+			esc = "&#13;"
+		default:
+			continue
+		}
+		if err := s.raw(b[last:i]); err != nil {
+			return err
+		}
+		if err := s.rawString(esc); err != nil {
+			return err
+		}
+		last = i + 1
+	}
+	return s.raw(b[last:])
+}
+
+func (s *serializer) escapeAttr(b []byte) error {
+	last := 0
+	for i, c := range b {
+		var esc string
+		switch c {
+		case '<':
+			esc = "&lt;"
+		case '&':
+			esc = "&amp;"
+		case '"':
+			esc = "&quot;"
+		case '\t':
+			esc = "&#9;"
+		case '\n':
+			esc = "&#10;"
+		case '\r':
+			esc = "&#13;"
+		default:
+			continue
+		}
+		if err := s.raw(b[last:i]); err != nil {
+			return err
+		}
+		if err := s.rawString(esc); err != nil {
+			return err
+		}
+		last = i + 1
+	}
+	return s.raw(b[last:])
+}

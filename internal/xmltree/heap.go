@@ -1,0 +1,102 @@
+package xmltree
+
+// textHeap is an append-only byte heap holding all character data of a
+// document. Updated values are appended; old ranges become garbage until
+// Compact is called (value updates must not invalidate other references).
+type textHeap struct {
+	data []byte
+}
+
+func newTextHeap() *textHeap { return &textHeap{} }
+
+func (h *textHeap) put(s []byte) valueRef {
+	if len(s) == 0 {
+		return valueRef{}
+	}
+	off := uint32(len(h.data))
+	h.data = append(h.data, s...)
+	return valueRef{off: off, len: uint32(len(s))}
+}
+
+func (h *textHeap) putString(s string) valueRef {
+	if len(s) == 0 {
+		return valueRef{}
+	}
+	off := uint32(len(h.data))
+	h.data = append(h.data, s...)
+	return valueRef{off: off, len: uint32(len(s))}
+}
+
+func (h *textHeap) get(r valueRef) string {
+	if r.len == 0 {
+		return ""
+	}
+	return string(h.data[r.off : r.off+r.len])
+}
+
+func (h *textHeap) getBytes(r valueRef) []byte {
+	if r.len == 0 {
+		return nil
+	}
+	return h.data[r.off : r.off+r.len : r.off+r.len]
+}
+
+func (h *textHeap) size() int { return len(h.data) }
+
+// nameDict interns tag and attribute names.
+type nameDict struct {
+	byName map[string]NameID
+	names  []string
+}
+
+func newNameDict() *nameDict {
+	return &nameDict{byName: make(map[string]NameID)}
+}
+
+func (d *nameDict) intern(s string) NameID {
+	if id, ok := d.byName[s]; ok {
+		return id
+	}
+	id := NameID(len(d.names))
+	d.names = append(d.names, s)
+	d.byName[s] = id
+	return id
+}
+
+func (d *nameDict) find(s string) NameID {
+	if id, ok := d.byName[s]; ok {
+		return id
+	}
+	return -1
+}
+
+func (d *nameDict) lookup(id NameID) string {
+	if id < 0 || int(id) >= len(d.names) {
+		return ""
+	}
+	return d.names[id]
+}
+
+func (d *nameDict) count() int { return len(d.names) }
+
+// Compact rewrites the text heap keeping only live ranges, releasing
+// garbage produced by value updates. References in the node and attribute
+// tables are rewritten in place. It returns the number of bytes reclaimed.
+func (d *Doc) Compact() int {
+	old := d.heap
+	fresh := newTextHeap()
+	fresh.data = make([]byte, 0, d.LiveHeapBytes())
+	for i := range d.value {
+		if d.value[i].len != 0 {
+			d.value[i] = fresh.put(old.getBytes(d.value[i]))
+		}
+	}
+	for i := range d.attrValue {
+		if d.attrValue[i].len != 0 {
+			d.attrValue[i] = fresh.put(old.getBytes(d.attrValue[i]))
+		}
+	}
+	reclaimed := old.size() - fresh.size()
+	d.heap = fresh
+	return reclaimed
+}

@@ -1,0 +1,150 @@
+package xmltree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := buildPersonDoc(t)
+	var buf bytes.Buffer
+	n, err := d.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadDoc(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDoc(t, d, got)
+}
+
+func TestWriteReadRoundTripWithAttrsAndUpdates(t *testing.T) {
+	b := NewBuilder()
+	b.StartElement("r")
+	b.StartElement("a")
+	b.Attribute("k", "v1")
+	b.Attribute("j", "v2")
+	b.Text("text one")
+	b.EndElement()
+	b.Comment("a comment")
+	b.PI("target", "pi data")
+	b.StartElement("b")
+	b.Text("text two")
+	b.EndElement()
+	b.EndElement()
+	d, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garbage in the heap from updates must not be serialised.
+	txt := d.FirstChild(NodeID(2))
+	_ = txt
+	if err := d.SetText(4, "replaced"); err == nil {
+		// node 4 may or may not be text depending on layout; find one.
+	}
+	for i := 0; i < d.NumNodes(); i++ {
+		if d.Kind(NodeID(i)) == Text {
+			if err := d.SetText(NodeID(i), "updated "+strings.Repeat("x", 40)); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDoc(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDoc(t, d, got)
+	// The re-read heap contains only live bytes.
+	if got.HeapBytes() != got.LiveHeapBytes() {
+		t.Errorf("reloaded heap %d != live %d", got.HeapBytes(), got.LiveHeapBytes())
+	}
+}
+
+func TestReadDocRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not a document"),
+		[]byte("XTDOC2"), // truncated after magic
+		append([]byte("XTDOC2"), bytes.Repeat([]byte{0xFF}, 12)...), // absurd counts
+	}
+	for i, c := range cases {
+		if _, err := ReadDoc(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: ReadDoc accepted garbage", i)
+		}
+	}
+}
+
+func TestReadDocRejectsTruncation(t *testing.T) {
+	d := buildPersonDoc(t)
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{10, len(full) / 2, len(full) - 1} {
+		if _, err := ReadDoc(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("ReadDoc accepted %d/%d-byte truncation", cut, len(full))
+		}
+	}
+}
+
+func TestRandomDocsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 25; trial++ {
+		d := randomDoc(t, rng, 4, 4)
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadDoc(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertSameDoc(t, d, got)
+	}
+}
+
+func assertSameDoc(t *testing.T, a, b *Doc) {
+	t.Helper()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("reloaded doc invalid: %v", err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumAttrs() != b.NumAttrs() {
+		t.Fatalf("counts differ: %d/%d vs %d/%d", a.NumNodes(), a.NumAttrs(), b.NumNodes(), b.NumAttrs())
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		n := NodeID(i)
+		if a.Kind(n) != b.Kind(n) || a.Size(n) != b.Size(n) || a.Level(n) != b.Level(n) ||
+			a.Parent(n) != b.Parent(n) || a.Name(n) != b.Name(n) || a.Value(n) != b.Value(n) {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+	for x := 0; x < a.NumAttrs(); x++ {
+		ad := AttrID(x)
+		if a.AttrName(ad) != b.AttrName(ad) || a.AttrValue(ad) != b.AttrValue(ad) || a.AttrOwner(ad) != b.AttrOwner(ad) {
+			t.Fatalf("attr %d differs", x)
+		}
+	}
+}
+
+func BenchmarkWriteTo(b *testing.B) {
+	d := buildPersonDoc(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,657 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// buildPersonDoc constructs the paper's Figure 1 document:
+//
+//	<person>
+//	  <name><first>Arthur</first><family>Dent</family></name>
+//	  <birthday>1966-09-26</birthday>
+//	  <age><decades>4</decades>2<years/></age>
+//	  <weight><kilos>78</kilos>.<grams>230</grams></weight>
+//	</person>
+func buildPersonDoc(t testing.TB) *Doc {
+	t.Helper()
+	b := NewBuilder()
+	b.StartElement("person")
+	b.StartElement("name")
+	b.StartElement("first")
+	b.Text("Arthur")
+	b.EndElement()
+	b.StartElement("family")
+	b.Text("Dent")
+	b.EndElement()
+	b.EndElement()
+	b.StartElement("birthday")
+	b.Text("1966-09-26")
+	b.EndElement()
+	b.StartElement("age")
+	b.StartElement("decades")
+	b.Text("4")
+	b.EndElement()
+	b.Text("2")
+	b.StartElement("years")
+	b.EndElement()
+	b.EndElement()
+	b.StartElement("weight")
+	b.StartElement("kilos")
+	b.Text("78")
+	b.EndElement()
+	b.Text(".")
+	b.StartElement("grams")
+	b.Text("230")
+	b.EndElement()
+	b.EndElement()
+	b.EndElement()
+	doc, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return doc
+}
+
+// findElem returns the first element with the given tag in document order.
+func findElem(d *Doc, tag string) NodeID {
+	for i := 0; i < d.NumNodes(); i++ {
+		if d.Kind(NodeID(i)) == Element && d.Name(NodeID(i)) == tag {
+			return NodeID(i)
+		}
+	}
+	return InvalidNode
+}
+
+func TestBuilderPersonShape(t *testing.T) {
+	d := buildPersonDoc(t)
+	// document + person + name + first + "Arthur" + family + "Dent" +
+	// birthday + "1966-09-26" + age + decades + "4" + "2" + years +
+	// weight + kilos + "78" + "." + grams + "230" = 20 nodes
+	if got := d.NumNodes(); got != 20 {
+		t.Errorf("NumNodes = %d, want 20", got)
+	}
+	s := d.CollectStats()
+	if s.Elements != 11 {
+		t.Errorf("Elements = %d, want 11", s.Elements)
+	}
+	if s.Texts != 8 {
+		t.Errorf("Texts = %d, want 8", s.Texts)
+	}
+	if s.MaxLevel != 4 {
+		t.Errorf("MaxLevel = %d, want 4", s.MaxLevel)
+	}
+}
+
+func TestStringValuePaperExamples(t *testing.T) {
+	d := buildPersonDoc(t)
+	cases := []struct {
+		tag  string
+		want string
+	}{
+		{"name", "ArthurDent"},
+		{"first", "Arthur"},
+		{"age", "42"},
+		{"weight", "78.230"},
+		{"years", ""},
+		{"person", "ArthurDent1966-09-264278.230"},
+	}
+	for _, c := range cases {
+		n := findElem(d, c.tag)
+		if n == InvalidNode {
+			t.Fatalf("element %q not found", c.tag)
+		}
+		if got := d.StringValue(n); got != c.want {
+			t.Errorf("StringValue(<%s>) = %q, want %q", c.tag, got, c.want)
+		}
+	}
+	if got := d.StringValue(d.Root()); got != "ArthurDent1966-09-264278.230" {
+		t.Errorf("StringValue(doc) = %q", got)
+	}
+}
+
+func TestNavigation(t *testing.T) {
+	d := buildPersonDoc(t)
+	person := findElem(d, "person")
+	name := findElem(d, "name")
+	birthday := findElem(d, "birthday")
+	age := findElem(d, "age")
+	weight := findElem(d, "weight")
+
+	if got := d.FirstChild(person); got != name {
+		t.Errorf("FirstChild(person) = %d, want name %d", got, name)
+	}
+	if got := d.NextSibling(name); got != birthday {
+		t.Errorf("NextSibling(name) = %d, want birthday %d", got, birthday)
+	}
+	if got := d.NextSibling(weight); got != InvalidNode {
+		t.Errorf("NextSibling(weight) = %d, want invalid", got)
+	}
+	if got := d.Parent(name); got != person {
+		t.Errorf("Parent(name) = %d, want person %d", got, person)
+	}
+	if got := d.LastChild(person); got != weight {
+		t.Errorf("LastChild(person) = %d, want weight %d", got, weight)
+	}
+	if got := d.PrevSibling(age); got != birthday {
+		t.Errorf("PrevSibling(age) = %d, want birthday %d", got, birthday)
+	}
+	if got := d.PrevSibling(name); got != InvalidNode {
+		t.Errorf("PrevSibling(name) = %d, want invalid", got)
+	}
+	if got := d.LeftmostSibling(weight); got != name {
+		t.Errorf("LeftmostSibling(weight) = %d, want name %d", got, name)
+	}
+	kids := d.Children(person)
+	if len(kids) != 4 || kids[0] != name || kids[3] != weight {
+		t.Errorf("Children(person) = %v", kids)
+	}
+	if !d.IsAncestorOf(person, weight) || d.IsAncestorOf(weight, person) {
+		t.Error("IsAncestorOf misbehaves")
+	}
+	if d.IsAncestorOf(person, person) {
+		t.Error("IsAncestorOf must be proper")
+	}
+	anc := d.Ancestors(findElem(d, "grams"))
+	if len(anc) != 3 || anc[0] != weight || anc[2] != d.Root() {
+		t.Errorf("Ancestors(grams) = %v", anc)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	b := NewBuilder()
+	b.StartElement("items")
+	b.StartElement("item")
+	b.Attribute("id", "i1")
+	b.Attribute("featured", "yes")
+	b.Text("hello")
+	b.EndElement()
+	b.StartElement("item")
+	b.Attribute("id", "i2")
+	b.EndElement()
+	b.EndElement()
+	d, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumAttrs() != 3 {
+		t.Fatalf("NumAttrs = %d, want 3", d.NumAttrs())
+	}
+	item1 := NodeID(2)
+	lo, hi := d.AttrRange(item1)
+	if hi-lo != 2 {
+		t.Fatalf("item1 attr range %d..%d", lo, hi)
+	}
+	if d.AttrName(lo) != "id" || d.AttrValue(lo) != "i1" {
+		t.Errorf("attr 0 = %s=%s", d.AttrName(lo), d.AttrValue(lo))
+	}
+	if a := d.FindAttr(item1, "featured"); a == InvalidAttr || d.AttrValue(a) != "yes" {
+		t.Errorf("FindAttr(featured) failed")
+	}
+	if a := d.FindAttr(item1, "missing"); a != InvalidAttr {
+		t.Errorf("FindAttr(missing) = %d", a)
+	}
+	for a := AttrID(0); a < AttrID(d.NumAttrs()); a++ {
+		owner := d.AttrOwner(a)
+		lo, hi := d.AttrRange(owner)
+		if a < lo || a >= hi {
+			t.Errorf("AttrOwner(%d) = %d, range %d..%d", a, owner, lo, hi)
+		}
+	}
+	// Attributes do not contribute to string values.
+	if got := d.StringValue(0); got != "hello" {
+		t.Errorf("StringValue(doc) = %q, want hello", got)
+	}
+}
+
+func TestCommentsAndPIsExcludedFromStringValue(t *testing.T) {
+	b := NewBuilder()
+	b.StartElement("a")
+	b.Text("x")
+	b.Comment("not me")
+	b.PI("target", "nor me")
+	b.Text("y")
+	b.EndElement()
+	d, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.StringValue(1); got != "xy" {
+		t.Errorf("StringValue = %q, want xy", got)
+	}
+	if got := d.Value(3); got != "not me" {
+		t.Errorf("comment Value = %q", got)
+	}
+	if d.Name(4) != "target" || d.Value(4) != "nor me" {
+		t.Errorf("PI = %s %q", d.Name(4), d.Value(4))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	b.EndElement()
+	if b.Err() == nil {
+		t.Error("EndElement on empty stack must fail")
+	}
+
+	b = NewBuilder()
+	b.StartElement("a")
+	if _, err := b.Finish(); err == nil {
+		t.Error("Finish with open element must fail")
+	}
+
+	b = NewBuilder()
+	b.StartElement("a")
+	b.Text("content")
+	b.Attribute("late", "x")
+	if b.Err() == nil {
+		t.Error("Attribute after content must fail")
+	}
+
+	b = NewBuilder()
+	b.Attribute("id", "x")
+	if b.Err() == nil {
+		t.Error("Attribute on document node must fail")
+	}
+}
+
+func TestSetText(t *testing.T) {
+	d := buildPersonDoc(t)
+	family := findElem(d, "family")
+	txt := d.FirstChild(family)
+	if err := d.SetText(txt, "Prefect"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.StringValue(findElem(d, "name")); got != "ArthurPrefect" {
+		t.Errorf("after update StringValue(name) = %q", got)
+	}
+	if err := d.SetText(family, "nope"); err == nil {
+		t.Error("SetText on element must fail")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	d := buildPersonDoc(t)
+	before := d.HeapBytes()
+	txt := d.FirstChild(findElem(d, "family"))
+	for i := 0; i < 100; i++ {
+		if err := d.SetText(txt, strings.Repeat("x", 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.HeapBytes() <= before {
+		t.Fatal("heap should have grown")
+	}
+	reclaimed := d.Compact()
+	if reclaimed <= 0 {
+		t.Error("Compact reclaimed nothing")
+	}
+	if got := d.Value(txt); got != strings.Repeat("x", 50) {
+		t.Errorf("value corrupted by Compact: %q", got)
+	}
+	if got := d.StringValue(0); !strings.HasPrefix(got, "Arthur") {
+		t.Errorf("doc value corrupted: %q", got)
+	}
+	if d.HeapBytes() != d.LiveHeapBytes() {
+		t.Errorf("after Compact heap %d != live %d", d.HeapBytes(), d.LiveHeapBytes())
+	}
+}
+
+func TestDeleteSubtree(t *testing.T) {
+	d := buildPersonDoc(t)
+	if err := d.DeleteSubtree(findElem(d, "age")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("after delete: %v", err)
+	}
+	if got := d.NumNodes(); got != 15 { // removed age + decades + "4" + "2" + years
+		t.Errorf("NumNodes = %d, want 15", got)
+	}
+	if findElem(d, "age") != InvalidNode || findElem(d, "decades") != InvalidNode {
+		t.Error("deleted elements still present")
+	}
+	if got := d.StringValue(0); got != "ArthurDent1966-09-2678.230" {
+		t.Errorf("StringValue(doc) = %q", got)
+	}
+	// weight subtree must still navigate correctly after the shift.
+	weight := findElem(d, "weight")
+	if got := d.StringValue(weight); got != "78.230" {
+		t.Errorf("StringValue(weight) = %q", got)
+	}
+	if d.Parent(weight) != findElem(d, "person") {
+		t.Error("weight parent wrong after shift")
+	}
+}
+
+func TestDeleteSubtreeWithAttrs(t *testing.T) {
+	b := NewBuilder()
+	b.StartElement("r")
+	b.StartElement("a")
+	b.Attribute("k", "1")
+	b.EndElement()
+	b.StartElement("b")
+	b.Attribute("k", "2")
+	b.Attribute("j", "3")
+	b.EndElement()
+	b.StartElement("c")
+	b.Attribute("k", "4")
+	b.EndElement()
+	b.EndElement()
+	d, _ := b.Finish()
+	if err := d.DeleteSubtree(findElem(d, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumAttrs() != 2 {
+		t.Fatalf("NumAttrs = %d, want 2", d.NumAttrs())
+	}
+	c := findElem(d, "c")
+	if a := d.FindAttr(c, "k"); a == InvalidAttr || d.AttrValue(a) != "4" {
+		t.Error("attribute of c lost or corrupted")
+	}
+}
+
+func TestDeleteDocumentNodeFails(t *testing.T) {
+	d := buildPersonDoc(t)
+	if err := d.DeleteSubtree(0); err == nil {
+		t.Error("deleting document node must fail")
+	}
+}
+
+func makeFragment(t testing.TB) *Doc {
+	t.Helper()
+	b := NewBuilder()
+	b.StartElement("email")
+	b.Attribute("kind", "home")
+	b.Text("arthur@heartofgold.example")
+	b.EndElement()
+	d, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestInsertChildren(t *testing.T) {
+	d := buildPersonDoc(t)
+	person := findElem(d, "person")
+	first, err := d.InsertChildren(person, 1, makeFragment(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("after insert: %v", err)
+	}
+	if d.Name(first) != "email" {
+		t.Errorf("inserted node is %q", d.Name(first))
+	}
+	kids := d.Children(person)
+	if len(kids) != 5 || d.Name(kids[1]) != "email" || d.Name(kids[2]) != "birthday" {
+		names := make([]string, len(kids))
+		for i, k := range kids {
+			names[i] = d.Name(k)
+		}
+		t.Errorf("children after insert: %v", names)
+	}
+	if a := d.FindAttr(first, "kind"); a == InvalidAttr || d.AttrValue(a) != "home" {
+		t.Error("inserted attribute missing")
+	}
+	if got := d.StringValue(first); got != "arthur@heartofgold.example" {
+		t.Errorf("inserted string value = %q", got)
+	}
+	if got := d.StringValue(person); got != "ArthurDentarthur@heartofgold.example1966-09-264278.230" {
+		t.Errorf("person string value = %q", got)
+	}
+}
+
+func TestInsertChildrenAppendAndPrepend(t *testing.T) {
+	d := buildPersonDoc(t)
+	person := findElem(d, "person")
+	if _, err := d.InsertChildren(person, 4, makeFragment(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	person = findElem(d, "person")
+	kids := d.Children(person)
+	if d.Name(kids[len(kids)-1]) != "email" {
+		t.Error("append did not place email last")
+	}
+	if _, err := d.InsertChildren(person, 0, makeFragment(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	kids = d.Children(findElem(d, "person"))
+	if d.Name(kids[0]) != "email" {
+		t.Error("prepend did not place email first")
+	}
+	if _, err := d.InsertChildren(findElem(d, "person"), 99, makeFragment(t)); err == nil {
+		t.Error("out-of-range pos must fail")
+	}
+}
+
+func TestInsertIntoEmptyElement(t *testing.T) {
+	d := buildPersonDoc(t)
+	years := findElem(d, "years")
+	if _, err := d.InsertChildren(years, 0, makeFragment(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	years = findElem(d, "years")
+	if got := d.StringValue(years); got != "arthur@heartofgold.example" {
+		t.Errorf("StringValue(years) = %q", got)
+	}
+	if got := d.StringValue(findElem(d, "age")); got != "42arthur@heartofgold.example" {
+		t.Errorf("StringValue(age) = %q", got)
+	}
+}
+
+func TestInsertUnderTextFails(t *testing.T) {
+	d := buildPersonDoc(t)
+	txt := d.FirstChild(findElem(d, "first"))
+	if _, err := d.InsertChildren(txt, 0, makeFragment(t)); err == nil {
+		t.Error("insert under text node must fail")
+	}
+}
+
+// TestRandomizedStructuralUpdates performs random deletes and inserts and
+// cross-checks Validate plus string values against a freshly rebuilt copy.
+func TestRandomizedStructuralUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 30; trial++ {
+		d := randomDoc(t, rng, 4, 4)
+		for op := 0; op < 10; op++ {
+			if rng.Intn(2) == 0 && d.NumNodes() > 2 {
+				// Delete a random non-document node.
+				n := NodeID(1 + rng.Intn(d.NumNodes()-1))
+				if err := d.DeleteSubtree(n); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// Insert a small fragment under a random element.
+				var elems []NodeID
+				for i := 0; i < d.NumNodes(); i++ {
+					if k := d.Kind(NodeID(i)); k == Element || k == Document {
+						elems = append(elems, NodeID(i))
+					}
+				}
+				p := elems[rng.Intn(len(elems))]
+				pos := 0
+				if nc := d.NumChildren(p); nc > 0 {
+					pos = rng.Intn(nc + 1)
+				}
+				if _, err := d.InsertChildren(p, pos, randomDoc(t, rng, 2, 3)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatalf("trial %d op %d: %v", trial, op, err)
+			}
+		}
+		// Cross-check string value of every node against naive recursion.
+		for i := 0; i < d.NumNodes(); i++ {
+			n := NodeID(i)
+			if got, want := d.StringValue(n), naiveStringValue(d, n); got != want {
+				t.Fatalf("trial %d node %d: StringValue %q, want %q", trial, i, got, want)
+			}
+		}
+	}
+}
+
+func naiveStringValue(d *Doc, n NodeID) string {
+	switch d.Kind(n) {
+	case Text, Comment, PI:
+		return d.Value(n)
+	}
+	var sb strings.Builder
+	for c := d.FirstChild(n); c != InvalidNode; c = d.NextSibling(c) {
+		switch d.Kind(c) {
+		case Text:
+			sb.WriteString(d.Value(c))
+		case Element:
+			sb.WriteString(naiveStringValue(d, c))
+		}
+	}
+	return sb.String()
+}
+
+// randomDoc builds a random document with the given max depth and fanout.
+func randomDoc(t testing.TB, rng *rand.Rand, depth, fanout int) *Doc {
+	t.Helper()
+	b := NewBuilder()
+	var gen func(level int)
+	gen = func(level int) {
+		n := 1 + rng.Intn(fanout)
+		for i := 0; i < n; i++ {
+			switch {
+			case level < depth && rng.Intn(3) > 0:
+				b.StartElement(randomTag(rng))
+				if rng.Intn(3) == 0 {
+					b.Attribute("id", randomWord(rng))
+				}
+				gen(level + 1)
+				b.EndElement()
+			case rng.Intn(8) == 0:
+				b.Comment(randomWord(rng))
+			default:
+				b.Text(randomWord(rng))
+			}
+		}
+	}
+	b.StartElement("root")
+	gen(1)
+	b.EndElement()
+	d, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+var tags = []string{"a", "b", "c", "item", "name", "value", "x"}
+
+func randomTag(rng *rand.Rand) string { return tags[rng.Intn(len(tags))] }
+
+func randomWord(rng *rand.Rand) string {
+	n := rng.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+func TestCursorPaperInterface(t *testing.T) {
+	d := buildPersonDoc(t)
+	c := NewCursor(d)
+	if c.Root() != 0 {
+		t.Fatal("Root != 0")
+	}
+	if !c.HasChild() {
+		t.Fatal("document must have a child")
+	}
+	person := c.NextChild()
+	if d.Name(person) != "person" {
+		t.Fatalf("NextChild = %q", d.Name(person))
+	}
+	name := c.NextChild()
+	if d.Name(name) != "name" {
+		t.Fatalf("NextChild = %q", d.Name(name))
+	}
+	if !c.HasSibling() {
+		t.Fatal("name must have sibling")
+	}
+	if sib := c.NextSibling(); d.Name(sib) != "birthday" {
+		t.Fatalf("NextSibling = %q", d.Name(sib))
+	}
+	if f := c.Father(); d.Name(f) != "person" {
+		t.Fatalf("Father = %q", d.Name(f))
+	}
+	c.MoveTo(findElem(d, "weight"))
+	if lm := c.LeftmostSibling(); d.Name(lm) != "name" {
+		t.Fatalf("LeftmostSibling = %q", d.Name(lm))
+	}
+	if c.NextChild() == InvalidNode {
+		t.Fatal("name has children")
+	}
+}
+
+func TestDescendantWalks(t *testing.T) {
+	d := buildPersonDoc(t)
+	var texts []string
+	d.DescendantTexts(findElem(d, "weight"), func(n NodeID) bool {
+		texts = append(texts, d.Value(n))
+		return true
+	})
+	if strings.Join(texts, "|") != "78|.|230" {
+		t.Errorf("weight texts = %v", texts)
+	}
+	count := 0
+	d.Descendants(d.Root(), func(NodeID) bool { count++; return true })
+	if count != d.NumNodes()-1 {
+		t.Errorf("Descendants visited %d, want %d", count, d.NumNodes()-1)
+	}
+	// Early stop.
+	count = 0
+	d.Descendants(d.Root(), func(NodeID) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func BenchmarkBuildPerson(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		buildPersonDoc(b)
+	}
+}
+
+func BenchmarkStringValueRoot(b *testing.B) {
+	d := buildPersonDoc(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkStr = d.StringValue(0)
+	}
+}
+
+var sinkStr string

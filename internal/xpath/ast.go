@@ -1,0 +1,120 @@
+// Package xpath implements the query side of the paper's motivation: a
+// small XPath dialect with equality and range predicates, evaluated either
+// by scanning the document or accelerated through the generic value
+// indices (string hash index for equality on strings, double index for
+// numeric comparisons) with candidate verification.
+//
+// Supported grammar:
+//
+//	path      := ('/' | '//') step (('/' | '//') step)*
+//	step      := nametest predicate*
+//	nametest  := NAME | '*' | 'text()' | '@' NAME
+//	predicate := '[' cond (and cond)* ']'
+//	cond      := operand cmp literal
+//	operand   := '.' | 'fn:data(' rel ')' | rel
+//	rel       := ('.//' )? step ('/' step)*        (axes inside predicates)
+//	cmp       := '=' | '!=' | '<' | '<=' | '>' | '>='
+//	literal   := '"…"' | "'…'" | number
+//
+// Examples from the paper:
+//
+//	//person[first/text()="Arthur"]
+//	//*[fn:data(name)="ArthurDent"]
+//	//person[.//age = 42]
+package xpath
+
+import "fmt"
+
+// Axis distinguishes child ('/') from descendant-or-self ('//') steps.
+type Axis uint8
+
+const (
+	Child Axis = iota
+	Descendant
+)
+
+// TestKind classifies a step's node test.
+type TestKind uint8
+
+const (
+	TestName TestKind = iota // element by tag
+	TestAny                  // *
+	TestText                 // text()
+	TestAttr                 // @name
+)
+
+// Step is one location step.
+type Step struct {
+	Axis  Axis
+	Kind  TestKind
+	Name  string // tag for TestName, attribute name for TestAttr
+	Preds []Pred
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Literal is a comparison right-hand side: a string or a number.
+type Literal struct {
+	IsNum bool
+	Num   float64
+	Str   string
+}
+
+func (l Literal) String() string {
+	if l.IsNum {
+		return fmt.Sprintf("%g", l.Num)
+	}
+	return fmt.Sprintf("%q", l.Str)
+}
+
+// Cond is one comparison inside a predicate. Rel is the operand path
+// relative to the step's node: empty with Dot=true means the node itself
+// ('.' or fn:data(.)).
+type Cond struct {
+	Dot bool
+	Rel []Step // child-axis steps (first step may be Descendant for .//)
+	Op  CmpOp
+	Lit Literal
+}
+
+// Pred is a conjunction of conditions ([a and b]).
+type Pred struct {
+	Conds []Cond
+}
+
+// Path is a parsed absolute path expression.
+type Path struct {
+	Steps []Step
+	src   string
+}
+
+// String returns the original expression text.
+func (p *Path) String() string { return p.src }

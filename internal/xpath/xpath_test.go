@@ -1,0 +1,404 @@
+package xpath
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmlparse"
+	"repro/internal/xmltree"
+)
+
+const personXML = `<person><name><first>Arthur</first><family>Dent</family></name><birthday>1966-09-26</birthday><age><decades>4</decades>2<years/></age><weight><kilos>78</kilos>.<grams>230</grams></weight></person>`
+
+func mustIndex(t testing.TB, xml string) *core.Indexes {
+	t.Helper()
+	doc, err := xmlparse.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Build(doc, core.DefaultOptions())
+}
+
+func names(doc *xmltree.Doc, ps []core.Posting) []string {
+	var out []string
+	for _, p := range ps {
+		if p.IsAttr {
+			out = append(out, "@"+doc.AttrName(p.Attr))
+		} else if doc.Kind(p.Node) == xmltree.Text {
+			out = append(out, "text:"+doc.Value(p.Node))
+		} else {
+			out = append(out, doc.Name(p.Node))
+		}
+	}
+	return out
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "person", "//", "//person[", "//person[x=]", "//a[.=1 and]",
+		"//a[b==2]", `//a[.="unterminated]`, "//a]", "//a[b[c=1]=2]",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseShapes(t *testing.T) {
+	p := MustParse(`//person[.//age = 42]/name`)
+	if len(p.Steps) != 2 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if p.Steps[0].Axis != Descendant || p.Steps[1].Axis != Child {
+		t.Error("axes wrong")
+	}
+	cond := p.Steps[0].Preds[0].Conds[0]
+	if cond.Dot || len(cond.Rel) != 1 || cond.Rel[0].Name != "age" || cond.Rel[0].Axis != Descendant {
+		t.Errorf("cond = %+v", cond)
+	}
+	if !cond.Lit.IsNum || cond.Lit.Num != 42 {
+		t.Errorf("lit = %+v", cond.Lit)
+	}
+
+	p = MustParse(`//item[@id="i1" and price >= 10]/desc`)
+	conds := p.Steps[0].Preds[0].Conds
+	if len(conds) != 2 {
+		t.Fatalf("conds = %d", len(conds))
+	}
+	if conds[0].Rel[0].Kind != TestAttr || conds[1].Op != OpGe {
+		t.Errorf("conds = %+v", conds)
+	}
+}
+
+func TestPaperQueryFirstArthur(t *testing.T) {
+	ix := mustIndex(t, personXML)
+	doc := ix.Doc()
+	for _, mode := range []string{"scan", "indexed"} {
+		q := MustParse(`//person[first/text()="Arthur"]`)
+		var got []core.Posting
+		if mode == "scan" {
+			got = Evaluate(doc, q)
+		} else {
+			got = EvaluateIndexed(ix, q)
+		}
+		// first is not a direct child of person — no match.
+		if len(got) != 0 {
+			t.Errorf("%s: //person[first/text()=Arthur] = %v, want empty", mode, names(doc, got))
+		}
+		q = MustParse(`//person[name/first/text()="Arthur"]`)
+		if mode == "scan" {
+			got = Evaluate(doc, q)
+		} else {
+			got = EvaluateIndexed(ix, q)
+		}
+		if len(got) != 1 || doc.Name(got[0].Node) != "person" {
+			t.Errorf("%s: person query = %v", mode, names(doc, got))
+		}
+	}
+}
+
+func TestPaperQueryFnData(t *testing.T) {
+	ix := mustIndex(t, personXML)
+	doc := ix.Doc()
+	q := MustParse(`//*[fn:data(name)="ArthurDent"]`)
+	scan := Evaluate(doc, q)
+	indexed := EvaluateIndexed(ix, q)
+	if len(scan) != 1 || doc.Name(scan[0].Node) != "person" {
+		t.Errorf("scan = %v", names(doc, scan))
+	}
+	assertSame(t, doc, scan, indexed)
+}
+
+func TestPaperQueryAge42(t *testing.T) {
+	xml := `<people>
+	  <person><age>42</age></person>
+	  <person><age>42.0</age></person>
+	  <person><age> +4.2E1</age></person>
+	  <person><age><decades>4</decades>2<years/></age></person>
+	  <person><age>41</age></person>
+	  <person><info><age>42</age></info></person>
+	</people>`
+	ix := mustIndex(t, xml)
+	doc := ix.Doc()
+	q := MustParse(`//person[.//age = 42]`)
+	scan := Evaluate(doc, q)
+	indexed := EvaluateIndexed(ix, q)
+	if len(scan) != 5 {
+		t.Errorf("scan found %d persons, want 5: %v", len(scan), names(doc, scan))
+	}
+	assertSame(t, doc, scan, indexed)
+}
+
+func TestRangeQueries(t *testing.T) {
+	xml := `<items>
+	  <item><price>5</price></item>
+	  <item><price>15.5</price></item>
+	  <item><price>25</price></item>
+	  <item><price>not a price</price></item>
+	</items>`
+	ix := mustIndex(t, xml)
+	doc := ix.Doc()
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{`//item[price > 10]`, 2},
+		{`//item[price >= 15.5]`, 2},
+		{`//item[price < 10]`, 1},
+		{`//item[price <= 5]`, 1},
+		{`//item[price = 25]`, 1},
+		{`//item[price > 10 and price < 20]`, 1},
+		{`//item[price != 5]`, 2}, // non-castable "not a price" never matches numerics
+	}
+	for _, c := range cases {
+		q := MustParse(c.q)
+		scan := Evaluate(doc, q)
+		indexed := EvaluateIndexed(ix, q)
+		if len(scan) != c.want {
+			t.Errorf("scan %s = %d hits, want %d", c.q, len(scan), c.want)
+		}
+		assertSame(t, doc, scan, indexed)
+	}
+}
+
+func TestAttributePredicatesAndSteps(t *testing.T) {
+	xml := `<catalog>
+	  <item id="i1" price="9.99"><name>foo</name></item>
+	  <item id="i2" price="19.99"><name>bar</name></item>
+	</catalog>`
+	ix := mustIndex(t, xml)
+	doc := ix.Doc()
+	q := MustParse(`//item[@id="i2"]`)
+	scan := Evaluate(doc, q)
+	if len(scan) != 1 || doc.Name(scan[0].Node) != "item" {
+		t.Fatalf("scan = %v", names(doc, scan))
+	}
+	assertSame(t, doc, scan, EvaluateIndexed(ix, q))
+
+	q = MustParse(`//item[@price < 10]`)
+	scan = Evaluate(doc, q)
+	if len(scan) != 1 {
+		t.Fatalf("@price<10 = %v", names(doc, scan))
+	}
+	assertSame(t, doc, scan, EvaluateIndexed(ix, q))
+
+	// Attribute selection step.
+	q = MustParse(`//item/@id`)
+	scan = Evaluate(doc, q)
+	if len(scan) != 2 || !scan[0].IsAttr {
+		t.Fatalf("//item/@id = %v", names(doc, scan))
+	}
+	assertSame(t, doc, scan, EvaluateIndexed(ix, q))
+
+	// Attribute step with dot predicate — indexable shape.
+	q = MustParse(`//item/@id[. = "i1"]`)
+	scan = Evaluate(doc, q)
+	if len(scan) != 1 || doc.AttrValue(scan[0].Attr) != "i1" {
+		t.Fatalf("attr dot pred = %v", names(doc, scan))
+	}
+	assertSame(t, doc, scan, EvaluateIndexed(ix, q))
+}
+
+func TestTextSteps(t *testing.T) {
+	ix := mustIndex(t, personXML)
+	doc := ix.Doc()
+	q := MustParse(`//first/text()`)
+	got := Evaluate(doc, q)
+	if len(got) != 1 || doc.Value(got[0].Node) != "Arthur" {
+		t.Errorf("//first/text() = %v", names(doc, got))
+	}
+	q = MustParse(`//name/*`)
+	got = Evaluate(doc, q)
+	if len(got) != 2 {
+		t.Errorf("//name/* = %v", names(doc, got))
+	}
+	q = MustParse(`/person/name`)
+	got = Evaluate(doc, q)
+	if len(got) != 1 {
+		t.Errorf("/person/name = %v", names(doc, got))
+	}
+	q = MustParse(`/name`)
+	if got = Evaluate(doc, q); len(got) != 0 {
+		t.Errorf("/name should not match below root: %v", names(doc, got))
+	}
+}
+
+func TestDotPredicate(t *testing.T) {
+	ix := mustIndex(t, personXML)
+	doc := ix.Doc()
+	q := MustParse(`//kilos[. = 78]`)
+	scan := Evaluate(doc, q)
+	if len(scan) != 1 {
+		t.Errorf("//kilos[.=78] = %v", names(doc, scan))
+	}
+	assertSame(t, doc, scan, EvaluateIndexed(ix, q))
+
+	// Mixed content: weight = 78.230 via ".": the paper's flagship case.
+	q = MustParse(`//weight[. = 78.230]`)
+	scan = Evaluate(doc, q)
+	if len(scan) != 1 {
+		t.Errorf("//weight[.=78.230] = %v", names(doc, scan))
+	}
+	assertSame(t, doc, scan, EvaluateIndexed(ix, q))
+
+	q = MustParse(`//family[. = "Dent"]`)
+	scan = Evaluate(doc, q)
+	if len(scan) != 1 {
+		t.Errorf("//family[.=Dent] = %v", names(doc, scan))
+	}
+	assertSame(t, doc, scan, EvaluateIndexed(ix, q))
+}
+
+// TestIndexedMatchesScanRandomized is the load-bearing equivalence test:
+// on random documents and random queries, indexed evaluation must return
+// exactly what scanning returns.
+func TestIndexedMatchesScanRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	tags := []string{"a", "b", "c", "item", "price"}
+	for trial := 0; trial < 40; trial++ {
+		doc := randomDoc(rng, tags)
+		ix := core.Build(doc, core.DefaultOptions())
+		for qi := 0; qi < 25; qi++ {
+			q := randomQuery(rng, tags)
+			parsed, err := Parse(q)
+			if err != nil {
+				t.Fatalf("generated query %q does not parse: %v", q, err)
+			}
+			scan := Evaluate(doc, parsed)
+			indexed := EvaluateIndexed(ix, parsed)
+			if !postingsEqual(scan, indexed) {
+				t.Fatalf("trial %d query %q:\nscan    = %v\nindexed = %v",
+					trial, q, names(doc, scan), names(doc, indexed))
+			}
+		}
+	}
+}
+
+func randomDoc(rng *rand.Rand, tags []string) *xmltree.Doc {
+	b := xmltree.NewBuilder()
+	b.StartElement("root")
+	var gen func(depth, budget int) int
+	gen = func(depth, budget int) int {
+		for budget > 0 {
+			switch r := rng.Intn(10); {
+			case r < 4 && depth < 4:
+				b.StartElement(tags[rng.Intn(len(tags))])
+				if rng.Intn(3) == 0 {
+					b.Attribute([]string{"id", "v"}[rng.Intn(2)], randomVal(rng))
+				}
+				budget = gen(depth+1, budget-1)
+				b.EndElement()
+			default:
+				b.Text(randomVal(rng))
+				budget--
+				if rng.Intn(2) == 0 {
+					return budget
+				}
+			}
+		}
+		return budget
+	}
+	gen(1, 60)
+	b.EndElement()
+	d, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func randomVal(rng *rand.Rand) string {
+	switch rng.Intn(5) {
+	case 0:
+		return fmt.Sprint(rng.Intn(20))
+	case 1:
+		return fmt.Sprintf("%.1f", rng.Float64()*20)
+	case 2:
+		return []string{"foo", "bar", "baz"}[rng.Intn(3)]
+	case 3:
+		return "."
+	default:
+		return fmt.Sprint(rng.Intn(5))
+	}
+}
+
+func randomQuery(rng *rand.Rand, tags []string) string {
+	tag := func() string { return tags[rng.Intn(len(tags))] }
+	axis := func() string {
+		if rng.Intn(2) == 0 {
+			return "/"
+		}
+		return "//"
+	}
+	lit := func() string {
+		if rng.Intn(2) == 0 {
+			return fmt.Sprint(rng.Intn(20))
+		}
+		return `"` + []string{"foo", "bar", "baz", "7"}[rng.Intn(4)] + `"`
+	}
+	op := []string{"=", "!=", "<", "<=", ">", ">="}[rng.Intn(6)]
+	operand := []string{".", tag(), ".//" + tag(), tag() + "/" + tag(), "@id", "fn:data(" + tag() + ")"}[rng.Intn(6)]
+	pred := "[" + operand + " " + op + " " + lit() + "]"
+	if rng.Intn(4) == 0 {
+		pred = "[" + operand + " " + op + " " + lit() + " and . " + op + " " + lit() + "]"
+	}
+	q := axis() + tag() + pred
+	if rng.Intn(3) == 0 {
+		q = axis() + tag() + q[0:0] + axis()[:1] + "" // no-op variety guard
+		q = axis() + tag() + "/" + tag() + pred
+	}
+	return q
+}
+
+func postingsEqual(a, b []core.Posting) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func assertSame(t *testing.T, doc *xmltree.Doc, scan, indexed []core.Posting) {
+	t.Helper()
+	if !postingsEqual(scan, indexed) {
+		t.Errorf("indexed diverges from scan:\nscan    = %v\nindexed = %v",
+			names(doc, scan), names(doc, indexed))
+	}
+}
+
+func BenchmarkScanVsIndexed(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	bld := xmltree.NewBuilder()
+	bld.StartElement("items")
+	for i := 0; i < 5000; i++ {
+		bld.StartElement("item")
+		bld.StartElement("price")
+		bld.Text(fmt.Sprintf("%d.%02d", rng.Intn(100), rng.Intn(100)))
+		bld.EndElement()
+		bld.StartElement("name")
+		bld.Text(fmt.Sprintf("product-%d", i))
+		bld.EndElement()
+		bld.EndElement()
+	}
+	bld.EndElement()
+	doc, _ := bld.Finish()
+	ix := core.Build(doc, core.DefaultOptions())
+	q := MustParse(`//item[price = 42.42]`)
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Evaluate(doc, q)
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			EvaluateIndexed(ix, q)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package xmlvi_test
+
+import (
+	"testing"
+)
+
+func TestContainsWithAndWithoutIndex(t *testing.T) {
+	d := mustParse(t, `<r><a>the quick brown fox</a><b note="lazy dogs everywhere">jumps over</b></r>`)
+	// Without the index: scan path.
+	scan := d.Contains("quick brown")
+	if len(scan) != 1 {
+		t.Fatalf("scan Contains = %d", len(scan))
+	}
+	// Enable the q-gram index and compare.
+	d.EnableSubstringIndex()
+	idx := d.Contains("quick brown")
+	if len(idx) != len(scan) || idx[0].Node != scan[0].Node {
+		t.Fatalf("indexed Contains differs: %v vs %v", idx, scan)
+	}
+	// Attribute values participate.
+	if hits := d.Contains("lazy dogs"); len(hits) != 1 || !hits[0].IsAttr {
+		t.Fatalf("attr Contains = %v", hits)
+	}
+	if hits := d.Contains("absent needle"); len(hits) != 0 {
+		t.Fatalf("phantom hits: %v", hits)
+	}
+}
+
+func TestContainsFollowsUpdates(t *testing.T) {
+	d := mustParse(t, `<r><a>original content</a></r>`)
+	d.EnableSubstringIndex()
+	txt := d.Children(d.Find("a"))[0]
+	if err := d.UpdateText(txt, "replacement content"); err != nil {
+		t.Fatal(err)
+	}
+	if hits := d.Contains("original"); len(hits) != 0 {
+		t.Error("stale substring hit after update")
+	}
+	if hits := d.Contains("replacement"); len(hits) != 1 {
+		t.Error("new substring not found after update")
+	}
+	// Structural updates rebuild the substring index.
+	if _, err := d.InsertXML(d.Find("a"), 1, `<extra>inserted words</extra>`); err != nil {
+		t.Fatal(err)
+	}
+	if hits := d.Contains("inserted words"); len(hits) != 1 {
+		t.Error("substring index missed inserted content")
+	}
+	if err := d.Delete(d.Find("extra")); err != nil {
+		t.Fatal(err)
+	}
+	if hits := d.Contains("inserted words"); len(hits) != 0 {
+		t.Error("substring index kept deleted content")
+	}
+}
+
+func BenchmarkContainsAPI(b *testing.B) {
+	d := mustParse(b, wideXML(2000))
+	d.EnableSubstringIndex()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(d.Contains("needle-77")) == 0 {
+			b.Fatal("needle missing")
+		}
+	}
+}
+
+func wideXML(n int) string {
+	out := "<r>"
+	for i := 0; i < n; i++ {
+		out += "<x>needle-" + itoa(i) + " filler words</x>"
+	}
+	return out + "</r>"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}

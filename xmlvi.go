@@ -1,0 +1,418 @@
+package xmlvi
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/substr"
+	"repro/internal/txn"
+	"repro/internal/xmlparse"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Options configure parsing and index construction.
+type Options struct {
+	// String, Double, and DateTime select the indices to build. The zero
+	// Options value builds all three.
+	String   bool
+	Double   bool
+	DateTime bool
+	// StripWhitespace drops whitespace-only text nodes while shredding.
+	StripWhitespace bool
+	// SkipComments and SkipPIs drop those node kinds while shredding.
+	SkipComments bool
+	SkipPIs      bool
+}
+
+func (o Options) indexOptions() core.Options {
+	if !o.String && !o.Double && !o.DateTime {
+		return core.DefaultOptions()
+	}
+	return core.Options{String: o.String, Double: o.Double, DateTime: o.DateTime}
+}
+
+// Document is an indexed XML document: the shredded tree plus the value
+// indices, updated together. A Document is not safe for concurrent
+// mutation; use Begin/Txn for concurrent updates.
+type Document struct {
+	ix  *core.Indexes
+	mgr *txn.Manager
+	sub *substr.Index // optional, see EnableSubstringIndex
+}
+
+// Parse shreds the XML input and builds all three value indices.
+func Parse(xml []byte) (*Document, error) { return ParseWithOptions(xml, Options{}) }
+
+// ParseString is Parse for a string input.
+func ParseString(xml string) (*Document, error) { return ParseWithOptions([]byte(xml), Options{}) }
+
+// ParseWithOptions shreds with explicit options.
+func ParseWithOptions(xml []byte, opts Options) (*Document, error) {
+	doc, err := xmlparse.ParseWith(xml, xmlparse.Options{
+		StripWhitespaceText: opts.StripWhitespace,
+		SkipComments:        opts.SkipComments,
+		SkipPIs:             opts.SkipPIs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := core.Build(doc, opts.indexOptions())
+	return &Document{ix: ix, mgr: txn.NewManager(ix)}, nil
+}
+
+// Load reads a snapshot produced by Save, verifying checksums.
+func Load(path string) (*Document, error) {
+	ix, err := core.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{ix: ix, mgr: txn.NewManager(ix)}, nil
+}
+
+// Save persists the document and its indices to a checksummed snapshot
+// file.
+func (d *Document) Save(path string) error { return d.ix.Save(path) }
+
+// XML serialises the document back to XML.
+func (d *Document) XML() ([]byte, error) { return xmlparse.SerializeToBytes(d.ix.Doc()) }
+
+// WriteXML streams the document as XML to w.
+func (d *Document) WriteXML(w io.Writer) error { return xmlparse.Serialize(w, d.ix.Doc()) }
+
+// Node identifies a tree node of a Document. Node values are invalidated
+// by structural updates (Delete/Insert).
+type Node = xmltree.NodeID
+
+// Attr identifies an attribute of a Document.
+type Attr = xmltree.AttrID
+
+// Result is one query or lookup hit.
+type Result struct {
+	// Node is set for element/text/document hits; Attr for attributes.
+	Node   Node
+	Attr   Attr
+	IsAttr bool
+
+	doc *xmltree.Doc
+}
+
+// Value returns the hit's string value (XDM semantics: for elements, the
+// concatenation of descendant text).
+func (r Result) Value() string {
+	if r.IsAttr {
+		return r.doc.AttrValue(r.Attr)
+	}
+	return r.doc.StringValue(r.Node)
+}
+
+// Name returns the element tag or attribute name of the hit, "" for text
+// nodes.
+func (r Result) Name() string {
+	if r.IsAttr {
+		return r.doc.AttrName(r.Attr)
+	}
+	return r.doc.Name(r.Node)
+}
+
+// Path returns a simple location path (tag names from the root) for
+// diagnostics.
+func (r Result) Path() string {
+	var n Node
+	suffix := ""
+	if r.IsAttr {
+		n = r.doc.AttrOwner(r.Attr)
+		suffix = "/@" + r.doc.AttrName(r.Attr)
+	} else {
+		n = r.Node
+		if r.doc.Kind(n) == xmltree.Text {
+			suffix = "/text()"
+			n = r.doc.Parent(n)
+		}
+	}
+	path := ""
+	for ; n > 0; n = r.doc.Parent(n) {
+		if r.doc.Kind(n) == xmltree.Element {
+			path = "/" + r.doc.Name(n) + path
+		}
+	}
+	return path + suffix
+}
+
+func (d *Document) results(ps []core.Posting) []Result {
+	out := make([]Result, len(ps))
+	for i, p := range ps {
+		out[i] = Result{Node: p.Node, Attr: p.Attr, IsAttr: p.IsAttr, doc: d.ix.Doc()}
+	}
+	return out
+}
+
+// Query evaluates an XPath expression (see the xpath dialect in the
+// README) using the value indices, falling back to scanning for
+// non-indexable shapes.
+func (d *Document) Query(expr string) ([]Result, error) {
+	p, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return d.results(xpath.EvaluateIndexed(d.ix, p)), nil
+}
+
+// QueryScan evaluates an XPath expression without indices — the baseline
+// the benchmarks compare against.
+func (d *Document) QueryScan(expr string) ([]Result, error) {
+	p, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return d.results(xpath.Evaluate(d.ix.Doc(), p)), nil
+}
+
+// LookupString returns every node whose string value equals value,
+// verified (hash candidates are checked against the document).
+func (d *Document) LookupString(value string) []Result {
+	return d.results(d.ix.LookupString(value))
+}
+
+// LookupDouble returns every node whose typed double value equals v —
+// "42", "42.0", " +4.2E1", and mixed content all match.
+func (d *Document) LookupDouble(v float64) []Result {
+	return d.results(d.ix.LookupDoubleEq(v))
+}
+
+// RangeDouble returns nodes with double values in [lo, hi] (inclusive),
+// in ascending value order.
+func (d *Document) RangeDouble(lo, hi float64) []Result {
+	return d.results(d.ix.RangeDouble(lo, hi, true, true))
+}
+
+// RangeDoubleExclusive returns nodes with lo < value < hi.
+func (d *Document) RangeDoubleExclusive(lo, hi float64) []Result {
+	return d.results(d.ix.RangeDouble(lo, hi, false, false))
+}
+
+// RangeDateTime returns nodes whose xs:dateTime value lies in [from, to].
+func (d *Document) RangeDateTime(from, to time.Time) []Result {
+	return d.results(d.ix.RangeDateTime(from.UnixMilli(), to.UnixMilli()))
+}
+
+// --- navigation and inspection ---
+
+// Root returns the document node.
+func (d *Document) Root() Node { return d.ix.Doc().Root() }
+
+// Find returns the first element with the given tag in document order, or
+// -1.
+func (d *Document) Find(tag string) Node {
+	doc := d.ix.Doc()
+	for i := 0; i < doc.NumNodes(); i++ {
+		n := Node(i)
+		if doc.Kind(n) == xmltree.Element && doc.Name(n) == tag {
+			return n
+		}
+	}
+	return xmltree.InvalidNode
+}
+
+// FindAll returns every element with the given tag in document order.
+func (d *Document) FindAll(tag string) []Node {
+	doc := d.ix.Doc()
+	var out []Node
+	for i := 0; i < doc.NumNodes(); i++ {
+		n := Node(i)
+		if doc.Kind(n) == xmltree.Element && doc.Name(n) == tag {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// StringValue returns a node's XDM string value.
+func (d *Document) StringValue(n Node) string { return d.ix.Doc().StringValue(n) }
+
+// DoubleValue returns a node's xs:double value, if its string value is
+// castable.
+func (d *Document) DoubleValue(n Node) (float64, bool) { return d.ix.DoubleValue(n) }
+
+// DateTimeValue returns a node's xs:dateTime value, if castable.
+func (d *Document) DateTimeValue(n Node) (time.Time, bool) {
+	ms, ok := d.ix.DateTimeValue(n)
+	if !ok {
+		return time.Time{}, false
+	}
+	return time.UnixMilli(ms).UTC(), true
+}
+
+// Hash returns the stored 32-bit value hash of a node — H of its string
+// value, maintained incrementally across updates.
+func (d *Document) Hash(n Node) uint32 { return d.ix.NodeHash(n) }
+
+// Children returns a node's children in document order.
+func (d *Document) Children(n Node) []Node { return d.ix.Doc().Children(n) }
+
+// Parent returns a node's parent, or -1 at the document node.
+func (d *Document) Parent(n Node) Node { return d.ix.Doc().Parent(n) }
+
+// Name returns an element's tag.
+func (d *Document) Name(n Node) string { return d.ix.Doc().Name(n) }
+
+// NumNodes reports the number of tree nodes.
+func (d *Document) NumNodes() int { return d.ix.Doc().NumNodes() }
+
+// Stats exposes index statistics (population counts, size estimates).
+func (d *Document) Stats() core.IndexStats { return d.ix.Stats() }
+
+// --- updates ---
+
+// ErrNotText mirrors the tree-level error for non-text targets.
+var ErrNotText = xmltree.ErrNotText
+
+// UpdateText replaces the value of a text node and maintains all indices
+// incrementally (the paper's Figure 8 algorithm), including the substring
+// index when enabled.
+func (d *Document) UpdateText(n Node, value string) error {
+	if err := d.ix.UpdateText(n, value); err != nil {
+		return err
+	}
+	if d.sub != nil {
+		d.sub.SyncText(n)
+	}
+	return nil
+}
+
+// TextUpdate is one batched text update.
+type TextUpdate = core.TextUpdate
+
+// UpdateTexts applies a batch of text updates; each affected ancestor is
+// refolded exactly once. The substring index, when enabled, follows.
+func (d *Document) UpdateTexts(updates []TextUpdate) error {
+	if err := d.ix.UpdateTexts(updates); err != nil {
+		return err
+	}
+	if d.sub != nil {
+		for _, u := range updates {
+			d.sub.SyncText(u.Node)
+		}
+	}
+	return nil
+}
+
+// UpdateAttr replaces an attribute value.
+func (d *Document) UpdateAttr(a Attr, value string) error { return d.ix.UpdateAttr(a, value) }
+
+// FindAttr locates an attribute of element n by name, or -1.
+func (d *Document) FindAttr(n Node, name string) Attr { return d.ix.Doc().FindAttr(n, name) }
+
+// Delete removes a node and its subtree, maintaining all indices. An
+// enabled substring index is rebuilt (structural updates shift gram
+// ownership wholesale).
+func (d *Document) Delete(n Node) error {
+	if err := d.ix.DeleteSubtree(n); err != nil {
+		return err
+	}
+	if d.sub != nil {
+		d.sub = substr.Build(d.ix)
+	}
+	return nil
+}
+
+// InsertXML parses an XML fragment and inserts its top-level elements as
+// children of parent at child position pos, maintaining all indices. It
+// returns the first inserted node.
+func (d *Document) InsertXML(parent Node, pos int, fragment string) (Node, error) {
+	frag, err := xmlparse.ParseString("<frag>" + fragment + "</frag>")
+	if err != nil {
+		return xmltree.InvalidNode, fmt.Errorf("xmlvi: fragment: %w", err)
+	}
+	// Unwrap: insert the children of the <frag> wrapper.
+	wrapper := frag.FirstChild(frag.Root())
+	if frag.Size(wrapper) == 0 {
+		return xmltree.InvalidNode, errors.New("xmlvi: empty fragment")
+	}
+	sub := subtreeDoc(frag, wrapper)
+	at, err := d.ix.InsertChildren(parent, pos, sub)
+	if err != nil {
+		return at, err
+	}
+	if d.sub != nil {
+		d.sub = substr.Build(d.ix)
+	}
+	return at, nil
+}
+
+// subtreeDoc rebuilds a fragment document containing the children of n.
+func subtreeDoc(src *xmltree.Doc, n xmltree.NodeID) *xmltree.Doc {
+	b := xmltree.NewBuilder()
+	var copyNode func(m xmltree.NodeID)
+	copyNode = func(m xmltree.NodeID) {
+		switch src.Kind(m) {
+		case xmltree.Element:
+			b.StartElement(src.Name(m))
+			lo, hi := src.AttrRange(m)
+			for a := lo; a < hi; a++ {
+				b.Attribute(src.AttrName(a), src.AttrValue(a))
+			}
+			for c := src.FirstChild(m); c != xmltree.InvalidNode; c = src.NextSibling(c) {
+				copyNode(c)
+			}
+			b.EndElement()
+		case xmltree.Text:
+			b.Text(src.Value(m))
+		case xmltree.Comment:
+			b.Comment(src.Value(m))
+		case xmltree.PI:
+			b.PI(src.Name(m), src.Value(m))
+		}
+	}
+	for c := src.FirstChild(n); c != xmltree.InvalidNode; c = src.NextSibling(c) {
+		copyNode(c)
+	}
+	doc, err := b.Finish()
+	if err != nil {
+		// The source subtree is valid by construction; a failure here is
+		// a programming error.
+		panic("xmlvi: subtree copy failed: " + err.Error())
+	}
+	return doc
+}
+
+// Verify checks full index consistency against the document — rebuild
+// semantics without rebuilding. Intended for tests and debugging; cost is
+// proportional to document size times depth.
+func (d *Document) Verify() error { return d.ix.Verify() }
+
+// --- transactions (Section 5.1) ---
+
+// Txn is a commutative transaction: it locks only the text nodes it
+// writes, never their ancestors, and applies its writes atomically at
+// Commit. Concurrent transactions over disjoint text nodes never
+// conflict, even when they share every ancestor.
+type Txn = txn.Txn
+
+// ErrConflict is returned by Txn.SetText on write-write conflicts.
+var ErrConflict = txn.ErrConflict
+
+// Begin starts a commutative transaction on the document.
+func (d *Document) Begin() *Txn { return d.mgr.Begin() }
+
+// --- substring index (the paper's stated future work) ---
+
+// EnableSubstringIndex builds the optional q-gram substring index over
+// all text and attribute values; Contains then answers through it.
+// Call again after batches of updates applied outside UpdateText to
+// rebuild (UpdateText keeps it synchronised automatically).
+func (d *Document) EnableSubstringIndex() { d.sub = substr.Build(d.ix) }
+
+// Contains returns every text and attribute node whose value contains
+// pattern. With the substring index enabled, candidates come from q-gram
+// posting-list intersection and are verified; otherwise every value is
+// scanned.
+func (d *Document) Contains(pattern string) []Result {
+	if d.sub != nil {
+		return d.results(d.sub.Contains(pattern))
+	}
+	return d.results(substr.Scan(d.ix, pattern))
+}
