@@ -62,7 +62,7 @@ func main() {
 		if len(v) > 60 {
 			v = v[:57] + "..."
 		}
-		fmt.Printf("%s = %q\n", r.Path(), v)
+		fmt.Printf("%s = %q%s\n", r.Path(), v, typedColumn(doc, r))
 	}
 	fmt.Printf("%d result(s)\n", len(results))
 	if *timing {
@@ -75,6 +75,19 @@ func main() {
 		}
 		fmt.Printf("evaluated (%s) in %v\n", mode, elapsed)
 	}
+}
+
+// typedColumn annotates a hit with its typed readings: the xs:date value
+// when the node casts as a date (attributes are not annotated — the
+// typed accessors are node-based).
+func typedColumn(doc *xmlvi.Document, r xmlvi.Result) string {
+	if r.IsAttr {
+		return ""
+	}
+	if d, ok := doc.DateValue(r.Node); ok {
+		return "  [xs:date " + d.Format("2006-01-02") + "]"
+	}
+	return ""
 }
 
 func fatal(err error) {

@@ -1,6 +1,6 @@
 // Command xvishred shreds an XML file into an indexed, persistent
-// database snapshot: the document columns plus the string, double, and
-// dateTime value indices.
+// database snapshot: the document columns plus the string index and the
+// registered typed range indices (double, dateTime, date).
 //
 // Usage:
 //
@@ -24,6 +24,7 @@ func main() {
 	noString := flag.Bool("no-string", false, "skip the string equi-index")
 	noDouble := flag.Bool("no-double", false, "skip the double range index")
 	noDateTime := flag.Bool("no-datetime", false, "skip the dateTime range index")
+	noDate := flag.Bool("no-date", false, "skip the date range index")
 	quiet := flag.Bool("q", false, "suppress statistics output")
 	flag.Parse()
 	if *in == "" || *out == "" {
@@ -39,9 +40,10 @@ func main() {
 		String:          !*noString,
 		Double:          !*noDouble,
 		DateTime:        !*noDateTime,
+		Date:            !*noDate,
 		StripWhitespace: *stripWS,
 	}
-	if !opts.String && !opts.Double && !opts.DateTime {
+	if !opts.String && !opts.Double && !opts.DateTime && !opts.Date {
 		fatal(fmt.Errorf("at least one index must be enabled"))
 	}
 	start := time.Now()
@@ -64,6 +66,7 @@ func main() {
 		fmt.Printf("  string index: %d postings\n", s.StringEntries)
 		fmt.Printf("  double index: %d values (%d from mixed content), %d live states\n", s.DoubleCastable, s.DoubleNonLeaf, s.DoubleLive)
 		fmt.Printf("  dateTime index: %d values\n", s.DateTimeCastable)
+		fmt.Printf("  date index: %d values\n", s.DateCastable)
 	}
 }
 

@@ -11,7 +11,9 @@ import (
 // depth-first pass — the paper's Figure 7 algorithm. Text nodes are hashed
 // with H and fed to the FSMs; every intermediate node's field is the fold
 // of its contributing children through the combination function C and the
-// SCT, so no node's string value is ever materialised.
+// SCT, so no node's string value is ever materialised. Every enabled
+// typed index runs through the same loop: the registry supplies the
+// machine and encoder, nothing else is type-specific.
 func Build(doc *xmltree.Doc, opts Options) *Indexes {
 	n := doc.NumNodes()
 	na := doc.NumAttrs()
@@ -35,11 +37,10 @@ func Build(doc *xmltree.Doc, opts Options) *Indexes {
 		ix.hash = make([]uint32, n)
 		ix.attrHash = make([]uint32, na)
 	}
-	if opts.Double {
-		ix.double = newTypedIndex(fsm.Double(), encodeDouble, n, na)
-	}
-	if opts.DateTime {
-		ix.dateTime = newTypedIndex(fsm.DateTime(), encodeDateTime, n, na)
+	// typeIDs() intersects with the registry, so every ID resolves.
+	for _, id := range opts.typeIDs() {
+		spec, _ := LookupType(id)
+		ix.typed = append(ix.typed, newTypedIndex(spec, n, na))
 	}
 
 	ix.eachTyped(func(ti *typedIndex) { ti.collect = true })
@@ -65,13 +66,24 @@ func foldFrag(m *fsm.Machine, acc, child fsm.Frag) fsm.Frag {
 
 // buildFrame accumulates one open element's (or the document's) fields
 // during the depth-first pass: the running hash and the running fragment
-// of each enabled machine.
+// of each enabled machine (frags is parallel to Indexes.typed).
 type buildFrame struct {
-	node xmltree.NodeID
-	end  xmltree.NodeID // last pre rank inside the subtree
-	hash uint32
-	dbl  fsm.Frag
-	dt   fsm.Frag
+	node  xmltree.NodeID
+	end   xmltree.NodeID // last pre rank inside the subtree
+	hash  uint32
+	frags []fsm.Frag
+}
+
+// identityFrags returns one identity fragment per enabled typed index.
+func (ix *Indexes) identityFrags() []fsm.Frag {
+	if len(ix.typed) == 0 {
+		return nil
+	}
+	frags := make([]fsm.Frag, len(ix.typed))
+	for t := range frags {
+		frags[t] = fsm.Frag{Elem: fsm.Identity}
+	}
+	return frags
 }
 
 // buildPass computes the per-node fields for the pre-order range
@@ -83,12 +95,20 @@ type buildFrame struct {
 func (ix *Indexes) buildPass(from, to xmltree.NodeID) {
 	doc := ix.doc
 	var stack []buildFrame
-	var dblM, dtM *fsm.Machine
-	if ix.double != nil {
-		dblM = fsm.Double()
-	}
-	if ix.dateTime != nil {
-		dtM = fsm.DateTime()
+
+	// Popped frames donate their frag slices back so the pass allocates
+	// O(depth) slices, not O(elements).
+	var fragsPool [][]fsm.Frag
+	takeFrags := func() []fsm.Frag {
+		if n := len(fragsPool); n > 0 {
+			frags := fragsPool[n-1]
+			fragsPool = fragsPool[:n-1]
+			for t := range frags {
+				frags[t] = fsm.Frag{Elem: fsm.Identity}
+			}
+			return frags
+		}
+		return ix.identityFrags()
 	}
 
 	finalize := func(f *buildFrame) {
@@ -100,16 +120,10 @@ func (ix *Indexes) buildPass(from, to xmltree.NodeID) {
 		// Elements join the value trees only with COMBINED (mixed-content)
 		// values; single-text wrappers are chain-lifted at query time.
 		combined := isCombinedValue(doc, f.node)
-		if ix.double != nil {
-			ix.double.setFragFresh(f.node, stable, f.dbl)
+		for t, ti := range ix.typed {
+			ti.setFragFresh(f.node, stable, f.frags[t])
 			if combined {
-				ix.double.collectEntry(f.dbl, posting)
-			}
-		}
-		if ix.dateTime != nil {
-			ix.dateTime.setFragFresh(f.node, stable, f.dt)
-			if combined {
-				ix.dateTime.collectEntry(f.dt, posting)
+				ti.collectEntry(f.frags[t], posting)
 			}
 		}
 		// Fold the completed element into its parent's accumulator (the
@@ -119,23 +133,23 @@ func (ix *Indexes) buildPass(from, to xmltree.NodeID) {
 			if ix.hash != nil {
 				p.hash = vhash.Combine(p.hash, f.hash)
 			}
-			if ix.double != nil {
-				p.dbl = foldFrag(dblM, p.dbl, f.dbl)
+			for t, ti := range ix.typed {
+				p.frags[t] = foldFrag(ti.spec.Machine, p.frags[t], f.frags[t])
 			}
-			if ix.dateTime != nil {
-				p.dt = foldFrag(dtM, p.dt, f.dt)
-			}
+		}
+		if f.frags != nil {
+			fragsPool = append(fragsPool, f.frags)
 		}
 	}
 
+	leafFrags := make([]fsm.Frag, len(ix.typed))
 	for i := from; i <= to; i++ {
 		switch doc.Kind(i) {
 		case xmltree.Element, xmltree.Document:
 			stack = append(stack, buildFrame{
-				node: i,
-				end:  i + xmltree.NodeID(doc.Size(i)),
-				dbl:  fsm.Frag{Elem: fsm.Identity},
-				dt:   fsm.Frag{Elem: fsm.Identity},
+				node:  i,
+				end:   i + xmltree.NodeID(doc.Size(i)),
+				frags: takeFrags(),
 			})
 		case xmltree.Text:
 			val := doc.ValueBytes(i)
@@ -145,27 +159,19 @@ func (ix *Indexes) buildPass(from, to xmltree.NodeID) {
 				h = vhash.Hash(val)
 				ix.hash[i] = h
 			}
-			var df, tf fsm.Frag
-			if ix.double != nil {
-				df, _ = dblM.ParseFrag(val) // rejected → zero Frag (Reject)
-				ix.double.setFragFresh(i, stable, df)
-				ix.double.collectEntry(df, packPosting(stable, false))
-			}
-			if ix.dateTime != nil {
-				tf, _ = dtM.ParseFrag(val)
-				ix.dateTime.setFragFresh(i, stable, tf)
-				ix.dateTime.collectEntry(tf, packPosting(stable, false))
+			for t, ti := range ix.typed {
+				f, _ := ti.spec.Machine.ParseFrag(val) // rejected → zero Frag (Reject)
+				leafFrags[t] = f
+				ti.setFragFresh(i, stable, f)
+				ti.collectEntry(f, packPosting(stable, false))
 			}
 			if len(stack) > 0 {
 				p := &stack[len(stack)-1]
 				if ix.hash != nil {
 					p.hash = vhash.Combine(p.hash, h)
 				}
-				if ix.double != nil {
-					p.dbl = foldFrag(dblM, p.dbl, df)
-				}
-				if ix.dateTime != nil {
-					p.dt = foldFrag(dtM, p.dt, tf)
+				for t, ti := range ix.typed {
+					p.frags[t] = foldFrag(ti.spec.Machine, p.frags[t], leafFrags[t])
 				}
 			}
 		case xmltree.Comment, xmltree.PI:
@@ -175,13 +181,9 @@ func (ix *Indexes) buildPass(from, to xmltree.NodeID) {
 			if ix.hash != nil {
 				ix.hash[i] = vhash.Hash(doc.ValueBytes(i))
 			}
-			if ix.double != nil {
-				f, _ := dblM.ParseFrag(doc.ValueBytes(i))
-				ix.double.setFragFresh(i, stable, f)
-			}
-			if ix.dateTime != nil {
-				f, _ := dtM.ParseFrag(doc.ValueBytes(i))
-				ix.dateTime.setFragFresh(i, stable, f)
+			for _, ti := range ix.typed {
+				f, _ := ti.spec.Machine.ParseFrag(doc.ValueBytes(i))
+				ti.setFragFresh(i, stable, f)
 			}
 		}
 		// Close every frame whose subtree ends here.
@@ -197,28 +199,16 @@ func (ix *Indexes) buildPass(from, to xmltree.NodeID) {
 // Attribute values never contribute to ancestors.
 func (ix *Indexes) buildAttrs(from, to xmltree.AttrID) {
 	doc := ix.doc
-	var dblM, dtM *fsm.Machine
-	if ix.double != nil {
-		dblM = fsm.Double()
-	}
-	if ix.dateTime != nil {
-		dtM = fsm.DateTime()
-	}
 	for a := from; a <= to; a++ {
 		val := doc.AttrValueBytes(a)
 		stable := ix.attrStableOf[a]
 		if ix.attrHash != nil {
 			ix.attrHash[a] = vhash.Hash(val)
 		}
-		if ix.double != nil {
-			f, _ := dblM.ParseFrag(val)
-			ix.double.setAttrFragFresh(a, stable, f)
-			ix.double.collectEntry(f, packPosting(stable, true))
-		}
-		if ix.dateTime != nil {
-			f, _ := dtM.ParseFrag(val)
-			ix.dateTime.setAttrFragFresh(a, stable, f)
-			ix.dateTime.collectEntry(f, packPosting(stable, true))
+		for _, ti := range ix.typed {
+			f, _ := ti.spec.Machine.ParseFrag(val)
+			ti.setAttrFragFresh(a, stable, f)
+			ti.collectEntry(f, packPosting(stable, true))
 		}
 	}
 }

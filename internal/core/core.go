@@ -1,19 +1,20 @@
 // Package core implements the paper's primary contribution: generic,
 // updatable XML value indices over an entire document.
 //
-// Three indices are maintained, all created in one depth-first pass
+// Two kinds of index are maintained, all created in one depth-first pass
 // (Figure 7 of the paper) and updated incrementally (Figure 8):
 //
 //   - the string equi-index: the 32-bit hash H of every node's string
 //     value (document, element, text, attribute), with a B+tree from hash
 //     to node postings; ancestor hashes are maintained with the
 //     associative combination function C, never by re-reading text;
-//   - the xs:double range index: per-node FSM state (monoid element) with
-//     fragment descriptors for live nodes, combined through the SCT, and a
-//     B+tree from order-encoded double values to postings of castable
-//     nodes;
-//   - the xs:dateTime range index: same machinery over the dateTime
-//     machine, keyed by epoch milliseconds.
+//   - one typed range index per enabled entry of the type registry (see
+//     registry.go): per-node FSM state (monoid element) with fragment
+//     descriptors for live nodes, combined through the SCT, and a B+tree
+//     from order-encoded values to postings of castable nodes. The
+//     built-in registrations are xs:double, xs:dateTime, and xs:date;
+//     further ordered types plug in through RegisterType with no new
+//     control flow anywhere in this package.
 //
 // Rejected nodes store no state (absence = reject), as in the paper.
 // Comments and processing instructions carry their own values but do not
@@ -26,15 +27,47 @@ import (
 	"repro/internal/xmltree"
 )
 
-// Options selects which indices to build.
+// Options selects which indices to build. Double, DateTime, and Date are
+// sugar for the built-in type IDs; Types names further registered typed
+// indexes directly.
 type Options struct {
 	String   bool
 	Double   bool
 	DateTime bool
+	Date     bool
+	// Types lists additional registered typed indexes to build (beyond
+	// the boolean sugar above). Unknown IDs are ignored.
+	Types []TypeID
 }
 
-// DefaultOptions builds all three indices.
-func DefaultOptions() Options { return Options{String: true, Double: true, DateTime: true} }
+// DefaultOptions builds the string index and every built-in typed index.
+func DefaultOptions() Options {
+	return Options{String: true, Double: true, DateTime: true, Date: true}
+}
+
+// typeIDs resolves the selected typed indexes in registry order.
+func (o Options) typeIDs() []TypeID {
+	return typeIDsFor(o.Double, o.DateTime, o.Date, o.Types)
+}
+
+// optionsForTypes reconstructs Options sugar from a type-ID list (used by
+// snapshot loading).
+func optionsForTypes(str bool, ids []TypeID) Options {
+	o := Options{String: str}
+	for _, id := range ids {
+		switch id {
+		case TypeDouble:
+			o.Double = true
+		case TypeDateTime:
+			o.DateTime = true
+		case TypeDate:
+			o.Date = true
+		default:
+			o.Types = append(o.Types, id)
+		}
+	}
+	return o
+}
 
 // Posting identifies an indexed node: either a tree node or an attribute.
 type Posting struct {
@@ -64,13 +97,10 @@ func unpackPosting(p uint32) (stable uint32, isAttr bool) { return p >> 1, p&1 =
 
 // typedIndex is the per-type half of the range-index pair: the side table
 // of states and fragments (the paper's [node id, state] index) and the
-// value B+tree (the paper's clustered [value, node id] index).
+// value B+tree (the paper's clustered [value, node id] index). Which type
+// it maintains is entirely determined by its TypeSpec.
 type typedIndex struct {
-	m *fsm.Machine
-	// encode turns a castable fragment into a B+tree key; ok=false when
-	// the fragment, though syntactically complete, has no value
-	// (semantically invalid dateTime).
-	encode func(fsm.Frag) (uint64, bool)
+	spec TypeSpec
 
 	elems     []fsm.Elem // per tree node (pre order); Reject = not stored
 	attrElems []fsm.Elem // per attribute
@@ -110,10 +140,10 @@ func (ti *typedIndex) setAttrFragFresh(a xmltree.AttrID, stable uint32, f fsm.Fr
 // apply the tree-membership rule (texts, attributes, combined elements)
 // before calling.
 func (ti *typedIndex) collectEntry(f fsm.Frag, posting uint32) {
-	if !ti.collect || f.Elem == fsm.Reject || !ti.m.Castable(f.Elem) {
+	if !ti.collect || f.Elem == fsm.Reject || !ti.spec.Machine.Castable(f.Elem) {
 		return
 	}
-	if key, ok := ti.encode(f); ok {
+	if key, ok := ti.spec.Encode(f); ok {
 		ti.scratch = append(ti.scratch, btree.Entry{Key: key, Val: posting})
 	}
 }
@@ -126,7 +156,7 @@ func (ti *typedIndex) collectEntry(f fsm.Frag, posting uint32) {
 // as in the paper.
 func (ti *typedIndex) treeKey(doc *xmltree.Doc, n xmltree.NodeID, stable uint32) (uint64, bool) {
 	e := ti.elems[n]
-	if e == fsm.Reject || !ti.m.Castable(e) {
+	if e == fsm.Reject || !ti.spec.Machine.Castable(e) {
 		return 0, false
 	}
 	switch doc.Kind(n) {
@@ -137,7 +167,7 @@ func (ti *typedIndex) treeKey(doc *xmltree.Doc, n xmltree.NodeID, stable uint32)
 	case xmltree.Comment, xmltree.PI:
 		return 0, false
 	}
-	return ti.encode(ti.frag(n, stable))
+	return ti.spec.Encode(ti.frag(n, stable))
 }
 
 func (ti *typedIndex) frag(n xmltree.NodeID, stable uint32) fsm.Frag {
@@ -168,17 +198,17 @@ func (ti *typedIndex) setAttrFrag(a xmltree.AttrID, stable uint32, f fsm.Frag) {
 
 // key returns the B+tree key of node n's current fragment, if castable.
 func (ti *typedIndex) key(n xmltree.NodeID, stable uint32) (uint64, bool) {
-	if ti.elems[n] == fsm.Reject || !ti.m.Castable(ti.elems[n]) {
+	if ti.elems[n] == fsm.Reject || !ti.spec.Machine.Castable(ti.elems[n]) {
 		return 0, false
 	}
-	return ti.encode(ti.frag(n, stable))
+	return ti.spec.Encode(ti.frag(n, stable))
 }
 
 func (ti *typedIndex) attrKey(a xmltree.AttrID, stable uint32) (uint64, bool) {
-	if ti.attrElems[a] == fsm.Reject || !ti.m.Castable(ti.attrElems[a]) {
+	if ti.attrElems[a] == fsm.Reject || !ti.spec.Machine.Castable(ti.attrElems[a]) {
 		return 0, false
 	}
-	return ti.encode(ti.attrFrag(a, stable))
+	return ti.spec.Encode(ti.attrFrag(a, stable))
 }
 
 // Indexes bundles a document with its value indices. All updates to the
@@ -200,8 +230,15 @@ type Indexes struct {
 	attrHash []uint32
 	strTree  *btree.Tree
 
-	double   *typedIndex
-	dateTime *typedIndex
+	// typed holds one index per enabled registry entry, in registry
+	// order. All per-type control flow in this package is iteration over
+	// this slice.
+	typed []*typedIndex
+
+	// Scratch buffers reused by the sequential update paths (an Indexes
+	// is not safe for concurrent mutation, so one of each suffices).
+	scratchFrags []fsm.Frag
+	scratchKeys  []keyState
 }
 
 // Doc returns the indexed document. Treat it as read-only; mutate through
@@ -217,30 +254,87 @@ func (ix *Indexes) NodeHash(n xmltree.NodeID) uint32 { return ix.hash[n] }
 // AttrHash returns the stored hash of attribute a's value.
 func (ix *Indexes) AttrHash(a xmltree.AttrID) uint32 { return ix.attrHash[a] }
 
+// typedFor returns the typed index maintaining type id, or nil when it
+// was not enabled at build time.
+func (ix *Indexes) typedFor(id TypeID) *typedIndex {
+	for _, ti := range ix.typed {
+		if ti.spec.ID == id {
+			return ti
+		}
+	}
+	return nil
+}
+
+// TypedIDs lists the typed indexes built for this document, in registry
+// order.
+func (ix *Indexes) TypedIDs() []TypeID {
+	out := make([]TypeID, len(ix.typed))
+	for i, ti := range ix.typed {
+		out[i] = ti.spec.ID
+	}
+	return out
+}
+
+// HasTyped reports whether typed index id was built.
+func (ix *Indexes) HasTyped(id TypeID) bool { return ix.typedFor(id) != nil }
+
+// HasString reports whether the string equi-index was built.
+func (ix *Indexes) HasString() bool { return ix.strTree != nil }
+
+// TypedElem returns node n's monoid element under typed index id
+// (fsm.Reject if the node's string value cannot be part of the type's
+// lexical space, or if the index was not built).
+func (ix *Indexes) TypedElem(id TypeID, n xmltree.NodeID) fsm.Elem {
+	ti := ix.typedFor(id)
+	if ti == nil {
+		return fsm.Reject
+	}
+	return ti.elems[n]
+}
+
+// TypedFrag returns node n's fragment under typed index id; ok is false
+// when the index was not built or the node is rejected.
+func (ix *Indexes) TypedFrag(id TypeID, n xmltree.NodeID) (fsm.Frag, bool) {
+	ti := ix.typedFor(id)
+	if ti == nil || ti.elems[n] == fsm.Reject {
+		return fsm.Frag{}, false
+	}
+	return ti.frag(n, ix.stableOf[n]), true
+}
+
 // DoubleElem returns node n's double-machine element (fsm.Reject if the
 // node's string value cannot be part of a double).
 func (ix *Indexes) DoubleElem(n xmltree.NodeID) fsm.Elem {
-	if ix.double == nil {
-		return fsm.Reject
-	}
-	return ix.double.elems[n]
+	return ix.TypedElem(TypeDouble, n)
 }
 
 // DoubleValue returns the xs:double value of node n, if castable.
 func (ix *Indexes) DoubleValue(n xmltree.NodeID) (float64, bool) {
-	if ix.double == nil || ix.double.elems[n] == fsm.Reject {
+	f, ok := ix.TypedFrag(TypeDouble, n)
+	if !ok {
 		return 0, false
 	}
-	return fsm.DoubleValue(ix.double.frag(n, ix.stableOf[n]))
+	return fsm.DoubleValue(f)
 }
 
 // DateTimeValue returns the epoch-millisecond value of node n, if
 // castable.
 func (ix *Indexes) DateTimeValue(n xmltree.NodeID) (int64, bool) {
-	if ix.dateTime == nil || ix.dateTime.elems[n] == fsm.Reject {
+	f, ok := ix.TypedFrag(TypeDateTime, n)
+	if !ok {
 		return 0, false
 	}
-	return fsm.DateTimeValue(ix.dateTime.frag(n, ix.stableOf[n]))
+	return fsm.DateTimeValue(f)
+}
+
+// DateValue returns the epoch-day value of node n, if castable as
+// xs:date.
+func (ix *Indexes) DateValue(n xmltree.NodeID) (int64, bool) {
+	f, ok := ix.TypedFrag(TypeDate, n)
+	if !ok {
+		return 0, false
+	}
+	return fsm.DateValue(f)
 }
 
 // StableOf returns the stable id of tree node n.
@@ -282,10 +376,9 @@ func (ix *Indexes) resolve(packed uint32) (Posting, bool) {
 	return NodePosting(n), true
 }
 
-func newTypedIndex(m *fsm.Machine, encode func(fsm.Frag) (uint64, bool), nNodes, nAttrs int) *typedIndex {
+func newTypedIndex(spec TypeSpec, nNodes, nAttrs int) *typedIndex {
 	return &typedIndex{
-		m:         m,
-		encode:    encode,
+		spec:      spec,
 		elems:     make([]fsm.Elem, nNodes), // zero value is fsm.Reject
 		attrElems: make([]fsm.Elem, nAttrs),
 		items:     make(map[uint32][]fsm.Item),
@@ -293,28 +386,9 @@ func newTypedIndex(m *fsm.Machine, encode func(fsm.Frag) (uint64, bool), nNodes,
 	}
 }
 
-func encodeDouble(f fsm.Frag) (uint64, bool) {
-	v, ok := fsm.DoubleValue(f)
-	if !ok {
-		return 0, false
-	}
-	return btree.EncodeFloat64(v), true
-}
-
-func encodeDateTime(f fsm.Frag) (uint64, bool) {
-	v, ok := fsm.DateTimeValue(f)
-	if !ok {
-		return 0, false
-	}
-	return btree.EncodeInt64(v), true
-}
-
-// eachTyped calls f for each enabled typed index.
+// eachTyped calls f for each enabled typed index, in registry order.
 func (ix *Indexes) eachTyped(f func(*typedIndex)) {
-	if ix.double != nil {
-		f(ix.double)
-	}
-	if ix.dateTime != nil {
-		f(ix.dateTime)
+	for _, ti := range ix.typed {
+		f(ti)
 	}
 }

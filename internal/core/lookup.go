@@ -47,35 +47,47 @@ func (ix *Indexes) postingStringValue(p Posting) string {
 	return ix.doc.StringValue(p.Node)
 }
 
-// RangeDouble returns the postings of nodes whose xs:double value v
-// satisfies lo ≤ v ≤ hi (with exclusive bounds when incLo/incHi are
-// false), in ascending value order.
-func (ix *Indexes) RangeDouble(lo, hi float64, incLo, incHi bool) []Posting {
-	if ix.double == nil {
+// RangeTyped returns the postings of nodes whose typed value under index
+// id has an encoded key k with lo ≤ k ≤ hi (bounds exclusive when
+// incLo/incHi are false), in ascending value order — the generic range
+// lookup every per-type entry point delegates to. Keys compare in value
+// order because every TypeSpec.Encode is order-preserving.
+func (ix *Indexes) RangeTyped(id TypeID, lo, hi uint64, incLo, incHi bool) []Posting {
+	ti := ix.typedFor(id)
+	if ti == nil {
 		return nil
 	}
-	klo := btree.EncodeFloat64(lo)
-	khi := btree.EncodeFloat64(hi)
 	if !incLo {
-		if klo == math.MaxUint64 {
+		if lo == math.MaxUint64 {
 			return nil
 		}
-		klo++
+		lo++
 	}
 	if !incHi {
-		if khi == 0 {
+		if hi == 0 {
 			return nil
 		}
-		khi--
+		hi--
 	}
 	var out []Posting
-	ix.double.tree.ScanRange(klo, khi, func(_ uint64, packed uint32) bool {
+	ti.tree.ScanRange(lo, hi, func(_ uint64, packed uint32) bool {
 		if p, ok := ix.resolve(packed); ok {
 			out = ix.appendWithChain(out, p)
 		}
 		return true
 	})
 	return out
+}
+
+// RangeDouble returns the postings of nodes whose xs:double value v
+// satisfies lo ≤ v ≤ hi (with exclusive bounds when incLo/incHi are
+// false), in ascending value order. A NaN bound denotes an empty range
+// (XPath comparisons with NaN are always false), never a key-space scan.
+func (ix *Indexes) RangeDouble(lo, hi float64, incLo, incHi bool) []Posting {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return nil
+	}
+	return ix.RangeTyped(TypeDouble, btree.EncodeFloat64(lo), btree.EncodeFloat64(hi), incLo, incHi)
 }
 
 // appendWithChain emits a typed-index hit plus its single-child ancestor
@@ -123,17 +135,13 @@ func (ix *Indexes) LookupDoubleEq(v float64) []Posting {
 // RangeDateTime returns the postings of nodes whose dateTime value in
 // epoch milliseconds m satisfies lo ≤ m ≤ hi, ascending.
 func (ix *Indexes) RangeDateTime(lo, hi int64) []Posting {
-	if ix.dateTime == nil {
-		return nil
-	}
-	var out []Posting
-	ix.dateTime.tree.ScanRange(btree.EncodeInt64(lo), btree.EncodeInt64(hi), func(_ uint64, packed uint32) bool {
-		if p, ok := ix.resolve(packed); ok {
-			out = ix.appendWithChain(out, p)
-		}
-		return true
-	})
-	return out
+	return ix.RangeTyped(TypeDateTime, btree.EncodeInt64(lo), btree.EncodeInt64(hi), true, true)
+}
+
+// RangeDate returns the postings of nodes whose xs:date value in days
+// since the epoch d satisfies lo ≤ d ≤ hi, ascending.
+func (ix *Indexes) RangeDate(lo, hi int64) []Posting {
+	return ix.RangeTyped(TypeDate, btree.EncodeInt64(lo), btree.EncodeInt64(hi), true, true)
 }
 
 // ScanStringEquals is the index-less baseline: walk every indexed node and
@@ -150,6 +158,38 @@ func (ix *Indexes) ScanStringEquals(value string) []Posting {
 	}
 	for a := 0; a < doc.NumAttrs(); a++ {
 		if doc.AttrValue(xmltree.AttrID(a)) == value {
+			out = append(out, AttrPosting(xmltree.AttrID(a)))
+		}
+	}
+	return out
+}
+
+// ScanTypedRange is the index-less baseline for typed range predicates
+// under registered type id: it materialises every node's string value,
+// runs it through the type's machine, and keeps encoded keys within
+// [lo, hi]. Works for any registered type, built or not.
+func ScanTypedRange(doc *xmltree.Doc, id TypeID, lo, hi uint64) []Posting {
+	spec, ok := LookupType(id)
+	if !ok {
+		return nil
+	}
+	within := func(s string) bool {
+		f, ok := spec.Machine.ParseFragString(s)
+		if !ok {
+			return false
+		}
+		key, ok := spec.Encode(f)
+		return ok && key >= lo && key <= hi
+	}
+	var out []Posting
+	for i := 0; i < doc.NumNodes(); i++ {
+		n := xmltree.NodeID(i)
+		if indexedNodeKind(doc.Kind(n)) && within(doc.StringValue(n)) {
+			out = append(out, NodePosting(n))
+		}
+	}
+	for a := 0; a < doc.NumAttrs(); a++ {
+		if within(doc.AttrValue(xmltree.AttrID(a))) {
 			out = append(out, AttrPosting(xmltree.AttrID(a)))
 		}
 	}
@@ -186,4 +226,10 @@ func (ix *Indexes) ScanDoubleRange(lo, hi float64, incLo, incHi bool) []Posting 
 		}
 	}
 	return out
+}
+
+// ScanDateRange is the index-less baseline for xs:date range predicates
+// over epoch days.
+func (ix *Indexes) ScanDateRange(lo, hi int64) []Posting {
+	return ScanTypedRange(ix.doc, TypeDate, btree.EncodeInt64(lo), btree.EncodeInt64(hi))
 }

@@ -12,17 +12,30 @@ import (
 	"repro/internal/xmltree"
 )
 
-// Snapshot section names. SectionDoc vs the index sections is what the
-// storage-overhead experiment (Figure 9 bottom) compares.
+// Snapshot layout. SectionDoc vs the index sections is what the
+// storage-overhead experiment (Figure 9 bottom) compares. Typed indexes
+// live in one section per type, named by stable type ID, so snapshots
+// written with any registry subset load under any superset.
 const (
-	SectionMeta     = "meta"
-	SectionDoc      = "doc"
-	SectionStable   = "stable"
-	SectionHash     = "hash"
-	SectionStrTree  = "strtree"
-	SectionDouble   = "double"
-	SectionDateTime = "datetime"
+	SectionMeta    = "meta"
+	SectionDoc     = "doc"
+	SectionStable  = "stable"
+	SectionHash    = "hash"
+	SectionStrTree = "strtree"
+
+	// snapshotVersion is the overall snapshot format. Version 1 was the
+	// pre-registry layout (fixed double/datetime sections, unversioned
+	// 3-byte meta); version 2 stores a typed-index manifest in the meta
+	// section and per-type sections keyed by type ID.
+	snapshotVersion = 2
+
+	// typedSectionVersion versions the per-type section payload
+	// independently of the snapshot envelope.
+	typedSectionVersion = 1
 )
+
+// TypedSectionName returns the snapshot section holding typed index id.
+func TypedSectionName(id TypeID) string { return fmt.Sprintf("typed.%d", id) }
 
 // Save writes the document and all built indices to a snapshot file at
 // path (page-structured, checksummed; see the storage package).
@@ -43,17 +56,18 @@ func (ix *Indexes) save(w *storage.Writer) error {
 	if err != nil {
 		return err
 	}
-	meta := make([]byte, 3)
+	se := newSliceEncoder(sec)
+	se.uv(snapshotVersion)
 	if ix.opts.String {
-		meta[0] = 1
+		se.uv(1)
+	} else {
+		se.uv(0)
 	}
-	if ix.opts.Double {
-		meta[1] = 1
+	se.uv(uint64(len(ix.typed)))
+	for _, ti := range ix.typed {
+		se.uv(uint64(ti.spec.ID))
 	}
-	if ix.opts.DateTime {
-		meta[2] = 1
-	}
-	if _, err := sec.Write(meta); err != nil {
+	if err := se.flush(); err != nil {
 		return err
 	}
 
@@ -69,7 +83,7 @@ func (ix *Indexes) save(w *storage.Writer) error {
 	if err != nil {
 		return err
 	}
-	se := newSliceEncoder(sec)
+	se = newSliceEncoder(sec)
 	se.u32s(ix.stableOf)
 	se.i32s(ix.preOf)
 	se.u32s(ix.attrStableOf)
@@ -100,21 +114,12 @@ func (ix *Indexes) save(w *storage.Writer) error {
 			return err
 		}
 	}
-	if ix.double != nil {
-		sec, err = w.Section(SectionDouble)
+	for _, ti := range ix.typed {
+		sec, err = w.Section(TypedSectionName(ti.spec.ID))
 		if err != nil {
 			return err
 		}
-		if err := ix.writeTyped(sec, ix.double); err != nil {
-			return err
-		}
-	}
-	if ix.dateTime != nil {
-		sec, err = w.Section(SectionDateTime)
-		if err != nil {
-			return err
-		}
-		if err := ix.writeTyped(sec, ix.dateTime); err != nil {
+		if err := ix.writeTyped(sec, ti); err != nil {
 			return err
 		}
 	}
@@ -122,7 +127,10 @@ func (ix *Indexes) save(w *storage.Writer) error {
 }
 
 // Load reads a snapshot produced by Save and reconstructs the Indexes
-// (document included) with full checksum verification.
+// (document included) with full checksum verification. Loading fails
+// with a descriptive error — never a panic or silent corruption — when
+// the snapshot's format version is unknown or it contains a typed index
+// whose type ID is not registered in this process.
 func Load(path string) (*Indexes, error) {
 	r, err := storage.OpenReader(path)
 	if err != nil {
@@ -137,11 +145,36 @@ func load(r *storage.Reader) (*Indexes, error) {
 	if err != nil {
 		return nil, err
 	}
-	meta := make([]byte, 3)
-	if _, err := io.ReadFull(sec, meta); err != nil {
-		return nil, err
+	sd := newSliceDecoder(sec)
+	version := sd.uv()
+	if sd.err != nil {
+		return nil, fmt.Errorf("core: reading snapshot meta: %w", sd.err)
 	}
-	opts := Options{String: meta[0] == 1, Double: meta[1] == 1, DateTime: meta[2] == 1}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot format version %d (this build reads version %d)", version, snapshotVersion)
+	}
+	hasString := sd.uv() == 1
+	nTypes := int(sd.uv())
+	if sd.err != nil {
+		return nil, fmt.Errorf("core: reading snapshot meta: %w", sd.err)
+	}
+	if nTypes < 0 || nTypes > 1<<10 {
+		return nil, fmt.Errorf("core: implausible typed index count %d in snapshot meta", nTypes)
+	}
+	typeIDs := make([]TypeID, nTypes)
+	specs := make([]TypeSpec, nTypes)
+	for i := range typeIDs {
+		id := TypeID(sd.uv())
+		if sd.err != nil {
+			return nil, fmt.Errorf("core: reading snapshot meta: %w", sd.err)
+		}
+		spec, ok := LookupType(id)
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot contains typed index with unknown type ID %d; register its TypeSpec before loading", id)
+		}
+		typeIDs[i] = id
+		specs[i] = spec
+	}
 
 	sec, err = r.Section(SectionDoc)
 	if err != nil {
@@ -152,13 +185,13 @@ func load(r *storage.Reader) (*Indexes, error) {
 		return nil, err
 	}
 	n, na := doc.NumNodes(), doc.NumAttrs()
-	ix := &Indexes{doc: doc, opts: opts}
+	ix := &Indexes{doc: doc, opts: optionsForTypes(hasString, typeIDs)}
 
 	sec, err = r.Section(SectionStable)
 	if err != nil {
 		return nil, err
 	}
-	sd := newSliceDecoder(sec)
+	sd = newSliceDecoder(sec)
 	ix.stableOf = sd.u32s(n)
 	ix.preOf = sd.i32sAny()
 	ix.attrStableOf = sd.u32s(na)
@@ -167,7 +200,7 @@ func load(r *storage.Reader) (*Indexes, error) {
 		return nil, sd.err
 	}
 
-	if opts.String {
+	if hasString {
 		sec, err = r.Section(SectionHash)
 		if err != nil {
 			return nil, err
@@ -197,25 +230,16 @@ func load(r *storage.Reader) (*Indexes, error) {
 			return nil, err
 		}
 	}
-	if opts.Double {
-		sec, err = r.Section(SectionDouble)
+	for i, id := range typeIDs {
+		sec, err = r.Section(TypedSectionName(id))
 		if err != nil {
 			return nil, err
 		}
-		ix.double = newTypedIndex(fsm.Double(), encodeDouble, n, na)
-		if err := ix.readTyped(sec, ix.double, n, na); err != nil {
-			return nil, err
+		ti := newTypedIndex(specs[i], n, na)
+		if err := ix.readTyped(sec, ti, n, na); err != nil {
+			return nil, fmt.Errorf("core: typed index %q: %w", specs[i].Name, err)
 		}
-	}
-	if opts.DateTime {
-		sec, err = r.Section(SectionDateTime)
-		if err != nil {
-			return nil, err
-		}
-		ix.dateTime = newTypedIndex(fsm.DateTime(), encodeDateTime, n, na)
-		if err := ix.readTyped(sec, ix.dateTime, n, na); err != nil {
-			return nil, err
-		}
+		ix.typed = append(ix.typed, ti)
 	}
 	ix.completeDerived()
 	return ix, nil
@@ -254,26 +278,17 @@ func countLeaves(doc *xmltree.Doc) int {
 func (ix *Indexes) completeDerived() {
 	doc := ix.doc
 	n := doc.NumNodes()
-	var dblM, dtM *fsm.Machine
-	if ix.double != nil {
-		dblM = fsm.Double()
-	}
-	if ix.dateTime != nil {
-		dtM = fsm.DateTime()
-	}
 	for i := 0; i < n; i++ {
 		nd := xmltree.NodeID(i)
 		switch doc.Kind(nd) {
 		case xmltree.Text, xmltree.Comment, xmltree.PI:
 			stable := ix.stableOf[i]
-			if ix.double != nil && ix.double.elems[i] == fsm.Reject {
-				if f, ok := dblM.ParseFrag(doc.ValueBytes(nd)); ok {
-					ix.double.setFragFresh(nd, stable, f)
+			for _, ti := range ix.typed {
+				if ti.elems[i] != fsm.Reject {
+					continue
 				}
-			}
-			if ix.dateTime != nil && ix.dateTime.elems[i] == fsm.Reject {
-				if f, ok := dtM.ParseFrag(doc.ValueBytes(nd)); ok {
-					ix.dateTime.setFragFresh(nd, stable, f)
+				if f, ok := ti.spec.Machine.ParseFrag(doc.ValueBytes(nd)); ok {
+					ti.setFragFresh(nd, stable, f)
 				}
 			}
 		}
@@ -316,14 +331,18 @@ func readTree(r io.Reader) (*btree.Tree, error) {
 }
 
 // writeTyped persists one typed index: the paper's [value, state, node]
-// inventory. Stored sparsely — absence means reject ("the absence of a
-// state signifies the reject state") — and only for nodes whose state is
-// not trivially derivable: leaves with digit/punctuation content and
-// attributes. Whitespace-only leaves and interior elements are derived
-// data, refolded on load via FSM runs and SCT folds.
+// inventory, preceded by a (format version, type ID) header so a reader
+// can reject payloads it does not understand. Stored sparsely — absence
+// means reject ("the absence of a state signifies the reject state") —
+// and only for nodes whose state is not trivially derivable: leaves with
+// digit/punctuation content and attributes. Whitespace-only leaves and
+// interior elements are derived data, refolded on load via FSM runs and
+// SCT folds.
 func (ix *Indexes) writeTyped(w io.Writer, ti *typedIndex) error {
 	doc := ix.doc
 	se := newSliceEncoder(w)
+	se.uv(typedSectionVersion)
+	se.uv(uint64(ti.spec.ID))
 	writeEntry := func(posDelta int, e fsm.Elem, items []fsm.Item) {
 		se.uv(uint64(posDelta))
 		se.uv(uint64(e))
@@ -403,6 +422,15 @@ func decodeRunVal(u uint64) float64 {
 
 func (ix *Indexes) readTyped(r io.Reader, ti *typedIndex, n, na int) error {
 	sd := newSliceDecoder(r)
+	if v := sd.uv(); sd.err == nil && v != typedSectionVersion {
+		return fmt.Errorf("unsupported typed section format version %d (this build reads version %d)", v, typedSectionVersion)
+	}
+	if id := TypeID(sd.uv()); sd.err == nil && id != ti.spec.ID {
+		return fmt.Errorf("typed section holds type ID %d, want %d", id, ti.spec.ID)
+	}
+	if sd.err != nil {
+		return sd.err
+	}
 	readEntries := func(want int, assign func(pos int, e fsm.Elem, items []fsm.Item) error) error {
 		if got := int(sd.uv()); got != want {
 			return fmt.Errorf("core: typed index has %d positions, want %d", got, want)
@@ -510,12 +538,19 @@ func readU32Fixed(r io.Reader, want int) ([]uint32, error) {
 // storage accounting in the experiments: the paper's "shredding" stage
 // writes the document store, index creation writes the index stores.
 // Part files are not loadable by Load (they lack sections); use Save for
-// complete snapshots.
+// complete snapshots. Double/DateTime/Date are sugar for the built-in
+// type IDs; Types selects further registered typed indexes.
 type SaveParts struct {
 	Doc      bool
 	String   bool
 	Double   bool
 	DateTime bool
+	Date     bool
+	Types    []TypeID
+}
+
+func (p SaveParts) typeIDs() []TypeID {
+	return typeIDsFor(p.Double, p.DateTime, p.Date, p.Types)
 }
 
 // SavePartsTo writes only the selected sections to path.
@@ -556,21 +591,16 @@ func (ix *Indexes) SavePartsTo(path string, parts SaveParts) error {
 			return fail(err)
 		}
 	}
-	if parts.Double && ix.double != nil {
-		sec, err := w.Section(SectionDouble)
+	for _, id := range parts.typeIDs() {
+		ti := ix.typedFor(id)
+		if ti == nil {
+			continue
+		}
+		sec, err := w.Section(TypedSectionName(id))
 		if err != nil {
 			return fail(err)
 		}
-		if err := ix.writeTyped(sec, ix.double); err != nil {
-			return fail(err)
-		}
-	}
-	if parts.DateTime && ix.dateTime != nil {
-		sec, err := w.Section(SectionDateTime)
-		if err != nil {
-			return fail(err)
-		}
-		if err := ix.writeTyped(sec, ix.dateTime); err != nil {
+		if err := ix.writeTyped(sec, ti); err != nil {
 			return fail(err)
 		}
 	}

@@ -88,8 +88,9 @@ func TestSaveLoadPartialOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Options() != (Options{String: true}) {
-		t.Errorf("options = %+v", got.Options())
+	opts := got.Options()
+	if !opts.String || opts.Double || opts.DateTime || opts.Date || len(opts.Types) != 0 {
+		t.Errorf("options = %+v", opts)
 	}
 	if err := got.Verify(); err != nil {
 		t.Fatal(err)
@@ -107,7 +108,7 @@ func TestSnapshotSectionSizes(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	for _, name := range []string{SectionDoc, SectionHash, SectionStrTree, SectionDouble, SectionDateTime} {
+	for _, name := range []string{SectionDoc, SectionHash, SectionStrTree, TypedSectionName(TypeDouble), TypedSectionName(TypeDateTime), TypedSectionName(TypeDate)} {
 		if r.SectionLen(name) <= 0 {
 			t.Errorf("section %s has size %d", name, r.SectionLen(name))
 		}

@@ -22,25 +22,25 @@ func TestSavePartsSelectsSections(t *testing.T) {
 			name:    "doc-only",
 			parts:   SaveParts{Doc: true},
 			present: []string{SectionDoc},
-			absent:  []string{SectionHash, SectionStrTree, SectionDouble, SectionDateTime},
+			absent:  []string{SectionHash, SectionStrTree, TypedSectionName(TypeDouble), TypedSectionName(TypeDateTime)},
 		},
 		{
 			name:    "string-only",
 			parts:   SaveParts{String: true},
 			present: []string{SectionHash, SectionStrTree},
-			absent:  []string{SectionDoc, SectionDouble},
+			absent:  []string{SectionDoc, TypedSectionName(TypeDouble)},
 		},
 		{
 			name:    "double-only",
 			parts:   SaveParts{Double: true},
-			present: []string{SectionDouble},
-			absent:  []string{SectionDoc, SectionHash, SectionDateTime},
+			present: []string{TypedSectionName(TypeDouble)},
+			absent:  []string{SectionDoc, SectionHash, TypedSectionName(TypeDateTime)},
 		},
 		{
 			name:    "datetime-only",
 			parts:   SaveParts{DateTime: true},
-			present: []string{SectionDateTime},
-			absent:  []string{SectionDouble},
+			present: []string{TypedSectionName(TypeDateTime)},
+			absent:  []string{TypedSectionName(TypeDouble)},
 		},
 	}
 	for _, c := range cases {

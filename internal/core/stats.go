@@ -5,6 +5,20 @@ import (
 	"repro/internal/xmltree"
 )
 
+// TypedStats summarises one typed index's contents and estimated
+// persisted size.
+type TypedStats struct {
+	ID   TypeID
+	Name string
+
+	Live          int // nodes with a stored (non-reject) state
+	LiveTexts     int // text nodes with a potentially valid fragment
+	CastableTexts int // text nodes whose value casts to the type
+	Castable      int // entries in the value B+tree
+	NonLeaf       int // non-leaf nodes with a castable value
+	Bytes         int // persisted estimate: 1 byte state + items per live node, 12 bytes per tree entry
+}
+
 // IndexStats summarises index contents and estimated persisted sizes; it
 // backs Table 1 and the storage panels of Figure 9.
 type IndexStats struct {
@@ -16,22 +30,41 @@ type IndexStats struct {
 	StringEntries int // postings in the hash B+tree
 	StringBytes   int // persisted size estimate: 4 bytes hash + 4 bytes posting per entry
 
-	// Double index (Table 1's "Double Values" and "non-leaf" columns).
-	DoubleLive          int // nodes with a stored (non-reject) state
-	DoubleTexts         int // text nodes with a potentially valid double fragment
-	DoubleCastableTexts int // text nodes whose value casts to a double (Table 1 "Double Values")
-	DoubleCastable      int // entries in the double value B+tree
-	DoubleNonLeaf       int // non-leaf nodes with a castable double value
-	DoubleBytes         int // persisted estimate: 1 byte state + items per live node, 12 bytes per tree entry
+	// Typed holds one entry per built typed index, in registry order.
+	Typed []TypedStats
+
+	// Flattened views of the built-in types, for Table 1 reporting (the
+	// double columns are Table 1's "Double Values" and "non-leaf"
+	// columns). Zero when the corresponding index was not built.
+	DoubleLive          int
+	DoubleTexts         int
+	DoubleCastableTexts int
+	DoubleCastable      int
+	DoubleNonLeaf       int
+	DoubleBytes         int
 	DateTimeLive        int
 	DateTimeTexts       int
 	DateTimeCastable    int
 	DateTimeBytes       int
+	DateLive            int
+	DateTexts           int
+	DateCastable        int
+	DateBytes           int
 
 	Elements int // element count (Table 1 totals are elements + texts)
 }
 
-// Stats scans the index structures; cost is O(nodes).
+// TypedFor returns the stats entry for typed index id, if built.
+func (s IndexStats) TypedFor(id TypeID) (TypedStats, bool) {
+	for _, t := range s.Typed {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return TypedStats{}, false
+}
+
+// Stats scans the index structures; cost is O(nodes · types).
 func (ix *Indexes) Stats() IndexStats {
 	doc := ix.doc
 	var s IndexStats
@@ -50,17 +83,27 @@ func (ix *Indexes) Stats() IndexStats {
 		s.StringEntries = ix.strTree.Len()
 		s.StringBytes = s.StringEntries * 8
 	}
-	if ix.double != nil {
-		s.DoubleLive, s.DoubleTexts, s.DoubleCastableTexts, s.DoubleCastable, s.DoubleNonLeaf, s.DoubleBytes = ix.typedStats(ix.double)
-	}
-	if ix.dateTime != nil {
-		s.DateTimeLive, s.DateTimeTexts, _, s.DateTimeCastable, _, s.DateTimeBytes = ix.typedStats(ix.dateTime)
+	for _, ti := range ix.typed {
+		ts := ix.typedStats(ti)
+		s.Typed = append(s.Typed, ts)
+		switch ti.spec.ID {
+		case TypeDouble:
+			s.DoubleLive, s.DoubleTexts, s.DoubleCastableTexts = ts.Live, ts.LiveTexts, ts.CastableTexts
+			s.DoubleCastable, s.DoubleNonLeaf, s.DoubleBytes = ts.Castable, ts.NonLeaf, ts.Bytes
+		case TypeDateTime:
+			s.DateTimeLive, s.DateTimeTexts = ts.Live, ts.LiveTexts
+			s.DateTimeCastable, s.DateTimeBytes = ts.Castable, ts.Bytes
+		case TypeDate:
+			s.DateLive, s.DateTexts = ts.Live, ts.LiveTexts
+			s.DateCastable, s.DateBytes = ts.Castable, ts.Bytes
+		}
 	}
 	return s
 }
 
-func (ix *Indexes) typedStats(ti *typedIndex) (live, liveTexts, castableTexts, castable, nonLeaf, bytes int) {
+func (ix *Indexes) typedStats(ti *typedIndex) TypedStats {
 	doc := ix.doc
+	ts := TypedStats{ID: ti.spec.ID, Name: ti.spec.Name}
 	for i := 0; i < doc.NumNodes(); i++ {
 		nd := xmltree.NodeID(i)
 		e := ti.elems[i]
@@ -72,43 +115,43 @@ func (ix *Indexes) typedStats(ti *typedIndex) (live, liveTexts, castableTexts, c
 			// store them either.
 			continue
 		}
-		live++
+		ts.Live++
 		// 1 byte state (paper) + node id reference (4) per stored state.
-		bytes += 5
+		ts.Bytes += 5
 		if doc.Kind(nd) == xmltree.Text {
-			liveTexts++
+			ts.LiveTexts++
 		}
-		if ti.m.Castable(e) {
+		if ti.spec.Machine.Castable(e) {
 			if _, ok := ti.treeKey(doc, nd, ix.stableOf[i]); ok {
-				castable++
-				bytes += 12 // value (8) + posting (4) in the B+tree
+				ts.Castable++
+				ts.Bytes += 12 // value (8) + posting (4) in the B+tree
 				switch doc.Kind(nd) {
 				case xmltree.Element, xmltree.Document:
-					nonLeaf++ // combined values only reach the tree
+					ts.NonLeaf++ // combined values only reach the tree
 				case xmltree.Text:
-					castableTexts++
+					ts.CastableTexts++
 				}
 			}
 		}
 		// Items persist as compact varints; estimate 2 bytes per item.
-		bytes += 2 * len(ti.items[ix.stableOf[i]])
+		ts.Bytes += 2 * len(ti.items[ix.stableOf[i]])
 	}
 	for a := 0; a < doc.NumAttrs(); a++ {
 		e := ti.attrElems[a]
 		if e == fsm.Reject || e == fsm.Identity {
 			continue
 		}
-		live++
-		bytes += 5
-		if ti.m.Castable(e) {
+		ts.Live++
+		ts.Bytes += 5
+		if ti.spec.Machine.Castable(e) {
 			if _, ok := ti.attrKey(xmltree.AttrID(a), ix.attrStableOf[a]); ok {
-				castable++
-				bytes += 12
+				ts.Castable++
+				ts.Bytes += 12
 			}
 		}
-		bytes += 2 * len(ti.attrItems[ix.attrStableOf[a]])
+		ts.Bytes += 2 * len(ti.attrItems[ix.attrStableOf[a]])
 	}
-	return live, liveTexts, castableTexts, castable, nonLeaf, bytes
+	return ts
 }
 
 // isCombinedValue reports whether an element's value is assembled across

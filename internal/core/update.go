@@ -15,26 +15,48 @@ type TextUpdate struct {
 	Value string
 }
 
-// oldKeys snapshots a node's index keys before a mutation, so the B+trees
-// can be diffed afterwards.
-type oldKeys struct {
-	hash   uint32
-	dblKey uint64
-	dblOK  bool
-	dtKey  uint64
-	dtOK   bool
+// keyState is one typed index's B+tree key snapshot for a node.
+type keyState struct {
+	key uint64
+	ok  bool
 }
 
-func (ix *Indexes) captureNode(n xmltree.NodeID) oldKeys {
+// oldKeys snapshots a node's index keys before a mutation, so the B+trees
+// can be diffed afterwards. typed is parallel to Indexes.typed.
+type oldKeys struct {
+	hash  uint32
+	typed []keyState
+}
+
+// captureNodeInto snapshots node n's keys, appending typed-key states to
+// buf (which must be empty).
+func (ix *Indexes) captureNodeInto(buf []keyState, n xmltree.NodeID) oldKeys {
 	var o oldKeys
 	if ix.hash != nil {
 		o.hash = ix.hash[n]
 	}
-	if ix.double != nil {
-		o.dblKey, o.dblOK = ix.double.treeKey(ix.doc, n, ix.stableOf[n])
+	if len(ix.typed) > 0 {
+		for _, ti := range ix.typed {
+			key, ok := ti.treeKey(ix.doc, n, ix.stableOf[n])
+			buf = append(buf, keyState{key: key, ok: ok})
+		}
+		o.typed = buf
 	}
-	if ix.dateTime != nil {
-		o.dtKey, o.dtOK = ix.dateTime.treeKey(ix.doc, n, ix.stableOf[n])
+	return o
+}
+
+func (ix *Indexes) captureNode(n xmltree.NodeID) oldKeys {
+	return ix.captureNodeInto(make([]keyState, 0, len(ix.typed)), n)
+}
+
+// captureNodeScratch is captureNode over the shared scratch buffer, for
+// the capture→recompute→reindex sequences that consume the snapshot
+// before the next capture. Callers that retain snapshots (the structural
+// updates' ancestor maps) must use captureNode.
+func (ix *Indexes) captureNodeScratch(n xmltree.NodeID) oldKeys {
+	o := ix.captureNodeInto(ix.scratchKeys[:0], n)
+	if o.typed != nil {
+		ix.scratchKeys = o.typed
 	}
 	return o
 }
@@ -50,21 +72,14 @@ func (ix *Indexes) reindexNode(n xmltree.NodeID, old oldKeys) {
 		ix.strTree.Delete(uint64(old.hash), posting)
 		ix.strTree.Insert(uint64(ix.hash[n]), posting)
 	}
-	if ix.double != nil {
-		key, ok := ix.double.treeKey(ix.doc, n, ix.stableOf[n])
-		diffTyped(ix.double, posting, old.dblKey, old.dblOK, key, ok)
-	}
-	if ix.dateTime != nil {
-		key, ok := ix.dateTime.treeKey(ix.doc, n, ix.stableOf[n])
-		diffTyped(ix.dateTime, posting, old.dtKey, old.dtOK, key, ok)
+	for t, ti := range ix.typed {
+		key, ok := ti.treeKey(ix.doc, n, ix.stableOf[n])
+		diffTyped(ti, posting, old.typed[t].key, old.typed[t].ok, key, ok)
 	}
 }
 
 func diffTyped(ti *typedIndex, posting uint32, oldKey uint64, oldOK bool, newKey uint64, newOK bool) {
 	if oldOK == newOK && oldKey == newKey {
-		if !oldOK {
-			return
-		}
 		return
 	}
 	if oldOK {
@@ -83,13 +98,9 @@ func (ix *Indexes) recomputeLeaf(n xmltree.NodeID) {
 	if ix.hash != nil {
 		ix.hash[n] = vhash.Hash(val)
 	}
-	if ix.double != nil {
-		f, _ := fsm.Double().ParseFrag(val)
-		ix.double.setFrag(n, stable, f)
-	}
-	if ix.dateTime != nil {
-		f, _ := fsm.DateTime().ParseFrag(val)
-		ix.dateTime.setFrag(n, stable, f)
+	for _, ti := range ix.typed {
+		f, _ := ti.spec.Machine.ParseFrag(val)
+		ti.setFrag(n, stable, f)
 	}
 }
 
@@ -100,15 +111,11 @@ func (ix *Indexes) recomputeLeaf(n xmltree.NodeID) {
 func (ix *Indexes) recomputeInterior(n xmltree.NodeID) {
 	doc := ix.doc
 	var h uint32
-	dbl := fsm.Frag{Elem: fsm.Identity}
-	dt := fsm.Frag{Elem: fsm.Identity}
-	var dblM, dtM *fsm.Machine
-	if ix.double != nil {
-		dblM = fsm.Double()
+	frags := ix.scratchFrags[:0]
+	for range ix.typed {
+		frags = append(frags, fsm.Frag{Elem: fsm.Identity})
 	}
-	if ix.dateTime != nil {
-		dtM = fsm.DateTime()
-	}
+	ix.scratchFrags = frags
 	for c := doc.FirstChild(n); c != xmltree.InvalidNode; c = doc.NextSibling(c) {
 		if !xmltree.ContributesToParent(doc.Kind(c)) {
 			continue
@@ -117,22 +124,16 @@ func (ix *Indexes) recomputeInterior(n xmltree.NodeID) {
 			h = vhash.Combine(h, ix.hash[c])
 		}
 		cs := ix.stableOf[c]
-		if ix.double != nil {
-			dbl = foldFrag(dblM, dbl, ix.double.frag(c, cs))
-		}
-		if ix.dateTime != nil {
-			dt = foldFrag(dtM, dt, ix.dateTime.frag(c, cs))
+		for t, ti := range ix.typed {
+			frags[t] = foldFrag(ti.spec.Machine, frags[t], ti.frag(c, cs))
 		}
 	}
 	stable := ix.stableOf[n]
 	if ix.hash != nil {
 		ix.hash[n] = h
 	}
-	if ix.double != nil {
-		ix.double.setFrag(n, stable, dbl)
-	}
-	if ix.dateTime != nil {
-		ix.dateTime.setFrag(n, stable, dt)
+	for t, ti := range ix.typed {
+		ti.setFrag(n, stable, frags[t])
 	}
 }
 
@@ -158,7 +159,7 @@ func (ix *Indexes) UpdateTexts(updates []TextUpdate) error {
 	}
 	affected := make(map[xmltree.NodeID]struct{})
 	for _, u := range updates {
-		old := ix.captureNode(u.Node)
+		old := ix.captureNodeScratch(u.Node)
 		if err := doc.SetText(u.Node, u.Value); err != nil {
 			return err
 		}
@@ -189,7 +190,7 @@ func (ix *Indexes) refoldAncestors(affected map[xmltree.NodeID]struct{}) {
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] > order[j] })
 	for _, n := range order {
-		old := ix.captureNode(n)
+		old := ix.captureNodeScratch(n)
 		ix.recomputeInterior(n)
 		ix.reindexNode(n, old)
 	}
@@ -222,14 +223,12 @@ func (ix *Indexes) UpdateAttr(a xmltree.AttrID, value string) error {
 	if ix.attrHash != nil {
 		oldHash = ix.attrHash[a]
 	}
-	var oldDblKey, oldDtKey uint64
-	var oldDblOK, oldDtOK bool
-	if ix.double != nil {
-		oldDblKey, oldDblOK = ix.double.attrKey(a, stable)
+	oldTyped := ix.scratchKeys[:0]
+	for _, ti := range ix.typed {
+		key, ok := ti.attrKey(a, stable)
+		oldTyped = append(oldTyped, keyState{key: key, ok: ok})
 	}
-	if ix.dateTime != nil {
-		oldDtKey, oldDtOK = ix.dateTime.attrKey(a, stable)
-	}
+	ix.scratchKeys = oldTyped
 
 	doc.SetAttrValue(a, value)
 	val := doc.AttrValueBytes(a)
@@ -240,17 +239,11 @@ func (ix *Indexes) UpdateAttr(a xmltree.AttrID, value string) error {
 			ix.strTree.Insert(uint64(ix.attrHash[a]), posting)
 		}
 	}
-	if ix.double != nil {
-		f, _ := fsm.Double().ParseFrag(val)
-		ix.double.setAttrFrag(a, stable, f)
-		key, ok := ix.double.attrKey(a, stable)
-		diffTyped(ix.double, posting, oldDblKey, oldDblOK, key, ok)
-	}
-	if ix.dateTime != nil {
-		f, _ := fsm.DateTime().ParseFrag(val)
-		ix.dateTime.setAttrFrag(a, stable, f)
-		key, ok := ix.dateTime.attrKey(a, stable)
-		diffTyped(ix.dateTime, posting, oldDtKey, oldDtOK, key, ok)
+	for t, ti := range ix.typed {
+		f, _ := ti.spec.Machine.ParseFrag(val)
+		ti.setAttrFrag(a, stable, f)
+		key, ok := ti.attrKey(a, stable)
+		diffTyped(ti, posting, oldTyped[t].key, oldTyped[t].ok, key, ok)
 	}
 	return nil
 }

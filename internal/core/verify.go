@@ -22,10 +22,10 @@ func castDouble(m *fsm.Machine, s string) (float64, bool) {
 
 // Verify checks the full consistency of the indices against ground truth
 // recomputed from the document: per-node hashes equal H of materialised
-// string values, per-node elements and values equal a fresh FSM run, the
-// B+trees contain exactly the expected postings, and the stable-id maps
-// are mutually inverse. It is O(document²·depth) in the worst case and
-// meant for tests.
+// string values, per-node elements and values equal a fresh FSM run for
+// every typed index in the registry, the B+trees contain exactly the
+// expected postings, and the stable-id maps are mutually inverse. It is
+// O(document²·depth) in the worst case and meant for tests.
 func (ix *Indexes) Verify() error {
 	doc := ix.doc
 	n := doc.NumNodes()
@@ -46,7 +46,8 @@ func (ix *Indexes) Verify() error {
 		}
 	}
 
-	var strEntries, dblEntries, dtEntries int
+	strEntries := 0
+	typedEntries := make([]int, len(ix.typed))
 	for i := 0; i < n; i++ {
 		nd := xmltree.NodeID(i)
 		sv := doc.StringValue(nd)
@@ -61,14 +62,9 @@ func (ix *Indexes) Verify() error {
 		if indexedNodeKind(doc.Kind(nd)) {
 			strEntries++
 		}
-		if ix.double != nil {
-			if _, ok := ix.double.treeKey(doc, nd, ix.stableOf[i]); ok {
-				dblEntries++
-			}
-		}
-		if ix.dateTime != nil {
-			if _, ok := ix.dateTime.treeKey(doc, nd, ix.stableOf[i]); ok {
-				dtEntries++
+		for t, ti := range ix.typed {
+			if _, ok := ti.treeKey(doc, nd, ix.stableOf[i]); ok {
+				typedEntries[t]++
 			}
 		}
 	}
@@ -84,14 +80,9 @@ func (ix *Indexes) Verify() error {
 			return err
 		}
 		strEntries++
-		if ix.double != nil {
-			if _, ok := ix.double.attrKey(ad, ix.attrStableOf[a]); ok {
-				dblEntries++
-			}
-		}
-		if ix.dateTime != nil {
-			if _, ok := ix.dateTime.attrKey(ad, ix.attrStableOf[a]); ok {
-				dtEntries++
+		for t, ti := range ix.typed {
+			if _, ok := ti.attrKey(ad, ix.attrStableOf[a]); ok {
+				typedEntries[t]++
 			}
 		}
 	}
@@ -100,11 +91,10 @@ func (ix *Indexes) Verify() error {
 	if ix.strTree != nil && ix.strTree.Len() != strEntries {
 		return fmt.Errorf("core: string tree has %d entries, want %d", ix.strTree.Len(), strEntries)
 	}
-	if ix.double != nil && ix.double.tree.Len() != dblEntries {
-		return fmt.Errorf("core: double tree has %d entries, want %d", ix.double.tree.Len(), dblEntries)
-	}
-	if ix.dateTime != nil && ix.dateTime.tree.Len() != dtEntries {
-		return fmt.Errorf("core: dateTime tree has %d entries, want %d", ix.dateTime.tree.Len(), dtEntries)
+	for t, ti := range ix.typed {
+		if ti.tree.Len() != typedEntries[t] {
+			return fmt.Errorf("core: %s tree has %d entries, want %d", ti.spec.Name, ti.tree.Len(), typedEntries[t])
+		}
 	}
 	for i := 0; i < n; i++ {
 		nd := xmltree.NodeID(i)
@@ -116,14 +106,9 @@ func (ix *Indexes) Verify() error {
 		if ix.strTree != nil && !ix.strTree.Contains(uint64(ix.hash[i]), posting) {
 			return fmt.Errorf("core: string tree missing node %d", i)
 		}
-		if ix.double != nil {
-			if key, ok := ix.double.treeKey(doc, nd, stable); ok && !ix.double.tree.Contains(key, posting) {
-				return fmt.Errorf("core: double tree missing node %d", i)
-			}
-		}
-		if ix.dateTime != nil {
-			if key, ok := ix.dateTime.treeKey(doc, nd, stable); ok && !ix.dateTime.tree.Contains(key, posting) {
-				return fmt.Errorf("core: dateTime tree missing node %d", i)
+		for _, ti := range ix.typed {
+			if key, ok := ti.treeKey(doc, nd, stable); ok && !ti.tree.Contains(key, posting) {
+				return fmt.Errorf("core: %s tree missing node %d", ti.spec.Name, i)
 			}
 		}
 	}
@@ -134,9 +119,9 @@ func (ix *Indexes) Verify() error {
 		if ix.strTree != nil && !ix.strTree.Contains(uint64(ix.attrHash[a]), posting) {
 			return fmt.Errorf("core: string tree missing attr %d", a)
 		}
-		if ix.double != nil {
-			if key, ok := ix.double.attrKey(ad, stable); ok && !ix.double.tree.Contains(key, posting) {
-				return fmt.Errorf("core: double tree missing attr %d", a)
+		for _, ti := range ix.typed {
+			if key, ok := ti.attrKey(ad, stable); ok && !ti.tree.Contains(key, posting) {
+				return fmt.Errorf("core: %s tree missing attr %d", ti.spec.Name, a)
 			}
 		}
 	}
@@ -144,64 +129,42 @@ func (ix *Indexes) Verify() error {
 }
 
 func (ix *Indexes) verifyTyped(n xmltree.NodeID, sv string) error {
-	check := func(ti *typedIndex, name string) error {
-		wantFrag, ok := ti.m.ParseFragString(sv)
+	for _, ti := range ix.typed {
+		wantFrag, ok := ti.spec.Machine.ParseFragString(sv)
 		gotElem := ti.elems[n]
 		if !ok {
 			if gotElem != fsm.Reject {
-				return fmt.Errorf("core: node %d %s elem %d, want Reject (value %.40q)", n, name, gotElem, sv)
+				return fmt.Errorf("core: node %d %s elem %d, want Reject (value %.40q)", n, ti.spec.Name, gotElem, sv)
 			}
-			return nil
+			continue
 		}
 		got := ti.frag(n, ix.stableOf[n])
 		if got.Elem != wantFrag.Elem {
-			return fmt.Errorf("core: node %d %s elem %d, want %d (value %.40q)", n, name, got.Elem, wantFrag.Elem, sv)
+			return fmt.Errorf("core: node %d %s elem %d, want %d (value %.40q)", n, ti.spec.Name, got.Elem, wantFrag.Elem, sv)
 		}
 		// Values must agree when castable; item-level equality can differ
 		// harmlessly in >17-digit approximation territory, so compare the
 		// reconstruction.
 		if got.Lexical() != wantFrag.Lexical() {
-			return fmt.Errorf("core: node %d %s lexical %q, want %q", n, name, got.Lexical(), wantFrag.Lexical())
-		}
-		return nil
-	}
-	if ix.double != nil {
-		if err := check(ix.double, "double"); err != nil {
-			return err
-		}
-	}
-	if ix.dateTime != nil {
-		if err := check(ix.dateTime, "dateTime"); err != nil {
-			return err
+			return fmt.Errorf("core: node %d %s lexical %q, want %q", n, ti.spec.Name, got.Lexical(), wantFrag.Lexical())
 		}
 	}
 	return nil
 }
 
 func (ix *Indexes) verifyTypedAttr(a xmltree.AttrID, sv string) error {
-	check := func(ti *typedIndex, name string) error {
-		wantFrag, ok := ti.m.ParseFragString(sv)
+	for _, ti := range ix.typed {
+		wantFrag, ok := ti.spec.Machine.ParseFragString(sv)
 		gotElem := ti.attrElems[a]
 		if !ok {
 			if gotElem != fsm.Reject {
-				return fmt.Errorf("core: attr %d %s elem %d, want Reject", a, name, gotElem)
+				return fmt.Errorf("core: attr %d %s elem %d, want Reject", a, ti.spec.Name, gotElem)
 			}
-			return nil
+			continue
 		}
 		got := ti.attrFrag(a, ix.attrStableOf[a])
 		if got.Elem != wantFrag.Elem || got.Lexical() != wantFrag.Lexical() {
-			return fmt.Errorf("core: attr %d %s frag mismatch", a, name)
-		}
-		return nil
-	}
-	if ix.double != nil {
-		if err := check(ix.double, "double"); err != nil {
-			return err
-		}
-	}
-	if ix.dateTime != nil {
-		if err := check(ix.dateTime, "dateTime"); err != nil {
-			return err
+			return fmt.Errorf("core: attr %d %s frag mismatch", a, ti.spec.Name)
 		}
 	}
 	return nil

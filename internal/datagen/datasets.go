@@ -133,6 +133,7 @@ func emitXMarkPerson(w *xw, ws *wordSource, rng *rand.Rand, id int) {
 	w.leaf("education", "Graduate School")
 	w.leaf("age", fmt.Sprint(18+rng.Intn(60)))
 	w.leaf("rating", fmt.Sprintf("%d.%d", rng.Intn(5), rng.Intn(10)))
+	w.leaf("birthday", dateStr(rng))
 	w.end()
 	w.end()
 }

@@ -311,35 +311,38 @@ func thinkWork() uint32 {
 	return h
 }
 
+// buildA5Doc shreds the A5 workload document — a shared root over
+// workers*txns disjoint text leaves — and returns the string index with
+// the leaves' node ids.
+func buildA5Doc(workers, txns int) (*core.Indexes, []xmltree.NodeID, error) {
+	var sb []byte
+	sb = append(sb, "<root>"...)
+	for i := 0; i < workers*txns; i++ {
+		sb = append(sb, fmt.Sprintf("<leaf>v%d</leaf>", i)...)
+	}
+	sb = append(sb, "</root>"...)
+	doc, err := xmlparse.Parse(sb)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix := core.Build(doc, core.Options{String: true})
+	var texts []xmltree.NodeID
+	for i := 0; i < doc.NumNodes(); i++ {
+		if doc.Kind(xmltree.NodeID(i)) == xmltree.Text {
+			texts = append(texts, xmltree.NodeID(i))
+		}
+	}
+	return ix, texts, nil
+}
+
 // RunA5 builds a wide document (shared root, disjoint leaves) and drives
 // both managers with the same workload.
 func RunA5(cfg Config, workers, txns int) (A5Row, error) {
-	build := func() (*core.Indexes, []xmltree.NodeID, error) {
-		var sb []byte
-		sb = append(sb, "<root>"...)
-		for i := 0; i < workers*txns; i++ {
-			sb = append(sb, fmt.Sprintf("<leaf>v%d</leaf>", i)...)
-		}
-		sb = append(sb, "</root>"...)
-		doc, err := xmlparse.Parse(sb)
-		if err != nil {
-			return nil, nil, err
-		}
-		ix := core.Build(doc, core.Options{String: true})
-		var texts []xmltree.NodeID
-		for i := 0; i < doc.NumNodes(); i++ {
-			if doc.Kind(xmltree.NodeID(i)) == xmltree.Text {
-				texts = append(texts, xmltree.NodeID(i))
-			}
-		}
-		return ix, texts, nil
-	}
-
 	row := A5Row{Workers: workers, TxnsPerWorker: txns}
 
 	// Commutative: leaf locks only; conflicts impossible on disjoint
 	// leaves.
-	ix, texts, err := build()
+	ix, texts, err := buildA5Doc(workers, txns)
 	if err != nil {
 		return row, err
 	}
@@ -371,7 +374,7 @@ func RunA5(cfg Config, workers, txns int) (A5Row, error) {
 
 	// Ancestor locking: every transaction locks the root; contenders spin
 	// on ErrConflict.
-	ix2, texts2, err := build()
+	ix2, texts2, err := buildA5Doc(workers, txns)
 	if err != nil {
 		return row, err
 	}

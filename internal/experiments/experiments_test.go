@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/txn"
 )
 
 // tinyConfig keeps experiment tests fast.
@@ -200,10 +202,33 @@ func TestRunA5CommutativeWins(t *testing.T) {
 	if row.CommutativeAbort != 0 {
 		t.Errorf("commutative aborts = %d, want 0", row.CommutativeAbort)
 	}
-	// Ancestor locking must conflict (spinning aborts at the root).
-	if row.LockingAbort == 0 {
-		t.Error("ancestor locking produced no conflicts — workload not contended?")
-	}
 	var buf bytes.Buffer
 	ReportA5(&buf, row)
+}
+
+// TestAncestorLockingConflictsAtRoot pins the semantics the A5 ablation
+// measures — any two overlapping ancestor-locking transactions conflict
+// at the root, even on disjoint leaves — deterministically, instead of
+// hoping the timed workload happens to overlap on a given scheduler.
+func TestAncestorLockingConflictsAtRoot(t *testing.T) {
+	ix, texts, err := buildA5Doc(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmgr := txn.NewLockingManager(ix)
+	t1 := lmgr.Begin()
+	if err := t1.SetText(texts[0], "held"); err != nil {
+		t.Fatalf("first SetText: %v", err)
+	}
+	t2 := lmgr.Begin()
+	if err := t2.SetText(texts[1], "blocked"); err != txn.ErrConflict {
+		t.Fatalf("overlapping SetText on a disjoint leaf: err = %v, want ErrConflict", err)
+	}
+	t2.Abort()
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("commit after contender aborted: %v", err)
+	}
+	if _, aborts := lmgr.Stats(); aborts == 0 {
+		t.Error("abort count not recorded")
+	}
 }

@@ -56,10 +56,11 @@ func ReportTable1(w io.Writer, rows []Table1Row) {
 			fmt.Sprintf("%.1f%%", r.PaperDoublePct),
 			fmt.Sprint(r.NonLeaf),
 			fmt.Sprint(r.PaperNonLeaf),
+			fmt.Sprintf("%d (%.1f%%)", r.DateValues, r.DatePct),
 		})
 	}
 	table(w, "Table 1 — dataset statistics (measured vs paper)",
-		[]string{"dataset", "MB", "nodes", "text nodes", "paper", "double values", "paper", "non-leaf", "paper"}, out)
+		[]string{"dataset", "MB", "nodes", "text nodes", "paper", "double values", "paper", "non-leaf", "paper", "date values"}, out)
 }
 
 // ReportFig9 renders E2–E5.

@@ -81,16 +81,23 @@ func (op CmpOp) String() string {
 	return "?"
 }
 
-// Literal is a comparison right-hand side: a string or a number.
+// Literal is a comparison right-hand side: a string, a number, or an
+// xs:date (written xs:date("2001-03-15"); Str keeps the lexical form,
+// Days its value in days since the Unix epoch).
 type Literal struct {
-	IsNum bool
-	Num   float64
-	Str   string
+	IsNum  bool
+	Num    float64
+	IsDate bool
+	Days   int64
+	Str    string
 }
 
 func (l Literal) String() string {
 	if l.IsNum {
 		return fmt.Sprintf("%g", l.Num)
+	}
+	if l.IsDate {
+		return fmt.Sprintf("xs:date(%q)", l.Str)
 	}
 	return fmt.Sprintf("%q", l.Str)
 }

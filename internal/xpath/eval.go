@@ -260,9 +260,10 @@ func dedupe(ns []xmltree.NodeID) []xmltree.NodeID {
 }
 
 // compareString applies a comparison between an untyped node value and a
-// literal: numeric literals compare through the xs:double cast (FSM
-// semantics, so mixed content works); string literals compare as strings
-// (lexicographically for the relational operators).
+// literal: numeric literals compare through the xs:double cast, xs:date
+// literals through the date cast (FSM semantics in both cases, so mixed
+// content works); string literals compare as strings (lexicographically
+// for the relational operators).
 func compareString(value string, op CmpOp, lit Literal) bool {
 	if lit.IsNum {
 		v, ok := castDouble(value)
@@ -270,6 +271,13 @@ func compareString(value string, op CmpOp, lit Literal) bool {
 			return false
 		}
 		return compareFloat(v, op, lit.Num)
+	}
+	if lit.IsDate {
+		d, ok := castDate(value)
+		if !ok {
+			return false
+		}
+		return compareInt(d, op, lit.Days)
 	}
 	switch op {
 	case OpEq:
@@ -306,12 +314,38 @@ func compareFloat(v float64, op CmpOp, lit float64) bool {
 	return false
 }
 
+func compareInt(v int64, op CmpOp, lit int64) bool {
+	switch op {
+	case OpEq:
+		return v == lit
+	case OpNe:
+		return v != lit
+	case OpLt:
+		return v < lit
+	case OpLe:
+		return v <= lit
+	case OpGt:
+		return v > lit
+	case OpGe:
+		return v >= lit
+	}
+	return false
+}
+
 func castDouble(s string) (float64, bool) {
 	f, ok := fsm.Double().ParseFragString(s)
 	if !ok {
 		return 0, false
 	}
 	return fsm.DoubleValue(f)
+}
+
+func castDate(s string) (int64, bool) {
+	f, ok := fsm.Date().ParseFragString(s)
+	if !ok {
+		return 0, false
+	}
+	return fsm.DateValue(f)
 }
 
 func sortPostings(doc *xmltree.Doc, ps []core.Posting) []core.Posting {
@@ -355,7 +389,7 @@ func (ev *evaluator) runIndexed(path *Path) ([]core.Posting, bool) {
 		return ev.runIndexedAttrStep(path, last)
 	}
 	ci, cond := pickIndexableCond(last.Preds)
-	if ci < 0 {
+	if ci < 0 || !ev.condIndexAvailable(cond) {
 		return nil, false
 	}
 	cands := ev.candidates(cond)
@@ -389,7 +423,7 @@ func (ev *evaluator) runIndexed(path *Path) ([]core.Posting, bool) {
 // //item/@id[. = "x"].
 func (ev *evaluator) runIndexedAttrStep(path *Path, last Step) ([]core.Posting, bool) {
 	ci, cond := pickIndexableCond(last.Preds)
-	if ci < 0 || !cond.Dot {
+	if ci < 0 || !cond.Dot || !ev.condIndexAvailable(cond) {
 		return nil, false
 	}
 	doc := ev.doc
@@ -431,12 +465,14 @@ func (ev *evaluator) absMatches(n xmltree.NodeID, steps []Step) bool {
 		ev.matchesAt(n, steps[:len(steps)-1], last.Axis)
 }
 
-// pickIndexableCond returns the first condition usable with an index.
+// pickIndexableCond returns the first condition usable with an index:
+// numeric and xs:date comparisons go to the typed range indexes, string
+// equality to the hash index.
 func pickIndexableCond(preds []Pred) (int, Cond) {
 	idx := 0
 	for _, p := range preds {
 		for _, c := range p.Conds {
-			if c.Lit.IsNum || c.Op == OpEq {
+			if c.Lit.IsNum || c.Lit.IsDate || c.Op == OpEq {
 				return idx, c
 			}
 			idx++
@@ -445,9 +481,41 @@ func pickIndexableCond(preds []Pred) (int, Cond) {
 	return -1, Cond{}
 }
 
+// condIndexAvailable reports whether the index a condition needs was
+// built; without it the caller falls back to scan evaluation instead of
+// silently answering from an empty candidate set.
+func (ev *evaluator) condIndexAvailable(c Cond) bool {
+	switch {
+	case c.Lit.IsDate:
+		return ev.ix.HasTyped(core.TypeDate)
+	case c.Lit.IsNum:
+		return ev.ix.HasTyped(core.TypeDouble)
+	default:
+		return ev.ix.HasString()
+	}
+}
+
 // candidates queries the value indices for nodes satisfying the
 // comparison, regardless of structure.
 func (ev *evaluator) candidates(c Cond) []core.Posting {
+	if c.Lit.IsDate {
+		lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+		switch c.Op {
+		case OpEq:
+			lo, hi = c.Lit.Days, c.Lit.Days
+		case OpLt:
+			hi = c.Lit.Days - 1 // integral day domain: exclusive = previous day
+		case OpLe:
+			hi = c.Lit.Days
+		case OpGt:
+			lo = c.Lit.Days + 1
+		case OpGe:
+			lo = c.Lit.Days
+		case OpNe:
+			// Not index-friendly; all castable dates are candidates.
+		}
+		return ev.ix.RangeDate(lo, hi)
+	}
 	if c.Lit.IsNum {
 		lo, hi := math.Inf(-1), math.Inf(1)
 		incLo, incHi := true, true

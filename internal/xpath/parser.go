@@ -252,6 +252,30 @@ func (p *parser) parseOp() (CmpOp, error) {
 
 func (p *parser) parseLiteral() (Literal, error) {
 	var lit Literal
+	if save := p.pos; p.eat("xs:date") || p.eat("date") {
+		p.skipSpace()
+		if !p.eat("(") {
+			p.pos = save // not a date constructor after all
+		} else {
+			p.skipSpace()
+			inner, err := p.parseLiteral()
+			if err != nil {
+				return lit, err
+			}
+			if inner.IsNum || inner.IsDate {
+				return lit, fmt.Errorf("xs:date expects a string literal")
+			}
+			days, ok := castDate(inner.Str)
+			if !ok {
+				return lit, fmt.Errorf("bad xs:date literal %q", inner.Str)
+			}
+			p.skipSpace()
+			if !p.eat(")") {
+				return lit, fmt.Errorf("expected ')' after xs:date literal")
+			}
+			return Literal{IsDate: true, Days: days, Str: inner.Str}, nil
+		}
+	}
 	switch quote := p.peek(); quote {
 	case '"', '\'':
 		p.pos++

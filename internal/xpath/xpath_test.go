@@ -164,6 +164,99 @@ func TestRangeQueries(t *testing.T) {
 	}
 }
 
+func TestDateQueries(t *testing.T) {
+	xml := `<people>
+	  <person><birthday>1966-09-26</birthday></person>
+	  <person><birthday>1971-01-05</birthday></person>
+	  <person><birthday>1985-12-31</birthday></person>
+	  <person><birthday>yesterday</birthday></person>
+	  <person><birthday>1999-13-01</birthday></person>
+	</people>`
+	ix := mustIndex(t, xml)
+	doc := ix.Doc()
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{`//person[birthday = xs:date("1966-09-26")]`, 1},
+		{`//person[birthday < xs:date("1970-01-01")]`, 1},
+		{`//person[birthday <= xs:date("1971-01-05")]`, 2},
+		{`//person[birthday > xs:date("1966-09-26")]`, 2},
+		{`//person[birthday >= xs:date("1800-01-01")]`, 3}, // non-dates and month 13 never match
+		{`//person[birthday != xs:date("1966-09-26")]`, 2},
+		{`//person[birthday = xs:date("2020-02-02")]`, 0},
+	}
+	for _, c := range cases {
+		q := MustParse(c.q)
+		scan := Evaluate(doc, q)
+		indexed := EvaluateIndexed(ix, q)
+		if len(scan) != c.want {
+			t.Errorf("scan %s = %d hits, want %d", c.q, len(scan), c.want)
+		}
+		assertSame(t, doc, scan, indexed)
+	}
+}
+
+// TestMissingIndexFallsBackToScan pins the fix a verification probe
+// surfaced: evaluating an indexable predicate against an index set that
+// never built the needed index must fall back to scanning, not answer
+// from an empty candidate set.
+func TestMissingIndexFallsBackToScan(t *testing.T) {
+	xml := `<people>
+	  <person><birthday>1966-09-26</birthday><age>42</age></person>
+	  <person><birthday>1985-12-31</birthday><age>17</age></person>
+	</people>`
+	doc, err := xmlparse.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stringOnly := core.Build(doc, core.Options{String: true})
+	cases := []string{
+		`//person[birthday < xs:date("1970-01-01")]`,
+		`//person[age > 40]`,
+	}
+	for _, c := range cases {
+		q := MustParse(c)
+		scan := Evaluate(doc, q)
+		indexed := EvaluateIndexed(stringOnly, q)
+		if len(scan) != 1 {
+			t.Fatalf("scan %s = %d hits, want 1", c, len(scan))
+		}
+		assertSame(t, doc, scan, indexed)
+	}
+	// And string equality without the string index.
+	typedOnly := core.Build(doc, core.Options{Double: true, Date: true})
+	q := MustParse(`//person[birthday = "1966-09-26"]`)
+	assertSame(t, doc, Evaluate(doc, q), EvaluateIndexed(typedOnly, q))
+}
+
+func TestDateLiteralParsing(t *testing.T) {
+	for _, good := range []string{
+		`//a[b = xs:date("2001-03-15")]`,
+		`//a[b = date('2001-03-15')]`,
+		`//a[b = xs:date ( "2001-03-15" )]`, // whitespace-tolerant, like every other token
+	} {
+		p, err := Parse(good)
+		if err != nil {
+			t.Fatalf("%s: %v", good, err)
+		}
+		lit := p.Steps[0].Preds[0].Conds[0].Lit
+		if !lit.IsDate || lit.Str != "2001-03-15" {
+			t.Errorf("%s: literal = %+v", good, lit)
+		}
+	}
+	for _, bad := range []string{
+		`//a[b = xs:date("not a date")]`,
+		`//a[b = xs:date("2001-13-01")]`, // month 13: lexically live, semantically impossible
+		`//a[b = xs:date(42)]`,
+		`//a[b = xs:date("2001-03-15"]`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%s: parse should fail", bad)
+		}
+	}
+}
+
 func TestAttributePredicatesAndSteps(t *testing.T) {
 	xml := `<catalog>
 	  <item id="i1" price="9.99"><name>foo</name></item>

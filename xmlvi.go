@@ -16,11 +16,14 @@ import (
 
 // Options configure parsing and index construction.
 type Options struct {
-	// String, Double, and DateTime select the indices to build. The zero
-	// Options value builds all three.
+	// String, Double, DateTime, and Date select the indices to build. The
+	// zero Options value builds all of them. Types selects further typed
+	// indexes registered with core.RegisterType.
 	String   bool
 	Double   bool
 	DateTime bool
+	Date     bool
+	Types    []core.TypeID
 	// StripWhitespace drops whitespace-only text nodes while shredding.
 	StripWhitespace bool
 	// SkipComments and SkipPIs drop those node kinds while shredding.
@@ -29,10 +32,10 @@ type Options struct {
 }
 
 func (o Options) indexOptions() core.Options {
-	if !o.String && !o.Double && !o.DateTime {
+	if !o.String && !o.Double && !o.DateTime && !o.Date && len(o.Types) == 0 {
 		return core.DefaultOptions()
 	}
-	return core.Options{String: o.String, Double: o.Double, DateTime: o.DateTime}
+	return core.Options{String: o.String, Double: o.Double, DateTime: o.DateTime, Date: o.Date, Types: o.Types}
 }
 
 // Document is an indexed XML document: the shredded tree plus the value
@@ -199,6 +202,19 @@ func (d *Document) RangeDateTime(from, to time.Time) []Result {
 	return d.results(d.ix.RangeDateTime(from.UnixMilli(), to.UnixMilli()))
 }
 
+// RangeDate returns nodes whose xs:date value lies in [from, to]. Only
+// the calendar date (UTC) of the bounds is considered.
+func (d *Document) RangeDate(from, to time.Time) []Result {
+	return d.results(d.ix.RangeDate(epochDays(from), epochDays(to)))
+}
+
+// epochDays converts a time to whole days since the Unix epoch in UTC,
+// the xs:date index's value domain.
+func epochDays(t time.Time) int64 {
+	const day = 24 * time.Hour
+	return t.UTC().Truncate(day).Unix() / int64(day/time.Second)
+}
+
 // --- navigation and inspection ---
 
 // Root returns the document node.
@@ -244,6 +260,15 @@ func (d *Document) DateTimeValue(n Node) (time.Time, bool) {
 		return time.Time{}, false
 	}
 	return time.UnixMilli(ms).UTC(), true
+}
+
+// DateValue returns a node's xs:date value (midnight UTC), if castable.
+func (d *Document) DateValue(n Node) (time.Time, bool) {
+	days, ok := d.ix.DateValue(n)
+	if !ok {
+		return time.Time{}, false
+	}
+	return time.Unix(days*24*3600, 0).UTC(), true
 }
 
 // Hash returns the stored 32-bit value hash of a node — H of its string

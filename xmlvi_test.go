@@ -147,6 +147,38 @@ func TestDateTimeRange(t *testing.T) {
 	}
 }
 
+func TestDateRange(t *testing.T) {
+	d := mustParse(t, `<people>
+	  <person><name>a</name><birthday>1966-09-26</birthday></person>
+	  <person><name>b</name><birthday>1971-01-05</birthday></person>
+	  <person><name>c</name><birthday>1985-12-31</birthday></person>
+	</people>`)
+	from := time.Date(1960, 1, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(1975, 1, 1, 0, 0, 0, 0, time.UTC)
+	birthdays := 0
+	for _, r := range d.RangeDate(from, to) {
+		if r.Name() == "birthday" {
+			birthdays++
+		}
+	}
+	if birthdays != 2 {
+		t.Errorf("found %d <birthday> in range, want 2", birthdays)
+	}
+	b := d.Find("birthday")
+	v, ok := d.DateValue(b)
+	if !ok || !v.Equal(time.Date(1966, 9, 26, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("DateValue = %v %v", v, ok)
+	}
+	// The date index answers xs:date XPath predicates.
+	hits, err := d.Query(`//person[birthday < xs:date("1970-01-01")]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || d.StringValue(hits[0].Node) != "a1966-09-26" {
+		t.Errorf("xs:date query hits = %v", hits)
+	}
+}
+
 func TestSaveLoad(t *testing.T) {
 	d := mustParse(t, personXML)
 	path := filepath.Join(t.TempDir(), "person.xvi")
