@@ -225,6 +225,37 @@ func BenchmarkTxnCommutativeVsLocking(b *testing.B) {
 	}
 }
 
+// BenchmarkBuild measures full index construction (string + every
+// registered typed index) over the XMark bench corpus, serial
+// (Parallelism=1, the paper's Figure 7 loop) against the sharded
+// parallel build (Parallelism=4). CI's bench job diffs the two
+// sub-benchmarks in its job summary; on multi-core hardware p4 should
+// be well over 2x faster, while on a single core it degrades to
+// roughly serial cost. The equivalence property tests in internal/core
+// pin that both paths produce byte-identical indexes.
+func BenchmarkBuild(b *testing.B) {
+	xml, err := datagen.Generate("xmark1", *benchScale, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, err := xmlparse.Parse(xml)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("corpus: %d nodes, %d attrs", doc.NumNodes(), doc.NumAttrs())
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Parallelism = p
+			for i := 0; i < b.N; i++ {
+				benchBuilt = core.Build(doc, opts)
+			}
+		})
+	}
+}
+
+var benchBuilt *core.Indexes
+
 // BenchmarkRangeDate compares the xs:date range index — added to the
 // core purely by registration — against the index-less scan baseline on
 // the datagen auction (XMark) dataset. Paper-shaped expectation: the

@@ -16,22 +16,47 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/datagen"
 	"repro/internal/experiments"
 )
 
 var allExperiments = []string{"table1", "fig9", "fig10", "fig11", "a1", "a2", "a3", "a4", "a5"}
 
+// expAliases are the per-panel selectors that map onto a whole figure.
+var expAliases = []string{"fig9a", "fig9b", "fig9c", "fig9d", "fig10a", "fig10b"}
+
 func main() {
 	scale := flag.Float64("scale", 0.25, "dataset scale (1.0 ≈ 1/64 of the paper's node counts)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	repeat := flag.Int("repeat", 3, "measurements averaged per point")
+	parallel := flag.Int("parallel", 0, "index-build worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	expList := flag.String("exp", "all", "comma-separated experiments: "+strings.Join(allExperiments, ","))
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all eight)")
 	flag.Parse()
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Repeat: *repeat}
+	// Validate every selector up front, before any experiment burns time:
+	// a typo must be a usable error and a non-zero exit, never a silent
+	// empty report (an unknown -exp used to print nothing and exit 0, and
+	// an unknown dataset only failed once its first experiment ran).
+	if *scale <= 0 {
+		usageError(fmt.Sprintf("-scale must be positive, got %g", *scale))
+	}
+	if *parallel < 0 {
+		usageError(fmt.Sprintf("-parallel must be >= 0 (0 = GOMAXPROCS, 1 = serial), got %d", *parallel))
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Repeat: *repeat, Parallelism: *parallel}
 	if *datasets != "" {
-		cfg.Datasets = strings.Split(*datasets, ",")
+		known := map[string]bool{}
+		for _, d := range datagen.Names {
+			known[d] = true
+		}
+		for _, d := range strings.Split(*datasets, ",") {
+			d = strings.TrimSpace(d)
+			if !known[d] {
+				usageError(fmt.Sprintf("unknown dataset %q (known: %s)", d, strings.Join(datagen.Names, ", ")))
+			}
+			cfg.Datasets = append(cfg.Datasets, d)
+		}
 	}
 	selected := map[string]bool{}
 	if *expList == "all" {
@@ -39,8 +64,17 @@ func main() {
 			selected[e] = true
 		}
 	} else {
+		known := map[string]bool{}
+		for _, e := range append(append([]string{}, allExperiments...), expAliases...) {
+			known[e] = true
+		}
 		for _, e := range strings.Split(*expList, ",") {
-			selected[strings.TrimSpace(e)] = true
+			e = strings.TrimSpace(e)
+			if !known[e] {
+				usageError(fmt.Sprintf("unknown experiment %q (known: %s; panels: %s)",
+					e, strings.Join(allExperiments, ", "), strings.Join(expAliases, ", ")))
+			}
+			selected[e] = true
 		}
 	}
 	out := os.Stdout
@@ -121,4 +155,9 @@ func firstDataset(cfg experiments.Config) string {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "xvibench:", err)
 	os.Exit(1)
+}
+
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "xvibench:", msg)
+	os.Exit(2)
 }

@@ -25,11 +25,15 @@ func main() {
 	noDouble := flag.Bool("no-double", false, "skip the double range index")
 	noDateTime := flag.Bool("no-datetime", false, "skip the dateTime range index")
 	noDate := flag.Bool("no-date", false, "skip the date range index")
+	parallel := flag.Int("parallel", 0, "index-build worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	quiet := flag.Bool("q", false, "suppress statistics output")
 	flag.Parse()
 	if *in == "" || *out == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *parallel < 0 {
+		fatal(fmt.Errorf("-parallel must be >= 0 (0 = GOMAXPROCS, 1 = serial), got %d", *parallel))
 	}
 
 	xml, err := os.ReadFile(*in)
@@ -42,6 +46,7 @@ func main() {
 		DateTime:        !*noDateTime,
 		Date:            !*noDate,
 		StripWhitespace: *stripWS,
+		Parallelism:     *parallel,
 	}
 	if !opts.String && !opts.Double && !opts.DateTime && !opts.Date {
 		fatal(fmt.Errorf("at least one index must be enabled"))

@@ -85,6 +85,50 @@
 // indexes in versioned per-type sections keyed by stable type ID) and
 // support concurrent commutative transactions (Section 5.1 of the paper).
 //
+// # Parallel index construction
+//
+// Options.Parallelism bounds the worker goroutines index construction
+// uses: 0 means runtime.GOMAXPROCS(0) (the default), 1 forces the serial
+// reference build — the paper's Figure 7 loop, kept as the oracle the
+// parallel path is property-tested against. Both of Figure 7's
+// ingredients are associative (the hash combination function C and the
+// SCT's monoid composition), so the depth-first fold splits at subtree
+// boundaries without changing any result:
+//
+//   - the document is carved into contiguous runs of complete subtrees
+//     ("shards") hanging off a small spine (the document node plus any
+//     element too large to hand to one worker whole);
+//   - a worker pool runs the Figure 7 pass over each shard with private
+//     scratch buffers, which are merged at shard boundaries afterwards;
+//   - the spine is folded serially, children first, from the children's
+//     stored fields — exactly how the Figure 8 update algorithm refolds
+//     interior nodes — preserving SCT early-reject semantics bit for
+//     bit;
+//   - each enabled index's B+tree bulk-loads on its own goroutine (the
+//     trees are independent after collection), with the entry sort
+//     itself fanned out.
+//
+// Every Parallelism setting produces identical indexes, down to snapshot
+// bytes; internal/core's equivalence property tests pin this per
+// registered type, on the generated XMark corpus and on pathological
+// shapes (one giant subtree, all-attribute documents, the empty
+// document). Because the paths shard per registered TypeSpec, any type
+// added through the registry is parallelised with no further work.
+//
+// # Concurrency
+//
+// After construction, a Document's index-backed lookups (LookupString,
+// LookupDouble, the Range methods) may run concurrently with each
+// other. Once lookups interleave with updates, the index layer's
+// internal reader/writer lock orders them: text and attribute updates
+// exclude the lookup entry points, so a lookup never observes a
+// half-applied update. What remains the caller's responsibility: tree
+// navigation, Query's scan fallback, Contains (the substring index has
+// no internal lock), and structural updates (Delete, InsertXML) are not
+// covered by that lock and require coordinating through the transaction
+// layer (Begin/Txn, whose commit section funnels every write through
+// the locked update path) or external synchronization.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 package xmlvi

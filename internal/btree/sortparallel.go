@@ -1,0 +1,95 @@
+package btree
+
+import "sync"
+
+// minParallelSort is the input size below which SortEntriesParallel
+// falls back to the serial radix sort: splitting smaller inputs costs
+// more in goroutine scheduling than the sort itself.
+const minParallelSort = 1 << 14
+
+// SortEntriesParallel sorts entries by (Key, Val) ascending like
+// SortEntries, fanning the work across up to workers goroutines: the
+// input is cut into equal runs, each run is radix-sorted concurrently,
+// and adjacent sorted runs are then merged pairwise (each pair on its
+// own goroutine) until one run remains. The output is identical to
+// SortEntries' — entries in an index are unique (Key, Val) pairs, so
+// the order is total and merge ties cannot arise.
+func SortEntriesParallel(entries []Entry, workers int) {
+	n := len(entries)
+	if workers <= 1 || n < minParallelSort {
+		SortEntries(entries)
+		return
+	}
+
+	type run struct{ lo, hi int }
+	chunk := (n + workers - 1) / workers
+	runs := make([]run, 0, workers)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		runs = append(runs, run{lo: lo, hi: hi})
+	}
+
+	var wg sync.WaitGroup
+	for _, r := range runs {
+		wg.Add(1)
+		go func(r run) {
+			defer wg.Done()
+			SortEntries(entries[r.lo:r.hi])
+		}(r)
+	}
+	wg.Wait()
+
+	buf := make([]Entry, n)
+	src, dst := entries, buf
+	for len(runs) > 1 {
+		next := make([]run, 0, (len(runs)+1)/2)
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				// Odd run out: carry it into the destination unchanged so
+				// the buffers stay in lockstep.
+				r := runs[i]
+				wg.Add(1)
+				go func(r run) {
+					defer wg.Done()
+					copy(dst[r.lo:r.hi], src[r.lo:r.hi])
+				}(r)
+				next = append(next, r)
+				continue
+			}
+			a, b := runs[i], runs[i+1]
+			wg.Add(1)
+			go func(a, b run) {
+				defer wg.Done()
+				mergeRuns(dst[a.lo:b.hi], src[a.lo:a.hi], src[b.lo:b.hi])
+			}(a, b)
+			next = append(next, run{lo: a.lo, hi: b.hi})
+		}
+		wg.Wait()
+		runs = next
+		src, dst = dst, src
+	}
+	if &src[0] != &entries[0] {
+		copy(entries, src)
+	}
+}
+
+// mergeRuns merges the sorted runs a and b into out, which must have
+// length len(a)+len(b).
+func mergeRuns(out, a, b []Entry) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].less(b[j]) {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	k += copy(out[k:], a[i:])
+	copy(out[k:], b[j:])
+}

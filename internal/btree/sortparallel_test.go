@@ -1,0 +1,54 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomEntries(n int, seed int64) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	keyspace := n/4 + 1
+	entries := make([]Entry, n)
+	for i := range entries {
+		// Duplicate keys on purpose; Val keeps pairs unique.
+		entries[i] = Entry{Key: uint64(rng.Intn(keyspace)), Val: uint32(i)}
+	}
+	rng.Shuffle(n, func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
+	return entries
+}
+
+func TestSortEntriesParallelMatchesSerial(t *testing.T) {
+	// Sizes straddle the parallel threshold; worker counts include odd
+	// values so the pairwise merge hits carry-over runs.
+	for _, n := range []int{0, 1, 500, minParallelSort - 1, minParallelSort, 3*minParallelSort + 17} {
+		for _, workers := range []int{1, 2, 3, 5, 8} {
+			serial := randomEntries(n, int64(n))
+			parallel := append([]Entry(nil), serial...)
+			SortEntries(serial)
+			SortEntriesParallel(parallel, workers)
+			if len(serial) != len(parallel) {
+				t.Fatalf("n=%d workers=%d: length changed", n, workers)
+			}
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Fatalf("n=%d workers=%d: entry %d = %+v, want %+v", n, workers, i, parallel[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSortEntriesParallelStrictOrder(t *testing.T) {
+	entries := randomEntries(2*minParallelSort, 99)
+	SortEntriesParallel(entries, 4)
+	for i := 1; i < len(entries); i++ {
+		if !entries[i-1].less(entries[i]) {
+			t.Fatalf("entries %d and %d out of order: %+v, %+v", i-1, i, entries[i-1], entries[i])
+		}
+	}
+	// The sorted output must bulk-load (NewFromSorted panics otherwise).
+	tree := NewFromSorted(entries)
+	if tree.Len() != len(entries) {
+		t.Fatalf("tree has %d entries, want %d", tree.Len(), len(entries))
+	}
+}

@@ -44,9 +44,13 @@ func Build(doc *xmltree.Doc, opts Options) *Indexes {
 	}
 
 	ix.eachTyped(func(ti *typedIndex) { ti.collect = true })
-	ix.buildPass(0, xmltree.NodeID(n-1))
-	ix.buildAttrs(0, xmltree.AttrID(na-1))
-	ix.buildTrees()
+	if workers := opts.workers(); workers > 1 {
+		ix.buildParallel(workers)
+	} else {
+		ix.buildPass(0, xmltree.NodeID(n-1), nil)
+		ix.buildAttrs(0, xmltree.AttrID(na-1), nil)
+		ix.buildTrees(1)
+	}
 	ix.eachTyped(func(ti *typedIndex) { ti.collect = false; ti.scratch = nil })
 	return ix
 }
@@ -89,10 +93,15 @@ func (ix *Indexes) identityFrags() []fsm.Frag {
 // buildPass computes the per-node fields for the pre-order range
 // [from, to], which must cover complete subtrees rooted at nodes whose
 // parents lie outside the range (it is used for the whole document at
-// Build time and for freshly inserted subtrees during structural
-// updates). Fields of the range's root nodes are NOT folded into parents
-// outside the range; callers recompute those ancestors.
-func (ix *Indexes) buildPass(from, to xmltree.NodeID) {
+// Build time, for one shard of it during parallel builds, and for
+// freshly inserted subtrees during structural updates). Fields of the
+// range's root nodes are NOT folded into parents outside the range;
+// callers recompute those ancestors.
+//
+// A nil sink writes typed-index results straight into the shared side
+// tables; concurrent shard workers pass their own sink so the map and
+// slice appends stay private until the merge (see parallel.go).
+func (ix *Indexes) buildPass(from, to xmltree.NodeID, sink *buildSink) {
 	doc := ix.doc
 	var stack []buildFrame
 
@@ -121,9 +130,9 @@ func (ix *Indexes) buildPass(from, to xmltree.NodeID) {
 		// values; single-text wrappers are chain-lifted at query time.
 		combined := isCombinedValue(doc, f.node)
 		for t, ti := range ix.typed {
-			ti.setFragFresh(f.node, stable, f.frags[t])
+			sink.setFrag(ti, t, f.node, stable, f.frags[t])
 			if combined {
-				ti.collectEntry(f.frags[t], posting)
+				sink.entry(ti, t, f.frags[t], posting)
 			}
 		}
 		// Fold the completed element into its parent's accumulator (the
@@ -162,8 +171,8 @@ func (ix *Indexes) buildPass(from, to xmltree.NodeID) {
 			for t, ti := range ix.typed {
 				f, _ := ti.spec.Machine.ParseFrag(val) // rejected → zero Frag (Reject)
 				leafFrags[t] = f
-				ti.setFragFresh(i, stable, f)
-				ti.collectEntry(f, packPosting(stable, false))
+				sink.setFrag(ti, t, i, stable, f)
+				sink.entry(ti, t, f, packPosting(stable, false))
 			}
 			if len(stack) > 0 {
 				p := &stack[len(stack)-1]
@@ -181,9 +190,9 @@ func (ix *Indexes) buildPass(from, to xmltree.NodeID) {
 			if ix.hash != nil {
 				ix.hash[i] = vhash.Hash(doc.ValueBytes(i))
 			}
-			for _, ti := range ix.typed {
+			for t, ti := range ix.typed {
 				f, _ := ti.spec.Machine.ParseFrag(doc.ValueBytes(i))
-				ti.setFragFresh(i, stable, f)
+				sink.setFrag(ti, t, i, stable, f)
 			}
 		}
 		// Close every frame whose subtree ends here.
@@ -196,8 +205,10 @@ func (ix *Indexes) buildPass(from, to xmltree.NodeID) {
 }
 
 // buildAttrs computes attribute fields for the id range [from, to].
-// Attribute values never contribute to ancestors.
-func (ix *Indexes) buildAttrs(from, to xmltree.AttrID) {
+// Attribute values never contribute to ancestors, which also makes this
+// pass trivially shardable: parallel builds carve [0, NumAttrs) into
+// chunks and give each worker its own sink.
+func (ix *Indexes) buildAttrs(from, to xmltree.AttrID, sink *buildSink) {
 	doc := ix.doc
 	for a := from; a <= to; a++ {
 		val := doc.AttrValueBytes(a)
@@ -205,10 +216,10 @@ func (ix *Indexes) buildAttrs(from, to xmltree.AttrID) {
 		if ix.attrHash != nil {
 			ix.attrHash[a] = vhash.Hash(val)
 		}
-		for _, ti := range ix.typed {
+		for t, ti := range ix.typed {
 			f, _ := ti.spec.Machine.ParseFrag(val)
-			ti.setAttrFragFresh(a, stable, f)
-			ti.collectEntry(f, packPosting(stable, true))
+			sink.setAttrFrag(ti, t, a, stable, f)
+			sink.entry(ti, t, f, packPosting(stable, true))
 		}
 	}
 }
@@ -220,51 +231,85 @@ func indexedNodeKind(k xmltree.Kind) bool {
 	return k == xmltree.Element || k == xmltree.Text || k == xmltree.Document
 }
 
-// buildTrees bulk-loads the B+trees from the computed fields.
-func (ix *Indexes) buildTrees() {
+// buildTrees bulk-loads the B+trees from the computed fields. The trees
+// are independent after collection, so with workers > 1 the string tree
+// and every typed tree sort and load concurrently (each sort itself fans
+// out through btree.SortEntriesParallel). The loads run through the same
+// worker budget as the collection passes, with the per-tree sort fan-out
+// divided by the number of concurrently loading trees, so total
+// CPU-bound goroutines stay within Options.Parallelism. The loaded trees
+// are identical for any worker count: entries are sorted by
+// (key, posting) before bulk loading, which erases collection order.
+func (ix *Indexes) buildTrees(workers int) {
 	doc := ix.doc
 	n := doc.NumNodes()
 	na := doc.NumAttrs()
 
-	if ix.hash != nil {
-		entries := make([]btree.Entry, 0, n+na)
-		for i := 0; i < n; i++ {
-			if indexedNodeKind(doc.Kind(xmltree.NodeID(i))) {
-				entries = append(entries, btree.Entry{
-					Key: uint64(ix.hash[i]),
-					Val: packPosting(ix.stableOf[i], false),
-				})
-			}
+	var loads []func(sortWorkers int)
+	spawn := func(f func(sortWorkers int)) {
+		if workers <= 1 {
+			f(1)
+			return
 		}
-		for a := 0; a < na; a++ {
-			entries = append(entries, btree.Entry{
-				Key: uint64(ix.attrHash[a]),
-				Val: packPosting(ix.attrStableOf[a], true),
-			})
-		}
-		btree.SortEntries(entries)
-		ix.strTree = btree.NewFromSorted(entries)
+		loads = append(loads, f)
 	}
 
-	ix.eachTyped(func(ti *typedIndex) {
-		entries := ti.scratch
-		if !ti.collect {
-			// Rebuilt outside the initial pass (not currently exercised,
-			// but kept for safety): scan the fields.
-			entries = entries[:0]
+	if ix.hash != nil {
+		spawn(func(sortWorkers int) {
+			entries := make([]btree.Entry, 0, n+na)
 			for i := 0; i < n; i++ {
-				nd := xmltree.NodeID(i)
-				if key, ok := ti.treeKey(doc, nd, ix.stableOf[i]); ok {
-					entries = append(entries, btree.Entry{Key: key, Val: packPosting(ix.stableOf[i], false)})
+				if indexedNodeKind(doc.Kind(xmltree.NodeID(i))) {
+					entries = append(entries, btree.Entry{
+						Key: uint64(ix.hash[i]),
+						Val: packPosting(ix.stableOf[i], false),
+					})
 				}
 			}
 			for a := 0; a < na; a++ {
-				if key, ok := ti.attrKey(xmltree.AttrID(a), ix.attrStableOf[a]); ok {
-					entries = append(entries, btree.Entry{Key: key, Val: packPosting(ix.attrStableOf[a], true)})
+				entries = append(entries, btree.Entry{
+					Key: uint64(ix.attrHash[a]),
+					Val: packPosting(ix.attrStableOf[a], true),
+				})
+			}
+			btree.SortEntriesParallel(entries, sortWorkers)
+			ix.strTree = btree.NewFromSorted(entries)
+		})
+	}
+
+	ix.eachTyped(func(ti *typedIndex) {
+		spawn(func(sortWorkers int) {
+			entries := ti.scratch
+			if !ti.collect {
+				// Rebuilt outside the initial pass (not currently exercised,
+				// but kept for safety): scan the fields.
+				entries = entries[:0]
+				for i := 0; i < n; i++ {
+					nd := xmltree.NodeID(i)
+					if key, ok := ti.treeKey(doc, nd, ix.stableOf[i]); ok {
+						entries = append(entries, btree.Entry{Key: key, Val: packPosting(ix.stableOf[i], false)})
+					}
+				}
+				for a := 0; a < na; a++ {
+					if key, ok := ti.attrKey(xmltree.AttrID(a), ix.attrStableOf[a]); ok {
+						entries = append(entries, btree.Entry{Key: key, Val: packPosting(ix.attrStableOf[a], true)})
+					}
 				}
 			}
-		}
-		btree.SortEntries(entries)
-		ti.tree = btree.NewFromSorted(entries)
+			btree.SortEntriesParallel(entries, sortWorkers)
+			ti.tree = btree.NewFromSorted(entries)
+		})
 	})
+
+	concurrent := len(loads)
+	if concurrent > workers {
+		concurrent = workers
+	}
+	sortWorkers := 1
+	if concurrent > 0 {
+		sortWorkers = workers / concurrent
+		if sortWorkers < 1 {
+			sortWorkers = 1
+		}
+	}
+	parallelFor(workers, len(loads), func(i int) { loads[i](sortWorkers) })
 }

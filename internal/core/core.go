@@ -22,6 +22,8 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/btree"
 	"repro/internal/fsm"
 	"repro/internal/xmltree"
@@ -38,6 +40,15 @@ type Options struct {
 	// Types lists additional registered typed indexes to build (beyond
 	// the boolean sugar above). Unknown IDs are ignored.
 	Types []TypeID
+	// Parallelism bounds the number of worker goroutines Build uses for
+	// the collection passes and the B+tree bulk loads. 0 means
+	// runtime.GOMAXPROCS(0); 1 selects the serial reference path (the
+	// paper's Figure 7 loop, kept as the oracle the parallel path is
+	// property-tested against); negative values are treated as 0. Any
+	// setting produces identical indexes — down to snapshot bytes.
+	// Parallelism is a build-time knob only; it is not persisted in
+	// snapshots.
+	Parallelism int
 }
 
 // DefaultOptions builds the string index and every built-in typed index.
@@ -135,16 +146,25 @@ func (ti *typedIndex) setAttrFragFresh(a xmltree.AttrID, stable uint32, f fsm.Fr
 	}
 }
 
-// collectEntry appends a value-tree entry for a freshly computed fragment
-// when the build pass is collecting and the fragment is castable. Callers
-// apply the tree-membership rule (texts, attributes, combined elements)
-// before calling.
-func (ti *typedIndex) collectEntry(f fsm.Frag, posting uint32) {
+// entryFor applies the value-tree admission filter — collecting, not
+// rejected, castable, encodable — and returns the entry a fragment
+// contributes. It is the single membership rule shared by the serial
+// collect path and the buffered parallel sinks. Callers apply the
+// tree-membership rule (texts, attributes, combined elements) before
+// calling.
+func (ti *typedIndex) entryFor(f fsm.Frag, posting uint32) (btree.Entry, bool) {
 	if !ti.collect || f.Elem == fsm.Reject || !ti.spec.Machine.Castable(f.Elem) {
-		return
+		return btree.Entry{}, false
 	}
-	if key, ok := ti.spec.Encode(f); ok {
-		ti.scratch = append(ti.scratch, btree.Entry{Key: key, Val: posting})
+	key, ok := ti.spec.Encode(f)
+	return btree.Entry{Key: key, Val: posting}, ok
+}
+
+// collectEntry appends a value-tree entry for a freshly computed fragment
+// when the build pass is collecting and the fragment is castable.
+func (ti *typedIndex) collectEntry(f fsm.Frag, posting uint32) {
+	if e, ok := ti.entryFor(f, posting); ok {
+		ti.scratch = append(ti.scratch, e)
 	}
 }
 
@@ -213,9 +233,34 @@ func (ti *typedIndex) attrKey(a xmltree.AttrID, stable uint32) (uint64, bool) {
 
 // Indexes bundles a document with its value indices. All updates to the
 // document must go through Indexes methods so the indices stay consistent.
+//
+// # Concurrency
+//
+// A freshly built or loaded Indexes is immutable until one of the update
+// methods is called, so any number of goroutines may read it
+// concurrently. Once updates and lookups interleave, the internal
+// reader/writer lock takes over: the mutating methods (UpdateText,
+// UpdateTexts, UpdateAttr, DeleteSubtree, InsertChildren) hold the write
+// lock, and the top-level read entry points — LookupString and friends,
+// the Range/Scan lookups, TypedFrag and the typed value accessors,
+// Verify, Stats, Save, and SavePartsTo — hold the read lock, so a reader
+// never observes a half-applied update and readers never block one
+// another.
+//
+// The fine-grained accessors (Doc and tree navigation, NodeHash,
+// AttrHash, TypedElem, the stable-id maps) are deliberately left
+// unsynchronized: they sit on query hot paths and are safe to call
+// concurrently with each other, but interleaving them with updates
+// requires external coordination — in-process, the txn layer, whose
+// commit section funnels every write through UpdateTexts.
 type Indexes struct {
 	doc  *xmltree.Doc
 	opts Options
+
+	// mu orders updates against the read entry points; see the
+	// concurrency notes above. Build runs before the value escapes, so
+	// the construction passes themselves never take it.
+	mu sync.RWMutex
 
 	// Stable node ids: postings in the B+trees survive structural updates.
 	// stableOf[pre] is the node's stable id; preOf[stable] is the current
@@ -295,6 +340,14 @@ func (ix *Indexes) TypedElem(id TypeID, n xmltree.NodeID) fsm.Elem {
 // TypedFrag returns node n's fragment under typed index id; ok is false
 // when the index was not built or the node is rejected.
 func (ix *Indexes) TypedFrag(id TypeID, n xmltree.NodeID) (fsm.Frag, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.typedFrag(id, n)
+}
+
+// typedFrag is TypedFrag without the read lock, for internal reuse from
+// paths that already hold it.
+func (ix *Indexes) typedFrag(id TypeID, n xmltree.NodeID) (fsm.Frag, bool) {
 	ti := ix.typedFor(id)
 	if ti == nil || ti.elems[n] == fsm.Reject {
 		return fsm.Frag{}, false
@@ -310,7 +363,9 @@ func (ix *Indexes) DoubleElem(n xmltree.NodeID) fsm.Elem {
 
 // DoubleValue returns the xs:double value of node n, if castable.
 func (ix *Indexes) DoubleValue(n xmltree.NodeID) (float64, bool) {
-	f, ok := ix.TypedFrag(TypeDouble, n)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	f, ok := ix.typedFrag(TypeDouble, n)
 	if !ok {
 		return 0, false
 	}
@@ -320,7 +375,9 @@ func (ix *Indexes) DoubleValue(n xmltree.NodeID) (float64, bool) {
 // DateTimeValue returns the epoch-millisecond value of node n, if
 // castable.
 func (ix *Indexes) DateTimeValue(n xmltree.NodeID) (int64, bool) {
-	f, ok := ix.TypedFrag(TypeDateTime, n)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	f, ok := ix.typedFrag(TypeDateTime, n)
 	if !ok {
 		return 0, false
 	}
@@ -330,7 +387,9 @@ func (ix *Indexes) DateTimeValue(n xmltree.NodeID) (int64, bool) {
 // DateValue returns the epoch-day value of node n, if castable as
 // xs:date.
 func (ix *Indexes) DateValue(n xmltree.NodeID) (int64, bool) {
-	f, ok := ix.TypedFrag(TypeDate, n)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	f, ok := ix.typedFrag(TypeDate, n)
 	if !ok {
 		return 0, false
 	}

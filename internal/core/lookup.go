@@ -12,6 +12,12 @@ import (
 // unverified: hash collisions may contribute false positives, which the
 // paper's query pipeline filters afterwards (see LookupString).
 func (ix *Indexes) LookupStringCandidates(value string) []Posting {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.lookupStringCandidates(value)
+}
+
+func (ix *Indexes) lookupStringCandidates(value string) []Posting {
 	if ix.strTree == nil {
 		return nil
 	}
@@ -28,9 +34,13 @@ func (ix *Indexes) LookupStringCandidates(value string) []Posting {
 
 // LookupString returns the nodes whose string value equals value,
 // verifying each hash candidate against the document (the candidate check
-// the paper describes in Section 3).
+// the paper describes in Section 3). Candidate retrieval and verification
+// run under one read-lock acquisition, so a concurrent update cannot slip
+// between them.
 func (ix *Indexes) LookupString(value string) []Posting {
-	cands := ix.LookupStringCandidates(value)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	cands := ix.lookupStringCandidates(value)
 	out := cands[:0]
 	for _, p := range cands {
 		if ix.postingStringValue(p) == value {
@@ -53,6 +63,12 @@ func (ix *Indexes) postingStringValue(p Posting) string {
 // lookup every per-type entry point delegates to. Keys compare in value
 // order because every TypeSpec.Encode is order-preserving.
 func (ix *Indexes) RangeTyped(id TypeID, lo, hi uint64, incLo, incHi bool) []Posting {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.rangeTyped(id, lo, hi, incLo, incHi)
+}
+
+func (ix *Indexes) rangeTyped(id TypeID, lo, hi uint64, incLo, incHi bool) []Posting {
 	ti := ix.typedFor(id)
 	if ti == nil {
 		return nil
@@ -84,10 +100,16 @@ func (ix *Indexes) RangeTyped(id TypeID, lo, hi uint64, incLo, incHi bool) []Pos
 // false), in ascending value order. A NaN bound denotes an empty range
 // (XPath comparisons with NaN are always false), never a key-space scan.
 func (ix *Indexes) RangeDouble(lo, hi float64, incLo, incHi bool) []Posting {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.rangeDouble(lo, hi, incLo, incHi)
+}
+
+func (ix *Indexes) rangeDouble(lo, hi float64, incLo, incHi bool) []Posting {
 	if math.IsNaN(lo) || math.IsNaN(hi) {
 		return nil
 	}
-	return ix.RangeTyped(TypeDouble, btree.EncodeFloat64(lo), btree.EncodeFloat64(hi), incLo, incHi)
+	return ix.rangeTyped(TypeDouble, btree.EncodeFloat64(lo), btree.EncodeFloat64(hi), incLo, incHi)
 }
 
 // appendWithChain emits a typed-index hit plus its single-child ancestor
@@ -129,25 +151,33 @@ func countContributing(doc *xmltree.Doc, n xmltree.NodeID) int {
 // //person[.//age = 42], where "42", "42.0", " +4.2E1", and the
 // mixed-content <age><decades>4</decades>2<years/></age> all match.
 func (ix *Indexes) LookupDoubleEq(v float64) []Posting {
-	return ix.RangeDouble(v, v, true, true)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.rangeDouble(v, v, true, true)
 }
 
 // RangeDateTime returns the postings of nodes whose dateTime value in
 // epoch milliseconds m satisfies lo ≤ m ≤ hi, ascending.
 func (ix *Indexes) RangeDateTime(lo, hi int64) []Posting {
-	return ix.RangeTyped(TypeDateTime, btree.EncodeInt64(lo), btree.EncodeInt64(hi), true, true)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.rangeTyped(TypeDateTime, btree.EncodeInt64(lo), btree.EncodeInt64(hi), true, true)
 }
 
 // RangeDate returns the postings of nodes whose xs:date value in days
 // since the epoch d satisfies lo ≤ d ≤ hi, ascending.
 func (ix *Indexes) RangeDate(lo, hi int64) []Posting {
-	return ix.RangeTyped(TypeDate, btree.EncodeInt64(lo), btree.EncodeInt64(hi), true, true)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.rangeTyped(TypeDate, btree.EncodeInt64(lo), btree.EncodeInt64(hi), true, true)
 }
 
 // ScanStringEquals is the index-less baseline: walk every indexed node and
 // compare materialised string values. Used by the ablation benches and by
 // tests as ground truth.
 func (ix *Indexes) ScanStringEquals(value string) []Posting {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	doc := ix.doc
 	var out []Posting
 	for i := 0; i < doc.NumNodes(); i++ {
@@ -199,6 +229,8 @@ func ScanTypedRange(doc *xmltree.Doc, id TypeID, lo, hi uint64) []Posting {
 // ScanDoubleRange is the index-less baseline for double range predicates:
 // it materialises and casts every node's string value.
 func (ix *Indexes) ScanDoubleRange(lo, hi float64, incLo, incHi bool) []Posting {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	doc := ix.doc
 	var out []Posting
 	within := func(v float64) bool {
@@ -231,5 +263,7 @@ func (ix *Indexes) ScanDoubleRange(lo, hi float64, incLo, incHi bool) []Posting 
 // ScanDateRange is the index-less baseline for xs:date range predicates
 // over epoch days.
 func (ix *Indexes) ScanDateRange(lo, hi int64) []Posting {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ScanTypedRange(ix.doc, TypeDate, btree.EncodeInt64(lo), btree.EncodeInt64(hi))
 }

@@ -1,0 +1,311 @@
+package core
+
+// Parallel index construction. The paper's Figure 7 algorithm is a
+// single depth-first fold, but both of its ingredients are associative —
+// the hash combination function C and the SCT's monoid composition — so
+// the fold splits at subtree boundaries without changing any result:
+//
+//  1. planShards carves the document into contiguous runs of complete
+//     subtrees ("shards") hanging off a small set of ancestors (the
+//     "spine": the document node plus every element too large to hand to
+//     one worker whole).
+//  2. A worker pool runs the Figure 7 pass over each shard with a
+//     private buildSink, so per-node hashes and FSM fragments land in
+//     the shared columns (disjoint ranges, no contention) while the
+//     map- and tree-bound results stay worker-local.
+//  3. The sinks merge into the shared side tables (one goroutine per
+//     typed index — the maps are per type, so this too is contention
+//     free).
+//  4. The spine folds serially, children-first, exactly the way the
+//     Figure 8 update algorithm refolds interiors: from the children's
+//     stored fields, never from text. SCT early-reject semantics are
+//     preserved bit for bit because the spine fold applies the same
+//     foldFrag over the same child sequence the serial pass would.
+//  5. The B+trees bulk-load in parallel (see buildTrees): sorting by
+//     (key, posting) erases collection order, so the loaded trees — and
+//     therefore snapshot bytes — are identical to a serial build's.
+//
+// Attribute fields never contribute to ancestors, so the attribute pass
+// shards by simple range chunking.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/btree"
+	"repro/internal/fsm"
+	"repro/internal/xmltree"
+)
+
+const (
+	// shardsPerWorker oversplits the frontier so the pool load-balances
+	// skewed subtrees instead of waiting on one giant shard.
+	shardsPerWorker = 4
+	// minShardNodes floors the planned shard size; below this the
+	// scheduling overhead outweighs the fold itself.
+	minShardNodes = 256
+)
+
+// workers resolves Options.Parallelism: 0 (and any negative value) means
+// GOMAXPROCS, 1 keeps the serial reference path.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// stableItems carries one node's fragment items, keyed by stable id,
+// from a worker-local buffer into the typed index's map at merge time.
+type stableItems struct {
+	stable uint32
+	items  []fsm.Item
+}
+
+// typedSink buffers one worker's results for one typed index: the items
+// destined for the (shared) items/attrItems maps and the value-tree
+// entries destined for ti.scratch.
+type typedSink struct {
+	items     []stableItems
+	attrItems []stableItems
+	entries   []btree.Entry
+}
+
+// buildSink is the destination of one build pass's typed-index side
+// effects. A nil *buildSink writes directly into the shared structures —
+// the serial build and the structural-update paths, which run under the
+// write lock. A non-nil sink buffers everything except the per-node
+// element columns (those writes are disjoint across shards and need no
+// buffering).
+type buildSink struct {
+	typed []typedSink
+}
+
+func newBuildSink(nTypes int) *buildSink {
+	return &buildSink{typed: make([]typedSink, nTypes)}
+}
+
+// setFrag records node n's fragment for typed index t (ti == ix.typed[t]).
+func (s *buildSink) setFrag(ti *typedIndex, t int, n xmltree.NodeID, stable uint32, f fsm.Frag) {
+	if s == nil {
+		ti.setFragFresh(n, stable, f)
+		return
+	}
+	ti.elems[n] = f.Elem
+	if f.Elem != fsm.Reject && len(f.Items) > 0 {
+		s.typed[t].items = append(s.typed[t].items, stableItems{stable: stable, items: f.Items})
+	}
+}
+
+// setAttrFrag records attribute a's fragment for typed index t.
+func (s *buildSink) setAttrFrag(ti *typedIndex, t int, a xmltree.AttrID, stable uint32, f fsm.Frag) {
+	if s == nil {
+		ti.setAttrFragFresh(a, stable, f)
+		return
+	}
+	ti.attrElems[a] = f.Elem
+	if f.Elem != fsm.Reject && len(f.Items) > 0 {
+		s.typed[t].attrItems = append(s.typed[t].attrItems, stableItems{stable: stable, items: f.Items})
+	}
+}
+
+// entry records a value-tree entry for a castable fragment, mirroring
+// typedIndex.collectEntry for the buffered case.
+func (s *buildSink) entry(ti *typedIndex, t int, f fsm.Frag, posting uint32) {
+	if s == nil {
+		ti.collectEntry(f, posting)
+		return
+	}
+	if e, ok := ti.entryFor(f, posting); ok {
+		s.typed[t].entries = append(s.typed[t].entries, e)
+	}
+}
+
+// planShards picks the spine/frontier split: spine nodes (returned in
+// pre order) are folded serially after the shards; every other node
+// belongs to exactly one frontier subtree, and consecutive frontier
+// subtrees are grouped into shards of roughly target size. The frontier
+// is chosen by walking down from the root and splitting any element
+// whose subtree exceeds the target, so a handful of huge subtrees
+// cannot serialise the pass.
+func planShards(doc *xmltree.Doc, workers int) (spine []xmltree.NodeID, shards [][]xmltree.NodeID) {
+	n := doc.NumNodes()
+	target := n / (workers * shardsPerWorker)
+	if target < minShardNodes {
+		target = minShardNodes
+	}
+
+	// Explicit descent stack (one frame per open spine node, holding the
+	// next sibling to examine) rather than recursion: a degenerate chain
+	// of nested elements puts nearly every node on the spine, and the
+	// planner must survive the same depths the iterative serial pass and
+	// parser do.
+	var frontier []xmltree.NodeID
+	spine = append(spine, doc.Root())
+	stack := []xmltree.NodeID{doc.FirstChild(doc.Root())}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		if c == xmltree.InvalidNode {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		stack[len(stack)-1] = doc.NextSibling(c)
+		if int(doc.Size(c))+1 > target && doc.FirstChild(c) != xmltree.InvalidNode {
+			spine = append(spine, c)
+			stack = append(stack, doc.FirstChild(c))
+		} else {
+			frontier = append(frontier, c)
+		}
+	}
+
+	var cur []xmltree.NodeID
+	cnt := 0
+	for _, root := range frontier {
+		cur = append(cur, root)
+		cnt += int(doc.Size(root)) + 1
+		if cnt >= target {
+			shards = append(shards, cur)
+			cur, cnt = nil, 0
+		}
+	}
+	if len(cur) > 0 {
+		shards = append(shards, cur)
+	}
+	return spine, shards
+}
+
+// attrChunk is one half-open attribute id range [lo, hi).
+type attrChunk struct{ lo, hi xmltree.AttrID }
+
+func attrChunks(na, workers int) []attrChunk {
+	if na == 0 {
+		return nil
+	}
+	size := na / (workers * shardsPerWorker)
+	if size < minShardNodes {
+		size = minShardNodes
+	}
+	chunks := make([]attrChunk, 0, na/size+1)
+	for lo := 0; lo < na; lo += size {
+		hi := lo + size
+		if hi > na {
+			hi = na
+		}
+		chunks = append(chunks, attrChunk{lo: xmltree.AttrID(lo), hi: xmltree.AttrID(hi)})
+	}
+	return chunks
+}
+
+// parallelFor runs f(0) … f(jobs-1) on up to workers goroutines,
+// reusing the caller's goroutine as one of them, and returns when every
+// job is done. Job order across workers is unspecified; callers index
+// into output slices so results land deterministically.
+func parallelFor(workers, jobs int, f func(i int)) {
+	if jobs == 0 {
+		return
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers <= 1 {
+		for i := 0; i < jobs; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= jobs {
+				return
+			}
+			f(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// buildParallel is the concurrent Figure 7: shard passes, merge, spine
+// fold, parallel bulk loads. Results are bit-for-bit identical to the
+// serial build (parallel_test.go pins this property per registered
+// type, down to snapshot bytes).
+func (ix *Indexes) buildParallel(workers int) {
+	doc := ix.doc
+	spine, shards := planShards(doc, workers)
+
+	// The node and attribute passes touch disjoint state (elems/hash vs
+	// attrElems/attrHash), so both job lists feed one pool — a straggler
+	// shard never leaves workers idle while attribute chunks wait.
+	chunks := attrChunks(doc.NumAttrs(), workers)
+	sinks := make([]*buildSink, len(shards))
+	attrSinks := make([]*buildSink, len(chunks))
+	parallelFor(workers, len(shards)+len(chunks), func(i int) {
+		sink := newBuildSink(len(ix.typed))
+		if i < len(shards) {
+			for _, root := range shards[i] {
+				ix.buildPass(root, root+xmltree.NodeID(doc.Size(root)), sink)
+			}
+			sinks[i] = sink
+		} else {
+			c := chunks[i-len(shards)]
+			ix.buildAttrs(c.lo, c.hi-1, sink)
+			attrSinks[i-len(shards)] = sink
+		}
+	})
+
+	// Merge the worker-local buffers into the shared side tables. The
+	// maps are per typed index, so the merge parallelises across types.
+	parallelFor(workers, len(ix.typed), func(t int) {
+		ti := ix.typed[t]
+		for _, sink := range sinks {
+			for _, si := range sink.typed[t].items {
+				ti.items[si.stable] = si.items
+			}
+			ti.scratch = append(ti.scratch, sink.typed[t].entries...)
+		}
+		for _, sink := range attrSinks {
+			for _, si := range sink.typed[t].attrItems {
+				ti.attrItems[si.stable] = si.items
+			}
+			ti.scratch = append(ti.scratch, sink.typed[t].entries...)
+		}
+	})
+
+	ix.buildSpine(spine)
+	ix.buildTrees(workers)
+}
+
+// buildSpine folds the spine nodes from their children's stored fields,
+// children before parents (reverse pre order). Each node goes through
+// recomputeInterior — the Figure 8 refold that is THE fold definition
+// (hash by C over contributing children, each typed fragment by the SCT
+// fold) — so the parallel build cannot diverge from the serial pass or
+// from post-update refolds. What Build adds on top of an update's refold
+// is entry collection: a value-tree entry for COMBINED (mixed-content)
+// values.
+func (ix *Indexes) buildSpine(spine []xmltree.NodeID) {
+	doc := ix.doc
+	for i := len(spine) - 1; i >= 0; i-- {
+		n := spine[i]
+		ix.recomputeInterior(n)
+		if !isCombinedValue(doc, n) {
+			continue
+		}
+		stable := ix.stableOf[n]
+		posting := packPosting(stable, false)
+		for _, ti := range ix.typed {
+			ti.collectEntry(ti.frag(n, stable), posting)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/datagen"
+	"repro/internal/fsm"
+	"repro/internal/xmlparse"
+	"repro/internal/xmltree"
+)
+
+// parallelisms are the worker counts the equivalence properties are
+// checked against (2 = minimal split, 3 = odd merge shapes, 8 = more
+// shards than this container has cores).
+var parallelisms = []int{2, 3, 8}
+
+// dumpTree flattens a B+tree into its ordered entry list.
+func dumpTree(t *btree.Tree) []btree.Entry {
+	if t == nil {
+		return nil
+	}
+	out := make([]btree.Entry, 0, t.Len())
+	t.Scan(func(key uint64, val uint32) bool {
+		out = append(out, btree.Entry{Key: key, Val: val})
+		return true
+	})
+	return out
+}
+
+// assertIndexesEqual compares every observable structure of two index
+// sets built over equal documents: per-node and per-attribute hashes,
+// per-type elements, fragment items, and full tree contents.
+func assertIndexesEqual(t *testing.T, want, got *Indexes) {
+	t.Helper()
+	if len(want.hash) != len(got.hash) {
+		t.Fatalf("hash column length %d, want %d", len(got.hash), len(want.hash))
+	}
+	for i := range want.hash {
+		if want.hash[i] != got.hash[i] {
+			t.Fatalf("node %d hash %#x, want %#x", i, got.hash[i], want.hash[i])
+		}
+	}
+	for a := range want.attrHash {
+		if want.attrHash[a] != got.attrHash[a] {
+			t.Fatalf("attr %d hash %#x, want %#x", a, got.attrHash[a], want.attrHash[a])
+		}
+	}
+	ws, gs := dumpTree(want.strTree), dumpTree(got.strTree)
+	if len(ws) != len(gs) {
+		t.Fatalf("string tree has %d entries, want %d", len(gs), len(ws))
+	}
+	for i := range ws {
+		if ws[i] != gs[i] {
+			t.Fatalf("string tree entry %d = %+v, want %+v", i, gs[i], ws[i])
+		}
+	}
+	if len(want.typed) != len(got.typed) {
+		t.Fatalf("%d typed indexes, want %d", len(got.typed), len(want.typed))
+	}
+	for ti := range want.typed {
+		wt, gt := want.typed[ti], got.typed[ti]
+		name := wt.spec.Name
+		for i := range wt.elems {
+			if wt.elems[i] != gt.elems[i] {
+				t.Fatalf("%s: node %d elem %d, want %d", name, i, gt.elems[i], wt.elems[i])
+			}
+		}
+		for a := range wt.attrElems {
+			if wt.attrElems[a] != gt.attrElems[a] {
+				t.Fatalf("%s: attr %d elem %d, want %d", name, a, gt.attrElems[a], wt.attrElems[a])
+			}
+		}
+		assertItemsEqual(t, name+" items", wt.items, gt.items)
+		assertItemsEqual(t, name+" attrItems", wt.attrItems, gt.attrItems)
+		we, ge := dumpTree(wt.tree), dumpTree(gt.tree)
+		if len(we) != len(ge) {
+			t.Fatalf("%s tree has %d entries, want %d", name, len(ge), len(we))
+		}
+		for i := range we {
+			if we[i] != ge[i] {
+				t.Fatalf("%s tree entry %d = %+v, want %+v", name, i, ge[i], we[i])
+			}
+		}
+	}
+}
+
+func assertItemsEqual(t *testing.T, label string, want, got map[uint32][]fsm.Item) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d stored nodes, want %d", label, len(got), len(want))
+	}
+	for stable, wi := range want {
+		gi, ok := got[stable]
+		if !ok {
+			t.Fatalf("%s: stable %d missing", label, stable)
+		}
+		if len(wi) != len(gi) {
+			t.Fatalf("%s: stable %d has %d items, want %d", label, stable, len(gi), len(wi))
+		}
+		for k := range wi {
+			if wi[k] != gi[k] {
+				t.Fatalf("%s: stable %d item %d = %+v, want %+v", label, stable, k, gi[k], wi[k])
+			}
+		}
+	}
+}
+
+// snapshotBytes saves ix and returns the raw snapshot file.
+func snapshotBytes(t *testing.T, ix *Indexes) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snap.xvi")
+	if err := ix.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	return b
+}
+
+// checkParallelEquivalence builds xml serially (the oracle) and with
+// every tested worker count, asserting structural equality, identical
+// Verify results, and byte-identical snapshots.
+func checkParallelEquivalence(t *testing.T, xml []byte, opts Options) {
+	t.Helper()
+	doc, err := xmlparse.Parse(xml)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	opts.Parallelism = 1
+	serial := Build(doc, opts)
+	if err := serial.Verify(); err != nil {
+		t.Fatalf("serial Verify: %v", err)
+	}
+	serialSnap := snapshotBytes(t, serial)
+	for _, p := range parallelisms {
+		popts := opts
+		popts.Parallelism = p
+		par := Build(doc, popts)
+		if err := par.Verify(); err != nil {
+			t.Fatalf("Parallelism=%d Verify: %v", p, err)
+		}
+		assertIndexesEqual(t, serial, par)
+		snap := snapshotBytes(t, par)
+		if string(snap) != string(serialSnap) {
+			t.Fatalf("Parallelism=%d snapshot differs from serial (%d vs %d bytes)", p, len(snap), len(serialSnap))
+		}
+	}
+}
+
+// TestParallelBuildMatchesSerialOnXMark is the headline equivalence
+// property on the generated evaluation corpus: for every registered
+// type, Parallelism=N and Parallelism=1 produce byte-identical
+// snapshots and identical Verify results.
+func TestParallelBuildMatchesSerialOnXMark(t *testing.T) {
+	// xmark1 runs at a scale whose string index exceeds the parallel
+	// sort threshold, so the chunked sort+merge path is exercised too.
+	cases := []struct {
+		name  string
+		scale float64
+	}{{"xmark1", 0.25}, {"dblp", 0.02}, {"wiki", 0.02}}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			xml, err := datagen.Generate(tc.name, tc.scale, 42)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			checkParallelEquivalence(t, xml, DefaultOptions())
+		})
+	}
+}
+
+// TestParallelBuildPathologicalShapes covers the shard planner's edge
+// cases: a single giant subtree (the whole document is one spine
+// chain), an all-attribute document (empty node shards, loaded attr
+// chunks), an empty document, and a mixed-content document whose
+// COMBINED values sit on the spine.
+func TestParallelBuildPathologicalShapes(t *testing.T) {
+	var giant strings.Builder
+	giant.WriteString("<r>")
+	const depth = 600
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&giant, "<d%d>", i%7)
+	}
+	giant.WriteString("42.5")
+	for i := depth - 1; i >= 0; i-- {
+		fmt.Fprintf(&giant, "</d%d>", i%7)
+	}
+	giant.WriteString("</r>")
+
+	var attrs strings.Builder
+	attrs.WriteString("<r>")
+	for i := 0; i < 900; i++ {
+		fmt.Fprintf(&attrs, `<e a="%d" b="%d.%02d" when="19%02d-0%d-1%d"/>`, i, i, i%100, i%100, i%9+1, i%3)
+	}
+	attrs.WriteString("</r>")
+
+	var mixed strings.Builder
+	mixed.WriteString("<r>7")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&mixed, "<w><v>%d</v></w>", i)
+	}
+	mixed.WriteString("8<!--note--><?pi data?></r>")
+
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"giant-subtree", giant.String()},
+		{"all-attributes", attrs.String()},
+		{"empty-document", "<r/>"},
+		{"mixed-content-spine", mixed.String()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkParallelEquivalence(t, []byte(tc.xml), DefaultOptions())
+			// Also with a subset of indexes, so absent structures stay
+			// absent on the parallel path too.
+			checkParallelEquivalence(t, []byte(tc.xml), Options{Double: true})
+		})
+	}
+}
+
+// TestParallelBuildDeepChain pins that the shard planner survives
+// pathological nesting depth: a chain this deep puts (nearly) every
+// node on the spine, which would overflow the goroutine stack with a
+// recursive planner. The full Verify/snapshot equivalence check is
+// skipped here — Verify is quadratic in depth — so this stays a cheap
+// structural-equality test.
+func TestParallelBuildDeepChain(t *testing.T) {
+	const depth = 200_000
+	var sb strings.Builder
+	sb.Grow(depth * 9)
+	sb.WriteString("<r>")
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&sb, "<d%d>", i%7)
+	}
+	sb.WriteString("42.5")
+	for i := depth - 1; i >= 0; i-- {
+		fmt.Fprintf(&sb, "</d%d>", i%7)
+	}
+	sb.WriteString("</r>")
+	doc, err := xmlparse.Parse([]byte(sb.String()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	opts := DefaultOptions()
+	opts.Parallelism = 1
+	serial := Build(doc, opts)
+	opts.Parallelism = 4
+	assertIndexesEqual(t, serial, Build(doc, opts))
+}
+
+// TestPlanShardsPartition pins the planner invariant everything else
+// rests on: the spine and the shards' subtrees cover every node exactly
+// once, and every shard subtree's parent lies on the spine side.
+func TestPlanShardsPartition(t *testing.T) {
+	xml, err := datagen.Generate("xmark1", 0.02, 7)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	doc, err := xmlparse.Parse(xml)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, workers := range parallelisms {
+		spine, shards := planShards(doc, workers)
+		seen := make([]int, doc.NumNodes())
+		for _, n := range spine {
+			seen[n]++
+		}
+		for _, shard := range shards {
+			for _, root := range shard {
+				end := root + xmltree.NodeID(doc.Size(root))
+				for i := root; i <= end; i++ {
+					seen[i]++
+				}
+			}
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: node %d covered %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestConcurrentLookupsDuringUpdates exercises the documented
+// concurrency contract: the locked read entry points may interleave
+// freely with text updates. Run under -race this is the regression test
+// for the Indexes synchronization.
+func TestConcurrentLookupsDuringUpdates(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&sb, "<item><price>%d.50</price><name>item %d</name></item>", i, i)
+	}
+	sb.WriteString("</root>")
+	doc, err := xmlparse.Parse([]byte(sb.String()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ix := Build(doc, DefaultOptions())
+	var texts []xmltree.NodeID
+	for i := 0; i < doc.NumNodes(); i++ {
+		if doc.Kind(xmltree.NodeID(i)) == xmltree.Text {
+			texts = append(texts, xmltree.NodeID(i))
+		}
+	}
+
+	const readers = 4
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				switch i % 4 {
+				case 0:
+					ix.LookupString(fmt.Sprintf("item %d", i%400))
+				case 1:
+					ix.RangeDouble(0, 1000, true, true)
+				case 2:
+					ix.LookupDoubleEq(float64(i%400) + 0.5)
+				case 3:
+					ix.Stats()
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 200; i++ {
+		n := texts[(i*37)%len(texts)]
+		if err := ix.UpdateText(n, fmt.Sprintf("%d.25", i)); err != nil {
+			t.Errorf("update: %v", err)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+	if err := ix.Verify(); err != nil {
+		t.Fatalf("post-interleaving Verify: %v", err)
+	}
+}

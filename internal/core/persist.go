@@ -40,6 +40,8 @@ func TypedSectionName(id TypeID) string { return fmt.Sprintf("typed.%d", id) }
 // Save writes the document and all built indices to a snapshot file at
 // path (page-structured, checksummed; see the storage package).
 func (ix *Indexes) Save(path string) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	w, err := storage.NewWriter(path)
 	if err != nil {
 		return err
@@ -555,6 +557,8 @@ func (p SaveParts) typeIDs() []TypeID {
 
 // SavePartsTo writes only the selected sections to path.
 func (ix *Indexes) SavePartsTo(path string, parts SaveParts) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	w, err := storage.NewWriter(path)
 	if err != nil {
 		return err

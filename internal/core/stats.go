@@ -66,6 +66,8 @@ func (s IndexStats) TypedFor(id TypeID) (TypedStats, bool) {
 
 // Stats scans the index structures; cost is O(nodes · types).
 func (ix *Indexes) Stats() IndexStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	doc := ix.doc
 	var s IndexStats
 	s.Attrs = doc.NumAttrs()

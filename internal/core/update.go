@@ -140,7 +140,9 @@ func (ix *Indexes) recomputeInterior(n xmltree.NodeID) {
 // UpdateText changes the value of a single text node and maintains all
 // indices.
 func (ix *Indexes) UpdateText(n xmltree.NodeID, value string) error {
-	return ix.UpdateTexts([]TextUpdate{{Node: n, Value: value}})
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.updateTexts([]TextUpdate{{Node: n, Value: value}})
 }
 
 // UpdateTexts applies a batch of text-node value updates — the paper's
@@ -149,6 +151,12 @@ func (ix *Indexes) UpdateText(n xmltree.NodeID, value string) error {
 // its children's stored fields, deepest first, and the B+trees are
 // repaired by diffing keys.
 func (ix *Indexes) UpdateTexts(updates []TextUpdate) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.updateTexts(updates)
+}
+
+func (ix *Indexes) updateTexts(updates []TextUpdate) error {
 	doc := ix.doc
 	for _, u := range updates {
 		switch doc.Kind(u.Node) {
@@ -216,6 +224,8 @@ func (ix *Indexes) refoldAncestorsWithOld(olds map[xmltree.NodeID]oldKeys) {
 // UpdateAttr changes an attribute value. Attribute values do not
 // contribute to ancestor string values, so no refolding is needed.
 func (ix *Indexes) UpdateAttr(a xmltree.AttrID, value string) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	doc := ix.doc
 	stable := ix.attrStableOf[a]
 	posting := packPosting(stable, true)
@@ -252,6 +262,8 @@ func (ix *Indexes) UpdateAttr(a xmltree.AttrID, value string) error {
 // indices, then refolds the ancestor chain (the paper's subtree-deletion
 // variant of Figure 8).
 func (ix *Indexes) DeleteSubtree(n xmltree.NodeID) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	doc := ix.doc
 	if n == 0 {
 		return fmt.Errorf("core: cannot delete the document node")
@@ -341,6 +353,8 @@ func (ix *Indexes) DeleteSubtree(n xmltree.NodeID) error {
 // pass, and refolds the ancestor chain. It returns the first inserted
 // node.
 func (ix *Indexes) InsertChildren(parent xmltree.NodeID, pos int, frag *xmltree.Doc) (xmltree.NodeID, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	doc := ix.doc
 	// Pre-capture ancestor keys: insertion can turn a wrapper element
 	// into a combined one, changing its tree membership.
@@ -396,9 +410,9 @@ func (ix *Indexes) InsertChildren(parent xmltree.NodeID, pos int, frag *xmltree.
 	}
 
 	// Compute fields for the inserted range and add postings.
-	ix.buildPass(at, last)
+	ix.buildPass(at, last, nil)
 	if acnt > 0 {
-		ix.buildAttrs(alo, ahi-1)
+		ix.buildAttrs(alo, ahi-1, nil)
 	}
 	for i := at; i <= last; i++ {
 		if !indexedNodeKind(doc.Kind(i)) {

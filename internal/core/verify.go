@@ -27,6 +27,8 @@ func castDouble(m *fsm.Machine, s string) (float64, bool) {
 // expected postings, and the stable-id maps are mutually inverse. It is
 // O(document²·depth) in the worst case and meant for tests.
 func (ix *Indexes) Verify() error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	doc := ix.doc
 	n := doc.NumNodes()
 

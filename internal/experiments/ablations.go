@@ -35,7 +35,7 @@ func RunA1(cfg Config, dataset string, updates int) (A1Row, error) {
 	if err != nil {
 		return A1Row{}, err
 	}
-	ix := core.Build(p.doc, core.Options{String: true})
+	ix := core.Build(p.doc, cfg.buildOpts(core.Options{String: true}))
 	doc := p.doc
 	var texts []xmltree.NodeID
 	for i := 0; i < doc.NumNodes(); i++ {
@@ -170,7 +170,7 @@ func RunA3(cfg Config, dataset string) ([]A3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := core.Build(p.doc, core.DefaultOptions())
+	ix := core.Build(p.doc, cfg.buildOpts(core.DefaultOptions()))
 	queries := queriesFor(dataset)
 	var rows []A3Row
 	for _, q := range queries {
@@ -262,13 +262,13 @@ func RunA4(cfg Config, dataset string) (A4Row, error) {
 	var oneNS, threeNS int64
 	for r := 0; r < cfg.repeat(); r++ {
 		start := time.Now()
-		core.Build(p.doc, core.DefaultOptions())
+		core.Build(p.doc, cfg.buildOpts(core.DefaultOptions()))
 		oneNS += time.Since(start).Nanoseconds()
 
 		start = time.Now()
-		core.Build(p.doc, core.Options{String: true})
-		core.Build(p.doc, core.Options{Double: true})
-		core.Build(p.doc, core.Options{DateTime: true})
+		core.Build(p.doc, cfg.buildOpts(core.Options{String: true}))
+		core.Build(p.doc, cfg.buildOpts(core.Options{Double: true}))
+		core.Build(p.doc, cfg.buildOpts(core.Options{DateTime: true}))
 		threeNS += time.Since(start).Nanoseconds()
 	}
 	n := int64(cfg.repeat())
@@ -314,7 +314,7 @@ func thinkWork() uint32 {
 // buildA5Doc shreds the A5 workload document — a shared root over
 // workers*txns disjoint text leaves — and returns the string index with
 // the leaves' node ids.
-func buildA5Doc(workers, txns int) (*core.Indexes, []xmltree.NodeID, error) {
+func buildA5Doc(cfg Config, workers, txns int) (*core.Indexes, []xmltree.NodeID, error) {
 	var sb []byte
 	sb = append(sb, "<root>"...)
 	for i := 0; i < workers*txns; i++ {
@@ -325,7 +325,7 @@ func buildA5Doc(workers, txns int) (*core.Indexes, []xmltree.NodeID, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	ix := core.Build(doc, core.Options{String: true})
+	ix := core.Build(doc, cfg.buildOpts(core.Options{String: true}))
 	var texts []xmltree.NodeID
 	for i := 0; i < doc.NumNodes(); i++ {
 		if doc.Kind(xmltree.NodeID(i)) == xmltree.Text {
@@ -340,9 +340,14 @@ func buildA5Doc(workers, txns int) (*core.Indexes, []xmltree.NodeID, error) {
 func RunA5(cfg Config, workers, txns int) (A5Row, error) {
 	row := A5Row{Workers: workers, TxnsPerWorker: txns}
 
+	// Per-worker sinks keep the anti-dead-code accumulation race free
+	// (the workers run concurrently; a shared sinkHash ^= would be a data
+	// race under -race); the fold into sinkHash happens after Wait.
+	workerSinks := make([]uint32, workers)
+
 	// Commutative: leaf locks only; conflicts impossible on disjoint
 	// leaves.
-	ix, texts, err := buildA5Doc(workers, txns)
+	ix, texts, err := buildA5Doc(cfg, workers, txns)
 	if err != nil {
 		return row, err
 	}
@@ -360,7 +365,7 @@ func RunA5(cfg Config, workers, txns int) (A5Row, error) {
 						tx.Abort()
 						continue
 					}
-					sinkHash ^= thinkWork()
+					workerSinks[w] ^= thinkWork()
 					if tx.Commit() == nil {
 						break
 					}
@@ -374,7 +379,7 @@ func RunA5(cfg Config, workers, txns int) (A5Row, error) {
 
 	// Ancestor locking: every transaction locks the root; contenders spin
 	// on ErrConflict.
-	ix2, texts2, err := buildA5Doc(workers, txns)
+	ix2, texts2, err := buildA5Doc(cfg, workers, txns)
 	if err != nil {
 		return row, err
 	}
@@ -391,7 +396,7 @@ func RunA5(cfg Config, workers, txns int) (A5Row, error) {
 						tx.Abort()
 						continue
 					}
-					sinkHash ^= thinkWork()
+					workerSinks[w] ^= thinkWork()
 					if tx.Commit() == nil {
 						break
 					}
@@ -400,6 +405,9 @@ func RunA5(cfg Config, workers, txns int) (A5Row, error) {
 		}(w)
 	}
 	wg.Wait()
+	for _, s := range workerSinks {
+		sinkHash ^= s
+	}
 	row.LockingMS = float64(time.Since(start).Nanoseconds()) / 1e6
 	_, row.LockingAbort = lmgr.Stats()
 	if row.CommutativeMS > 0 {

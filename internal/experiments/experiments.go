@@ -34,9 +34,18 @@ type Config struct {
 	// Repeat is the number of measurements averaged per point (the paper
 	// uses 3 for creation and 20 for updates).
 	Repeat int
+	// Parallelism is passed through to core.Options.Parallelism for
+	// every index build: 0 means GOMAXPROCS, 1 forces the serial path.
+	Parallelism int
 	// TempDir receives snapshot files for the storage measurements;
 	// defaults to os.TempDir().
 	TempDir string
+}
+
+// buildOpts stamps the configured parallelism onto build options.
+func (c Config) buildOpts(o core.Options) core.Options {
+	o.Parallelism = c.Parallelism
+	return o
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -124,7 +133,7 @@ func RunTable1(cfg Config) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		ix := core.Build(p.doc, core.Options{Double: true, Date: true})
+		ix := core.Build(p.doc, cfg.buildOpts(core.Options{Double: true, Date: true}))
 		s := ix.Stats()
 		total := s.Elements + s.Texts
 		// Match the double column's arithmetic: castable TEXT nodes over
@@ -204,28 +213,28 @@ func RunFig9(cfg Config) ([]Fig9Row, error) {
 			// Persisting the document store is part of shredding; the
 			// SaveParts carrier needs an index handle, so use an empty
 			// index set over the document.
-			docOnly := core.Build(doc, core.Options{})
+			docOnly := core.Build(doc, cfg.buildOpts(core.Options{}))
 			if err := docOnly.SavePartsTo(stage, core.SaveParts{Doc: true}); err != nil {
 				return nil, err
 			}
 			shredNS += time.Since(start).Nanoseconds()
 
 			start = time.Now()
-			sIx := core.Build(doc, core.Options{String: true})
+			sIx := core.Build(doc, cfg.buildOpts(core.Options{String: true}))
 			if err := sIx.SavePartsTo(stage, core.SaveParts{String: true}); err != nil {
 				return nil, err
 			}
 			strNS += time.Since(start).Nanoseconds()
 
 			start = time.Now()
-			dIx := core.Build(doc, core.Options{Double: true})
+			dIx := core.Build(doc, cfg.buildOpts(core.Options{Double: true}))
 			if err := dIx.SavePartsTo(stage, core.SaveParts{Double: true}); err != nil {
 				return nil, err
 			}
 			dblNS += time.Since(start).Nanoseconds()
 
 			if r == cfg.repeat()-1 {
-				ix = core.Build(doc, core.DefaultOptions())
+				ix = core.Build(doc, cfg.buildOpts(core.DefaultOptions()))
 			}
 		}
 		os.Remove(stage)
@@ -292,8 +301,8 @@ func RunFig10(cfg Config) ([]Fig10Point, error) {
 				texts = append(texts, xmltree.NodeID(i))
 			}
 		}
-		strIx := core.Build(p.doc, core.Options{String: true})
-		dblIx := core.Build(p.doc, core.Options{Double: true})
+		strIx := core.Build(p.doc, cfg.buildOpts(core.Options{String: true}))
+		dblIx := core.Build(p.doc, cfg.buildOpts(core.Options{Double: true}))
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		for _, batch := range Fig10Batches {
 			if batch > len(texts) {

@@ -211,7 +211,7 @@ func TestRunA5CommutativeWins(t *testing.T) {
 // at the root, even on disjoint leaves — deterministically, instead of
 // hoping the timed workload happens to overlap on a given scheduler.
 func TestAncestorLockingConflictsAtRoot(t *testing.T) {
-	ix, texts, err := buildA5Doc(2, 1)
+	ix, texts, err := buildA5Doc(DefaultConfig(), 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

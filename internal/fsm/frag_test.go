@@ -28,7 +28,7 @@ func TestFragCombineMatchesParse(t *testing.T) {
 						t.Fatalf("inconsistent rejects for %q %q", x, y)
 					}
 					// A rejected part always rejects the whole.
-					if okd && (okx || oky) == false {
+					if okd && !okx && !oky {
 						t.Fatalf("reject part but concat %q%q accepted", x, y)
 					}
 					continue

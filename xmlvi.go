@@ -29,18 +29,31 @@ type Options struct {
 	// SkipComments and SkipPIs drop those node kinds while shredding.
 	SkipComments bool
 	SkipPIs      bool
+	// Parallelism bounds the worker goroutines index construction uses:
+	// 0 means GOMAXPROCS, 1 forces the serial reference build. Every
+	// setting produces identical indexes (down to snapshot bytes); see
+	// the package documentation for the shard/merge design.
+	Parallelism int
 }
 
 func (o Options) indexOptions() core.Options {
 	if !o.String && !o.Double && !o.DateTime && !o.Date && len(o.Types) == 0 {
-		return core.DefaultOptions()
+		co := core.DefaultOptions()
+		co.Parallelism = o.Parallelism
+		return co
 	}
-	return core.Options{String: o.String, Double: o.Double, DateTime: o.DateTime, Date: o.Date, Types: o.Types}
+	return core.Options{String: o.String, Double: o.Double, DateTime: o.DateTime, Date: o.Date, Types: o.Types, Parallelism: o.Parallelism}
 }
 
 // Document is an indexed XML document: the shredded tree plus the value
 // indices, updated together. A Document is not safe for concurrent
-// mutation; use Begin/Txn for concurrent updates.
+// mutation; use Begin/Txn for concurrent updates. The index-backed
+// lookups (LookupString, LookupDouble, the Range methods) may run
+// concurrently with each other and with text/attribute updates — the
+// index layer orders them internally — but navigation, Query's scan
+// fallback, and structural updates (Delete/InsertXML) require
+// coordinating through the transaction layer or external
+// synchronization; see the package documentation's concurrency section.
 type Document struct {
 	ix  *core.Indexes
 	mgr *txn.Manager
