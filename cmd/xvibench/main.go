@@ -32,6 +32,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "index-build worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	expList := flag.String("exp", "all", "comma-separated experiments: "+strings.Join(allExperiments, ","))
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (default: all eight)")
+	wal := flag.Bool("wal", false, "run the update experiments durably (write-ahead logging attached)")
+	walSync := flag.Int("wal-sync", 64, "with -wal: fsync the log once every N records (1 = every record)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "with -wal: checkpoint after every N measured update batches (0 = never)")
 	flag.Parse()
 
 	// Validate every selector up front, before any experiment burns time:
@@ -44,7 +47,16 @@ func main() {
 	if *parallel < 0 {
 		usageError(fmt.Sprintf("-parallel must be >= 0 (0 = GOMAXPROCS, 1 = serial), got %d", *parallel))
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Repeat: *repeat, Parallelism: *parallel}
+	if *checkpointEvery < 0 {
+		usageError(fmt.Sprintf("-checkpoint-every must be >= 0, got %d", *checkpointEvery))
+	}
+	if !*wal && *checkpointEvery > 0 {
+		usageError("-checkpoint-every requires -wal")
+	}
+	cfg := experiments.Config{
+		Scale: *scale, Seed: *seed, Repeat: *repeat, Parallelism: *parallel,
+		WAL: *wal, WALSyncEvery: *walSync, CheckpointEvery: *checkpointEvery,
+	}
 	if *datasets != "" {
 		known := map[string]bool{}
 		for _, d := range datagen.Names {

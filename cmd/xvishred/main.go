@@ -6,6 +6,7 @@
 //
 //	xvishred -in doc.xml -out doc.xvi
 //	xvishred -in doc.xml -out doc.xvi -strip-ws -no-datetime
+//	xvishred -in doc.xml -out doc.xvi -wal doc.wal   # durable: reopen with OpenDurable
 package main
 
 import (
@@ -26,6 +27,8 @@ func main() {
 	noDateTime := flag.Bool("no-datetime", false, "skip the dateTime range index")
 	noDate := flag.Bool("no-date", false, "skip the date range index")
 	parallel := flag.Int("parallel", 0, "index-build worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	wal := flag.String("wal", "", "write-ahead log path: the snapshot becomes a durable database (see OpenDurable)")
+	walSync := flag.Int("wal-sync", 1, "fsync the WAL once every N records (with -wal; 1 = every record)")
 	quiet := flag.Bool("q", false, "suppress statistics output")
 	flag.Parse()
 	if *in == "" || *out == "" {
@@ -47,6 +50,8 @@ func main() {
 		Date:            !*noDate,
 		StripWhitespace: *stripWS,
 		Parallelism:     *parallel,
+		WAL:             *wal,
+		WALSyncEvery:    *walSync,
 	}
 	if !opts.String && !opts.Double && !opts.DateTime && !opts.Date {
 		fatal(fmt.Errorf("at least one index must be enabled"))
@@ -72,6 +77,9 @@ func main() {
 		fmt.Printf("  double index: %d values (%d from mixed content), %d live states\n", s.DoubleCastable, s.DoubleNonLeaf, s.DoubleLive)
 		fmt.Printf("  dateTime index: %d values\n", s.DateTimeCastable)
 		fmt.Printf("  date index: %d values\n", s.DateCastable)
+		if *wal != "" {
+			fmt.Printf("  durable: WAL at %s (fsync every %d records); reopen with OpenDurable\n", *wal, *walSync)
+		}
 	}
 }
 

@@ -85,6 +85,40 @@
 // indexes in versioned per-type sections keyed by stable type ID) and
 // support concurrent commutative transactions (Section 5.1 of the paper).
 //
+// # Durability
+//
+// By default persistence is snapshot-only: updates live in memory until
+// the next Save, and a crash loses everything since. Configuring a
+// write-ahead log turns the document into a durable store without
+// paying a snapshot rewrite per update:
+//
+//	doc, _ := xmlvi.ParseWithOptions(xml, xmlvi.Options{
+//		WAL:          "db.wal",
+//		WALSyncEvery: 64, // fsync once per 64 records; 1 = every record
+//	})
+//	doc.Save("db.xvi")       // first checkpoint: snapshot + empty log
+//	doc.UpdateText(n, "new") // logged before it is applied
+//	doc.Checkpoint()         // rewrite snapshot, truncate log
+//
+// After a crash, OpenDurable("db.xvi", "db.wal") loads the snapshot,
+// replays the log tail through the same incremental update algorithm,
+// verifies the recovered leaf hashes and FSM states, and resumes
+// logging. The log is CRC-framed per record, so a torn tail is detected
+// and truncated: recovery always yields the snapshot plus a prefix of
+// the durably logged operations — never a half-applied record.
+// Checkpoints are atomic (snapshot written to a temp file and renamed)
+// and stamp both files with a generation number, so a crash at any
+// point of the checkpoint itself leaves a recoverable pair; a stale log
+// is detected and discarded rather than double-applied. Transaction
+// commits log their whole write set as one record, making the commit
+// itself the unit of recovery. WALSyncEvery > 1 batches fsyncs — the
+// dominant cost of a durable update — trading the unsynced tail of a
+// batch (bounded by the batch size) for an order of magnitude in update
+// throughput; SyncWAL forces a durability point explicitly. See the
+// README's durability section for the log format and the recovery
+// contract, and internal/storage's crash-injection suite for the
+// property that pins it.
+//
 // # Parallel index construction
 //
 // Options.Parallelism bounds the worker goroutines index construction

@@ -1,0 +1,67 @@
+package xmlvi_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	xmlvi "repro"
+	"repro/internal/datagen"
+)
+
+// BenchmarkDurableUpdate measures the cost a write-ahead log adds to a
+// text update: the in-memory baseline, per-record fsync (the safest
+// setting), and fsync batched every 64 records — the configuration the
+// durability acceptance target compares against the baseline (within
+// 5x). Each iteration is one UpdateText through the full index
+// maintenance path.
+func BenchmarkDurableUpdate(b *testing.B) {
+	xml, err := datagen.Generate("xmark1", 0.05, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name      string
+		wal       bool
+		syncEvery int
+	}{
+		{"in-memory", false, 0},
+		{"wal-sync-1", true, 1},
+		{"wal-batch-64", true, 64},
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			dir := b.TempDir()
+			opts := xmlvi.Options{}
+			if mode.wal {
+				opts.WAL = filepath.Join(dir, "b.wal")
+				opts.WALSyncEvery = mode.syncEvery
+			}
+			doc, err := xmlvi.ParseWithOptions(xml, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode.wal {
+				if err := doc.Save(filepath.Join(dir, "b.xvi")); err != nil {
+					b.Fatal(err)
+				}
+				defer doc.Close()
+			}
+			var texts []xmlvi.Node
+			for _, n := range doc.FindAll("name") {
+				texts = append(texts, doc.Children(n)...)
+			}
+			if len(texts) == 0 {
+				b.Fatal("no text nodes")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := doc.UpdateText(texts[i%len(texts)], fmt.Sprintf("value-%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/fsm"
+	"repro/internal/storage"
 	"repro/internal/xmltree"
 )
 
@@ -284,6 +285,14 @@ type Indexes struct {
 	// is not safe for concurrent mutation, so one of each suffices).
 	scratchFrags []fsm.Frag
 	scratchKeys  []keyState
+
+	// Durability (see durable.go). wal, when attached, receives one
+	// logical record per mutation before the mutation is applied; walGen
+	// pairs the log with the snapshot generation it extends, and
+	// snapshotPath is where Checkpoint rewrites the snapshot.
+	wal          *storage.WAL
+	walGen       uint64
+	snapshotPath string
 }
 
 // Doc returns the indexed document. Treat it as read-only; mutate through

@@ -183,42 +183,7 @@ func TestParallelBuildMatchesSerialOnXMark(t *testing.T) {
 // chunks), an empty document, and a mixed-content document whose
 // COMBINED values sit on the spine.
 func TestParallelBuildPathologicalShapes(t *testing.T) {
-	var giant strings.Builder
-	giant.WriteString("<r>")
-	const depth = 600
-	for i := 0; i < depth; i++ {
-		fmt.Fprintf(&giant, "<d%d>", i%7)
-	}
-	giant.WriteString("42.5")
-	for i := depth - 1; i >= 0; i-- {
-		fmt.Fprintf(&giant, "</d%d>", i%7)
-	}
-	giant.WriteString("</r>")
-
-	var attrs strings.Builder
-	attrs.WriteString("<r>")
-	for i := 0; i < 900; i++ {
-		fmt.Fprintf(&attrs, `<e a="%d" b="%d.%02d" when="19%02d-0%d-1%d"/>`, i, i, i%100, i%100, i%9+1, i%3)
-	}
-	attrs.WriteString("</r>")
-
-	var mixed strings.Builder
-	mixed.WriteString("<r>7")
-	for i := 0; i < 500; i++ {
-		fmt.Fprintf(&mixed, "<w><v>%d</v></w>", i)
-	}
-	mixed.WriteString("8<!--note--><?pi data?></r>")
-
-	cases := []struct {
-		name string
-		xml  string
-	}{
-		{"giant-subtree", giant.String()},
-		{"all-attributes", attrs.String()},
-		{"empty-document", "<r/>"},
-		{"mixed-content-spine", mixed.String()},
-	}
-	for _, tc := range cases {
+	for _, tc := range shapeCorpus() {
 		t.Run(tc.name, func(t *testing.T) {
 			checkParallelEquivalence(t, []byte(tc.xml), DefaultOptions())
 			// Also with a subset of indexes, so absent structures stay

@@ -23,6 +23,12 @@ const (
 	SectionHash    = "hash"
 	SectionStrTree = "strtree"
 
+	// SectionWALGen pairs a snapshot with a write-ahead log: it holds the
+	// checkpoint generation the snapshot was written at. Only present in
+	// snapshots written by Checkpoint; its absence means generation 0
+	// (a snapshot that never had a WAL, or predates durability).
+	SectionWALGen = "walgen"
+
 	// snapshotVersion is the overall snapshot format. Version 1 was the
 	// pre-registry layout (fixed double/datetime sections, unversioned
 	// 3-byte meta); version 2 stores a typed-index manifest in the meta
@@ -42,18 +48,27 @@ func TypedSectionName(id TypeID) string { return fmt.Sprintf("typed.%d", id) }
 func (ix *Indexes) Save(path string) error {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	return ix.saveFile(path, false)
+}
+
+// saveFile writes a complete snapshot without taking the lock; callers
+// hold it. withWALGen stamps the current checkpoint generation into the
+// snapshot (checkpoints only — a plain Save deliberately produces a
+// generation-0 snapshot that no existing log pairs with, because its
+// records would double-apply on top of the freshly saved state).
+func (ix *Indexes) saveFile(path string, withWALGen bool) error {
 	w, err := storage.NewWriter(path)
 	if err != nil {
 		return err
 	}
-	if err := ix.save(w); err != nil {
+	if err := ix.save(w, withWALGen); err != nil {
 		w.Close()
 		return err
 	}
 	return w.Close()
 }
 
-func (ix *Indexes) save(w *storage.Writer) error {
+func (ix *Indexes) save(w *storage.Writer, withWALGen bool) error {
 	sec, err := w.Section(SectionMeta)
 	if err != nil {
 		return err
@@ -122,6 +137,17 @@ func (ix *Indexes) save(w *storage.Writer) error {
 			return err
 		}
 		if err := ix.writeTyped(sec, ti); err != nil {
+			return err
+		}
+	}
+	if withWALGen {
+		sec, err = w.Section(SectionWALGen)
+		if err != nil {
+			return err
+		}
+		se = newSliceEncoder(sec)
+		se.uv(ix.walGen)
+		if err := se.flush(); err != nil {
 			return err
 		}
 	}
@@ -242,6 +268,17 @@ func load(r *storage.Reader) (*Indexes, error) {
 			return nil, fmt.Errorf("core: typed index %q: %w", specs[i].Name, err)
 		}
 		ix.typed = append(ix.typed, ti)
+	}
+	if r.SectionLen(SectionWALGen) >= 0 {
+		sec, err = r.Section(SectionWALGen)
+		if err != nil {
+			return nil, err
+		}
+		sd = newSliceDecoder(sec)
+		ix.walGen = sd.uv()
+		if sd.err != nil {
+			return nil, fmt.Errorf("core: reading snapshot WAL generation: %w", sd.err)
+		}
 	}
 	ix.completeDerived()
 	return ix, nil

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/xmlparse"
@@ -21,4 +23,63 @@ func mustParseForTest(t testing.TB, xml string) *xmltree.Doc {
 
 func writeGarbage(path string) error {
 	return os.WriteFile(path, []byte("this is not a snapshot file at all, not even close"), 0o644)
+}
+
+// shapeCase is one entry of the pathological shape corpus shared by the
+// parallel-equivalence and recovery-equivalence properties.
+type shapeCase struct {
+	name string
+	xml  string
+}
+
+// shapeCorpus returns the pathological document shapes: a single giant
+// subtree (every node on the spine), a deep chain with values at every
+// level, an all-attribute document, an empty document, and a
+// mixed-content spine.
+func shapeCorpus() []shapeCase {
+	var giant strings.Builder
+	giant.WriteString("<r>")
+	const giantDepth = 600
+	for i := 0; i < giantDepth; i++ {
+		fmt.Fprintf(&giant, "<d%d>", i%7)
+	}
+	giant.WriteString("42.5")
+	for i := giantDepth - 1; i >= 0; i-- {
+		fmt.Fprintf(&giant, "</d%d>", i%7)
+	}
+	giant.WriteString("</r>")
+
+	var deep strings.Builder
+	deep.WriteString("<r>")
+	const chainDepth = 250
+	for i := 0; i < chainDepth; i++ {
+		fmt.Fprintf(&deep, "<lvl><n>%d.5</n>", i)
+	}
+	deep.WriteString("bottom")
+	for i := 0; i < chainDepth; i++ {
+		deep.WriteString("</lvl>")
+	}
+	deep.WriteString("</r>")
+
+	var attrs strings.Builder
+	attrs.WriteString("<r>")
+	for i := 0; i < 900; i++ {
+		fmt.Fprintf(&attrs, `<e a="%d" b="%d.%02d" when="19%02d-0%d-1%d"/>`, i, i, i%100, i%100, i%9+1, i%3)
+	}
+	attrs.WriteString("</r>")
+
+	var mixed strings.Builder
+	mixed.WriteString("<r>7")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&mixed, "<w><v>%d</v></w>", i)
+	}
+	mixed.WriteString("8<!--note--><?pi data?></r>")
+
+	return []shapeCase{
+		{"giant-subtree", giant.String()},
+		{"deep-chain", deep.String()},
+		{"all-attributes", attrs.String()},
+		{"empty-document", "<r/>"},
+		{"mixed-content-spine", mixed.String()},
+	}
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/fsm"
+	"repro/internal/storage"
 	"repro/internal/vhash"
 	"repro/internal/xmltree"
 )
@@ -157,14 +159,42 @@ func (ix *Indexes) UpdateTexts(updates []TextUpdate) error {
 }
 
 func (ix *Indexes) updateTexts(updates []TextUpdate) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	if err := ix.validateTexts(updates); err != nil {
+		return err
+	}
+	// Write-ahead: the batch is logged (one record per UpdateTexts call,
+	// hence one per transaction commit) before any state changes.
+	if ix.wal != nil {
+		if err := ix.logRecord(storage.RecTextBatch, encodeTextBatch(updates)); err != nil {
+			return err
+		}
+	}
+	return ix.applyTexts(updates)
+}
+
+// validateTexts rejects a batch that names non-value-carrying or
+// out-of-range nodes, before anything is logged or mutated.
+func (ix *Indexes) validateTexts(updates []TextUpdate) error {
 	doc := ix.doc
 	for _, u := range updates {
+		if u.Node < 0 || int(u.Node) >= doc.NumNodes() {
+			return fmt.Errorf("core: node %d out of range", u.Node)
+		}
 		switch doc.Kind(u.Node) {
 		case xmltree.Text, xmltree.Comment, xmltree.PI:
 		default:
 			return fmt.Errorf("core: node %d is a %v, not a value-carrying node", u.Node, doc.Kind(u.Node))
 		}
 	}
+	return nil
+}
+
+// applyTexts performs a validated batch against document and indices.
+func (ix *Indexes) applyTexts(updates []TextUpdate) error {
+	doc := ix.doc
 	affected := make(map[xmltree.NodeID]struct{})
 	for _, u := range updates {
 		old := ix.captureNodeScratch(u.Node)
@@ -226,6 +256,26 @@ func (ix *Indexes) refoldAncestorsWithOld(olds map[xmltree.NodeID]oldKeys) {
 func (ix *Indexes) UpdateAttr(a xmltree.AttrID, value string) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if err := ix.validateAttr(a); err != nil {
+		return err
+	}
+	if ix.wal != nil {
+		if err := ix.logRecord(storage.RecAttrUpdate, encodeAttrUpdate(a, value)); err != nil {
+			return err
+		}
+	}
+	ix.applyAttr(a, value)
+	return nil
+}
+
+func (ix *Indexes) validateAttr(a xmltree.AttrID) error {
+	if a < 0 || int(a) >= ix.doc.NumAttrs() {
+		return fmt.Errorf("core: attribute %d out of range", a)
+	}
+	return nil
+}
+
+func (ix *Indexes) applyAttr(a xmltree.AttrID, value string) {
 	doc := ix.doc
 	stable := ix.attrStableOf[a]
 	posting := packPosting(stable, true)
@@ -255,7 +305,6 @@ func (ix *Indexes) UpdateAttr(a xmltree.AttrID, value string) error {
 		key, ok := ti.attrKey(a, stable)
 		diffTyped(ti, posting, oldTyped[t].key, oldTyped[t].ok, key, ok)
 	}
-	return nil
 }
 
 // DeleteSubtree removes node n with its subtree from the document and all
@@ -264,10 +313,29 @@ func (ix *Indexes) UpdateAttr(a xmltree.AttrID, value string) error {
 func (ix *Indexes) DeleteSubtree(n xmltree.NodeID) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	doc := ix.doc
-	if n == 0 {
-		return fmt.Errorf("core: cannot delete the document node")
+	if err := ix.validateDelete(n); err != nil {
+		return err
 	}
+	if ix.wal != nil {
+		if err := ix.logRecord(storage.RecDelete, encodeDelete(n)); err != nil {
+			return err
+		}
+	}
+	return ix.applyDelete(n)
+}
+
+func (ix *Indexes) validateDelete(n xmltree.NodeID) error {
+	if n <= 0 || int(n) >= ix.doc.NumNodes() {
+		if n == 0 {
+			return errors.New("core: cannot delete the document node")
+		}
+		return fmt.Errorf("core: node %d out of range", n)
+	}
+	return nil
+}
+
+func (ix *Indexes) applyDelete(n xmltree.NodeID) error {
+	doc := ix.doc
 	end := n + xmltree.NodeID(doc.Size(n))
 	parent := doc.Parent(n)
 
@@ -355,6 +423,53 @@ func (ix *Indexes) DeleteSubtree(n xmltree.NodeID) error {
 func (ix *Indexes) InsertChildren(parent xmltree.NodeID, pos int, frag *xmltree.Doc) (xmltree.NodeID, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if pos < 0 {
+		pos = 0 // the tree layer treats negative positions as "insert first"
+	}
+	if err := ix.validateInsert(parent, pos, frag); err != nil {
+		return xmltree.InvalidNode, err
+	}
+	if ix.wal != nil {
+		payload, err := encodeInsert(parent, pos, frag)
+		if err != nil {
+			return xmltree.InvalidNode, err
+		}
+		if err := ix.logRecord(storage.RecInsert, payload); err != nil {
+			return xmltree.InvalidNode, err
+		}
+	}
+	return ix.applyInsert(parent, pos, frag)
+}
+
+// validateInsert mirrors the tree layer's insertion checks so the
+// operation can be logged before any mutation: a validated insert cannot
+// fail when applied.
+func (ix *Indexes) validateInsert(parent xmltree.NodeID, pos int, frag *xmltree.Doc) error {
+	doc := ix.doc
+	if parent < 0 || int(parent) >= doc.NumNodes() {
+		return fmt.Errorf("core: node %d out of range", parent)
+	}
+	switch doc.Kind(parent) {
+	case xmltree.Element, xmltree.Document:
+	default:
+		return fmt.Errorf("core: cannot insert under %v node", doc.Kind(parent))
+	}
+	if frag.NumNodes() <= 1 {
+		return errors.New("core: empty fragment")
+	}
+	if pos > 0 {
+		children := 0
+		for c := doc.FirstChild(parent); c != xmltree.InvalidNode; c = doc.NextSibling(c) {
+			children++
+		}
+		if pos > children {
+			return fmt.Errorf("core: child index %d out of range (%d children)", pos, children)
+		}
+	}
+	return nil
+}
+
+func (ix *Indexes) applyInsert(parent xmltree.NodeID, pos int, frag *xmltree.Doc) (xmltree.NodeID, error) {
 	doc := ix.doc
 	// Pre-capture ancestor keys: insertion can turn a wrapper element
 	// into a combined one, changing its tree membership.

@@ -20,6 +20,69 @@ func castDouble(m *fsm.Machine, s string) (float64, bool) {
 	return fsm.DoubleValue(f)
 }
 
+// VerifyLeaves checks the stored per-leaf state against ground truth:
+// every value-carrying leaf's (and attribute's) hash must equal H of its
+// character data, and its state under each typed index must match a
+// fresh FSM run. Interior hashes and states are derived from leaves by
+// the fold, so this is the recovery contract's integrity check — O(total
+// character data), cheap enough to run at every OpenDurable, unlike the
+// full Verify.
+func (ix *Indexes) VerifyLeaves() error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	doc := ix.doc
+	for i := 0; i < doc.NumNodes(); i++ {
+		nd := xmltree.NodeID(i)
+		switch doc.Kind(nd) {
+		case xmltree.Text, xmltree.Comment, xmltree.PI:
+		default:
+			continue
+		}
+		val := doc.ValueBytes(nd)
+		if ix.hash != nil {
+			if want := vhash.Hash(val); ix.hash[i] != want {
+				return fmt.Errorf("core: leaf %d hash %#x, want %#x", i, ix.hash[i], want)
+			}
+		}
+		for _, ti := range ix.typed {
+			wantFrag, ok := ti.spec.Machine.ParseFrag(val)
+			got := ti.frag(nd, ix.stableOf[i])
+			if !ok {
+				if got.Elem != fsm.Reject {
+					return fmt.Errorf("core: leaf %d %s elem %d, want Reject", i, ti.spec.Name, got.Elem)
+				}
+				continue
+			}
+			if got.Elem != wantFrag.Elem || got.Lexical() != wantFrag.Lexical() {
+				return fmt.Errorf("core: leaf %d %s state mismatch", i, ti.spec.Name)
+			}
+		}
+	}
+	for a := 0; a < doc.NumAttrs(); a++ {
+		ad := xmltree.AttrID(a)
+		val := doc.AttrValueBytes(ad)
+		if ix.attrHash != nil {
+			if want := vhash.Hash(val); ix.attrHash[a] != want {
+				return fmt.Errorf("core: attr %d hash %#x, want %#x", a, ix.attrHash[a], want)
+			}
+		}
+		for _, ti := range ix.typed {
+			wantFrag, ok := ti.spec.Machine.ParseFrag(val)
+			got := ti.attrFrag(ad, ix.attrStableOf[a])
+			if !ok {
+				if got.Elem != fsm.Reject {
+					return fmt.Errorf("core: attr %d %s elem %d, want Reject", a, ti.spec.Name, got.Elem)
+				}
+				continue
+			}
+			if got.Elem != wantFrag.Elem || got.Lexical() != wantFrag.Lexical() {
+				return fmt.Errorf("core: attr %d %s state mismatch", a, ti.spec.Name)
+			}
+		}
+	}
+	return nil
+}
+
 // Verify checks the full consistency of the indices against ground truth
 // recomputed from the document: per-node hashes equal H of materialised
 // string values, per-node elements and values equal a fresh FSM run for

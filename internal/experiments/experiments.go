@@ -40,6 +40,18 @@ type Config struct {
 	// TempDir receives snapshot files for the storage measurements;
 	// defaults to os.TempDir().
 	TempDir string
+	// WAL, when true, runs the update experiments (Figure 10) durably:
+	// each measured index gets a write-ahead log in TempDir, so the
+	// reported times include logical logging and fsyncs.
+	WAL bool
+	// WALSyncEvery batches WAL fsyncs (<= 1 = sync every record); only
+	// meaningful with WAL.
+	WALSyncEvery int
+	// CheckpointEvery, with WAL, checkpoints (snapshot rewrite + log
+	// truncation) after every N measured update batches; 0 never
+	// checkpoints during a run. Checkpoints happen outside the timed
+	// windows — the figures measure update cost, not snapshot cost.
+	CheckpointEvery int
 }
 
 // buildOpts stamps the configured parallelism onto build options.
@@ -303,7 +315,21 @@ func RunFig10(cfg Config) ([]Fig10Point, error) {
 		}
 		strIx := core.Build(p.doc, cfg.buildOpts(core.Options{String: true}))
 		dblIx := core.Build(p.doc, cfg.buildOpts(core.Options{Double: true}))
+		if cfg.WAL {
+			// Durable mode: measure update throughput with write-ahead
+			// logging attached (the -wal / -checkpoint-every wiring).
+			for ixName, ix := range map[string]*core.Indexes{"str": strIx, "dbl": dblIx} {
+				base := filepath.Join(cfg.tempDir(), fmt.Sprintf("fig10-%s-%s", name, ixName))
+				if err := ix.StartDurable(base+".xvi", base+".wal", cfg.WALSyncEvery); err != nil {
+					return nil, err
+				}
+				defer os.Remove(base + ".xvi")
+				defer os.Remove(base + ".wal")
+				defer ix.CloseWAL()
+			}
+		}
 		rng := rand.New(rand.NewSource(cfg.Seed))
+		measured := 0
 		for _, batch := range Fig10Batches {
 			if batch > len(texts) {
 				break
@@ -323,6 +349,16 @@ func RunFig10(cfg Config) ([]Fig10Point, error) {
 					return nil, err
 				}
 				dblNS += time.Since(start).Nanoseconds()
+
+				measured++
+				if cfg.WAL && cfg.CheckpointEvery > 0 && measured%cfg.CheckpointEvery == 0 {
+					if err := strIx.Checkpoint(); err != nil {
+						return nil, err
+					}
+					if err := dblIx.Checkpoint(); err != nil {
+						return nil, err
+					}
+				}
 			}
 			n := int64(cfg.repeat())
 			points = append(points, Fig10Point{

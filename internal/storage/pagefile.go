@@ -42,9 +42,10 @@ var ErrCorrupt = errors.New("storage: corrupt file")
 // PageFile is an append-oriented paged file. Pages are written once and
 // verified with CRC32 on read.
 type PageFile struct {
-	f      *os.File
-	nPages int64
-	buf    [PageSize]byte
+	f        *os.File
+	nPages   int64
+	writable bool
+	buf      [PageSize]byte
 }
 
 // CreatePageFile creates (truncating) a page file at path.
@@ -53,7 +54,7 @@ func CreatePageFile(path string) (*PageFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	pf := &PageFile{f: f, nPages: headerPages}
+	pf := &PageFile{f: f, nPages: headerPages, writable: true}
 	// Reserve the header; finalised by WriteHeader.
 	if err := pf.f.Truncate(PageSize); err != nil {
 		f.Close()
@@ -166,8 +167,22 @@ func (pf *PageFile) readHeader() (int64, error) {
 // NumPages reports the current page count (including the header page).
 func (pf *PageFile) NumPages() int64 { return pf.nPages }
 
-// Close closes the underlying file.
-func (pf *PageFile) Close() error { return pf.f.Close() }
+// Close closes the underlying file. Writable files are fsynced first:
+// WriteHeader syncs the header it writes, but pages appended after it
+// (or a file closed without a header) would otherwise sit in OS caches
+// with no durability guarantee when Close returns.
+func (pf *PageFile) Close() error {
+	if pf.writable {
+		if err := pf.f.Sync(); err != nil {
+			pf.f.Close()
+			return err
+		}
+	}
+	return pf.f.Close()
+}
+
+// Sync forces written pages to stable storage.
+func (pf *PageFile) Sync() error { return pf.f.Sync() }
 
 // sectionWriter streams bytes into consecutive pages of a PageFile.
 type sectionWriter struct {

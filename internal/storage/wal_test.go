@@ -1,0 +1,280 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.wal")
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := walPath(t)
+	w, err := CreateWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: RecCheckpoint, Payload: []byte{1}},
+		{Kind: RecTextBatch, Payload: []byte("hello")},
+		{Kind: RecDelete, Payload: nil},
+		{Kind: RecInsert, Payload: bytes.Repeat([]byte{0xAB}, 10_000)},
+	}
+	for _, r := range recs {
+		if err := w.Append(r.Kind, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, got, err := OpenWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		if r.Kind != recs[i].Kind || !bytes.Equal(r.Payload, recs[i].Payload) {
+			t.Fatalf("record %d = %v/%d bytes, want %v/%d bytes", i, r.Kind, len(r.Payload), recs[i].Kind, len(recs[i].Payload))
+		}
+	}
+}
+
+func TestWALReplayFunc(t *testing.T) {
+	path := walPath(t)
+	w, err := CreateWAL(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Append(RecTextBatch, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil { // Close syncs the partial batch
+		t.Fatal(err)
+	}
+	n := 0
+	err = ReplayWAL(path, func(r Record) error {
+		if r.Kind != RecTextBatch || r.Payload[0] != byte(n) {
+			t.Fatalf("record %d = %v %v", n, r.Kind, r.Payload)
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("replayed %d records, want 10", n)
+	}
+}
+
+func TestWALReplayMissingFile(t *testing.T) {
+	err := ReplayWAL(filepath.Join(t.TempDir(), "nope.wal"), func(Record) error {
+		t.Fatal("callback on missing file")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALTornTailTruncatedOnOpen(t *testing.T) {
+	path := walPath(t)
+	w, err := CreateWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(RecTextBatch, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(RecTextBatch, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := w.Size()
+	if err := w.Append(RecTextBatch, []byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: drop its final 2 bytes.
+	if err := os.Truncate(path, w.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs, err := OpenWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(recs))
+	}
+	if w2.Size() != goodSize {
+		t.Fatalf("repaired size %d, want %d", w2.Size(), goodSize)
+	}
+	// Appends after repair extend a clean log.
+	if err := w2.Append(RecDelete, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = OpenWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || string(recs[2].Payload) != "after" {
+		t.Fatalf("after repair+append got %d records", len(recs))
+	}
+}
+
+func TestWALCorruptRecordStopsReplay(t *testing.T) {
+	path := walPath(t)
+	w, err := CreateWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := []string{"one", "two", "three"}
+	offsets := []int64{}
+	for _, p := range payloads {
+		offsets = append(offsets, w.Size())
+		if err := w.Append(RecTextBatch, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the second record.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[offsets[1]+walFrameSize] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs, err := OpenWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay must stop at the corrupt record: only "one" survives; the
+	// corrupt suffix (including the valid-looking "three") is discarded.
+	if len(recs) != 1 || string(recs[0].Payload) != "one" {
+		t.Fatalf("recovered %d records (first %q), want just \"one\"", len(recs), recs[0].Payload)
+	}
+}
+
+func TestWALResetForgetsRecords(t *testing.T) {
+	path := walPath(t)
+	w, err := CreateWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(RecTextBatch, []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(RecCheckpoint, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := OpenWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Kind != RecCheckpoint {
+		t.Fatalf("after reset got %d records", len(recs))
+	}
+}
+
+func TestWALBadMagic(t *testing.T) {
+	path := walPath(t)
+	if err := os.WriteFile(path, []byte("NOTAWAL0 and then some"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path, 1); err == nil {
+		t.Fatal("OpenWAL accepted bad magic")
+	}
+	if err := ReplayWAL(path, func(Record) error { return nil }); err == nil {
+		t.Fatal("ReplayWAL accepted bad magic")
+	}
+}
+
+func TestWALSyncBatching(t *testing.T) {
+	// Batched appends must still all be readable after Close (which
+	// flushes the partial batch).
+	path := walPath(t)
+	w, err := CreateWAL(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := w.Append(RecTextBatch, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := OpenWAL(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 100 {
+		t.Fatalf("got %d records, want 100", len(recs))
+	}
+}
+
+// TestWALIOErrorPoisonsLog pins the fail-stop contract: after the first
+// I/O failure every subsequent operation reports the error — a caller
+// can never be told that records written after a failure are durable.
+func TestWALIOErrorPoisonsLog(t *testing.T) {
+	path := walPath(t)
+	w, err := CreateWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(RecTextBatch, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the device failing: pull the file out from under the log.
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	first := w.Append(RecTextBatch, []byte("bad"))
+	if first == nil {
+		t.Fatal("Append on failed file succeeded")
+	}
+	if err := w.Append(RecTextBatch, []byte("bad2")); err == nil {
+		t.Fatal("poisoned log accepted a second append")
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("poisoned log reported a clean sync")
+	}
+	if err := w.Reset(); err == nil {
+		t.Fatal("poisoned log allowed a reset")
+	}
+	// Only the pre-failure record is recoverable.
+	_, recs, err := OpenWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "good" {
+		t.Fatalf("recovered %d records, want just the pre-failure one", len(recs))
+	}
+}

@@ -1,0 +1,350 @@
+package storage_test
+
+// Crash-injection harness for the write-ahead log. The injector
+// simulates a crash at every byte boundary of the last log record — by
+// truncation (the tail never reached the disk) and by zeroing (the tail
+// sectors were allocated but never written) — and asserts the recovery
+// contract: OpenDurable always yields a Verify-clean index whose
+// document is byte-identical to a serial oracle's pre-record or
+// post-record state, never anything in between and never a corrupt one.
+//
+// This is an external test package (storage_test) so it can drive the
+// full recovery stack in internal/core without an import cycle.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmlparse"
+	"repro/internal/xmltree"
+)
+
+const crashBaseXML = `<r id="x"><a>alpha</a><b>beta</b><c>7</c></r>`
+
+// crashOp is one loggable mutation, applied identically to the durable
+// index and to the in-memory oracle.
+type crashOp struct {
+	name  string
+	apply func(t *testing.T, ix *core.Indexes)
+}
+
+func findTexts(doc *xmltree.Doc) []xmltree.NodeID {
+	var out []xmltree.NodeID
+	for i := 0; i < doc.NumNodes(); i++ {
+		if doc.Kind(xmltree.NodeID(i)) == xmltree.Text {
+			out = append(out, xmltree.NodeID(i))
+		}
+	}
+	return out
+}
+
+func crashOps() []crashOp {
+	return []crashOp{
+		{"text-update", func(t *testing.T, ix *core.Indexes) {
+			if err := ix.UpdateText(findTexts(ix.Doc())[0], "omega42"); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"text-batch", func(t *testing.T, ix *core.Indexes) {
+			texts := findTexts(ix.Doc())
+			batch := []core.TextUpdate{
+				{Node: texts[0], Value: "3.25"},
+				{Node: texts[1], Value: "gamma"},
+			}
+			if err := ix.UpdateTexts(batch); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"attr-update", func(t *testing.T, ix *core.Indexes) {
+			if err := ix.UpdateAttr(0, "y2"); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"delete", func(t *testing.T, ix *core.Indexes) {
+			// Delete <b> (first element child of <r> named b).
+			doc := ix.Doc()
+			for i := 0; i < doc.NumNodes(); i++ {
+				n := xmltree.NodeID(i)
+				if doc.Kind(n) == xmltree.Element && doc.Name(n) == "b" {
+					if err := ix.DeleteSubtree(n); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+			}
+			t.Fatal("no <b> element")
+		}},
+		{"insert", func(t *testing.T, ix *core.Indexes) {
+			frag, err := xmlparse.ParseString(`<d ts="2009-03-24">12.5</d>`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc := ix.Doc()
+			var root xmltree.NodeID
+			for i := 0; i < doc.NumNodes(); i++ {
+				if doc.Kind(xmltree.NodeID(i)) == xmltree.Element {
+					root = xmltree.NodeID(i)
+					break
+				}
+			}
+			if _, err := ix.InsertChildren(root, 1, frag); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+}
+
+// buildDurable parses crashBaseXML, starts a durable pair in dir, and
+// returns the attached index set with its snapshot and wal paths.
+func buildDurable(t *testing.T, dir string) (*core.Indexes, string, string) {
+	t.Helper()
+	doc, err := xmlparse.ParseString(crashBaseXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := core.Build(doc, core.DefaultOptions())
+	snap := filepath.Join(dir, "db.xvi")
+	wal := filepath.Join(dir, "db.wal")
+	if err := ix.StartDurable(snap, wal, 1); err != nil {
+		t.Fatal(err)
+	}
+	return ix, snap, wal
+}
+
+// oracleStates returns the document serializations before and after op,
+// computed on a pure in-memory index set (the serial oracle).
+func oracleStates(t *testing.T, op crashOp) (pre, post []byte) {
+	t.Helper()
+	doc, err := xmlparse.ParseString(crashBaseXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := core.Build(doc, core.DefaultOptions())
+	pre, err = xmlparse.SerializeToBytes(ix.Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.apply(t, ix)
+	post, err = xmlparse.SerializeToBytes(ix.Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(pre, post) {
+		t.Fatalf("%s: oracle pre and post states identical — op is not observable", op.name)
+	}
+	return pre, post
+}
+
+// recoverAt copies the snapshot and a fault-injected copy of the wal
+// into a fresh directory and runs recovery on them. mutate receives the
+// wal bytes and returns the crashed version.
+func recoverAt(t *testing.T, snap, wal string, mutate func([]byte) []byte) (*core.Indexes, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	snapCopy := filepath.Join(dir, "db.xvi")
+	walCopy := filepath.Join(dir, "db.wal")
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapCopy, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walCopy, mutate(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.OpenDurable(snapCopy, walCopy, 1)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer ix.CloseWAL()
+	if err := ix.Verify(); err != nil {
+		t.Fatalf("recovered index fails Verify: %v", err)
+	}
+	xml, err := xmlparse.SerializeToBytes(ix.Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, xml
+}
+
+// TestCrashInjectionEveryByteBoundary is the core property: for every
+// operation kind, a crash at ANY byte boundary of the last record —
+// simulated by truncation and by zeroing the tail — recovers to exactly
+// the oracle's pre-record or post-record document. Complete record =>
+// post; any shorter prefix => pre.
+func TestCrashInjectionEveryByteBoundary(t *testing.T) {
+	for _, op := range crashOps() {
+		op := op
+		t.Run(op.name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			ix, snap, wal := buildDurable(t, dir)
+			st, err := os.Stat(wal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recStart := st.Size() // last record begins where the checkpointed log ended
+			op.apply(t, ix)
+			if err := ix.CloseWAL(); err != nil {
+				t.Fatal(err)
+			}
+			st, err = os.Stat(wal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recEnd := st.Size()
+			if recEnd <= recStart {
+				t.Fatalf("operation logged no record (%d -> %d bytes)", recStart, recEnd)
+			}
+			pre, post := oracleStates(t, op)
+
+			for cut := recStart; cut <= recEnd; cut++ {
+				cut := cut
+				// Crash flavour 1: the tail past cut never reached disk.
+				_, xml := recoverAt(t, snap, wal, func(raw []byte) []byte {
+					return raw[:cut]
+				})
+				wantPre := cut < recEnd
+				checkPrePost(t, fmt.Sprintf("truncate@%d", cut), xml, pre, post, wantPre)
+
+				// Crash flavour 2: the tail sectors were zeroed, not
+				// dropped — the file keeps its length but the record's
+				// suffix is garbage.
+				if cut < recEnd {
+					_, xml = recoverAt(t, snap, wal, func(raw []byte) []byte {
+						out := append([]byte(nil), raw...)
+						for i := cut; i < recEnd; i++ {
+							out[i] = 0
+						}
+						return out
+					})
+					checkPrePost(t, fmt.Sprintf("zero@%d", cut), xml, pre, post, true)
+				}
+			}
+		})
+	}
+}
+
+func checkPrePost(t *testing.T, label string, got, pre, post []byte, wantPre bool) {
+	t.Helper()
+	want := post
+	state := "post"
+	if wantPre {
+		want = pre
+		state = "pre"
+	}
+	if !bytes.Equal(got, want) {
+		other := "post"
+		if !wantPre {
+			other = "pre"
+		}
+		if bytes.Equal(got, pre) || bytes.Equal(got, post) {
+			t.Fatalf("%s: recovered the %s-state, want the %s-state", label, other, state)
+		}
+		t.Fatalf("%s: recovered a state that is neither pre nor post:\n%s", label, got)
+	}
+}
+
+// TestCrashInjectionBitFlips flips every single byte of the last record
+// in turn: any flip must be caught by the CRC framing, recovering the
+// pre-record state (a flip can never yield a different valid record).
+func TestCrashInjectionBitFlips(t *testing.T) {
+	op := crashOps()[0] // text-update
+	dir := t.TempDir()
+	ix, snap, wal := buildDurable(t, dir)
+	st, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recStart := st.Size()
+	op.apply(t, ix)
+	if err := ix.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recEnd := st.Size()
+	pre, post := oracleStates(t, op)
+
+	for off := recStart; off < recEnd; off++ {
+		off := off
+		_, xml := recoverAt(t, snap, wal, func(raw []byte) []byte {
+			out := append([]byte(nil), raw...)
+			out[off] ^= 0xA5
+			return out
+		})
+		checkPrePost(t, fmt.Sprintf("flip@%d", off), xml, pre, post, true)
+	}
+}
+
+// TestCrashInjectionRecordBoundaries applies a sequence of operations
+// and crashes at each record boundary: recovery after k complete
+// records must equal the oracle that applied exactly the first k
+// operations.
+func TestCrashInjectionRecordBoundaries(t *testing.T) {
+	ops := crashOps()
+	dir := t.TempDir()
+	ix, snap, wal := buildDurable(t, dir)
+
+	boundaries := []int64{}
+	st, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries = append(boundaries, st.Size())
+	for _, op := range ops {
+		op.apply(t, ix)
+		if err := ix.SyncWAL(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(wal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, st.Size())
+	}
+	if err := ix.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle states after each prefix of the op sequence.
+	doc, err := xmlparse.ParseString(crashBaseXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := core.Build(doc, core.DefaultOptions())
+	states := [][]byte{}
+	xml, err := xmlparse.SerializeToBytes(oracle.Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	states = append(states, xml)
+	for _, op := range ops {
+		op.apply(t, oracle)
+		xml, err := xmlparse.SerializeToBytes(oracle.Doc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, xml)
+	}
+
+	for k, cut := range boundaries {
+		_, got := recoverAt(t, snap, wal, func(raw []byte) []byte {
+			return raw[:cut]
+		})
+		if !bytes.Equal(got, states[k]) {
+			t.Fatalf("crash after %d records: recovered state does not match oracle after %d ops:\n got: %s\nwant: %s", k, k, got, states[k])
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package txn
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/xmlparse"
+	"repro/internal/xmltree"
+)
+
+// TestCommitLogsOneBatchRecord pins the durable commit contract: every
+// committed transaction appends exactly ONE text-batch record to the
+// write-ahead log (its whole write set, atomically recoverable), aborts
+// and empty commits append nothing, and replaying the log reproduces
+// the committed state.
+func TestCommitLogsOneBatchRecord(t *testing.T) {
+	doc, err := xmlparse.ParseString(`<r><a>1</a><b>2</b><c>3</c></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := core.Build(doc, core.DefaultOptions())
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "db.xvi")
+	wal := filepath.Join(dir, "db.wal")
+	if err := ix.StartDurable(snap, wal, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(ix)
+
+	var texts []xmltree.NodeID
+	for i := 0; i < doc.NumNodes(); i++ {
+		if doc.Kind(xmltree.NodeID(i)) == xmltree.Text {
+			texts = append(texts, xmltree.NodeID(i))
+		}
+	}
+
+	// Two committed transactions with multi-node write sets.
+	t1 := m.Begin()
+	if err := t1.SetText(texts[0], "10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.SetText(texts[1], "20"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2 := m.Begin()
+	if err := t2.SetText(texts[2], "30"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// An aborted transaction and an empty commit log nothing.
+	t3 := m.Begin()
+	if err := t3.SetText(texts[0], "nope"); err != nil {
+		t.Fatal(err)
+	}
+	t3.Abort()
+	t4 := m.Begin()
+	if err := t4.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ix.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	var kinds []storage.RecordKind
+	err = storage.ReplayWAL(wal, func(rec storage.Record) error {
+		kinds = append(kinds, rec.Kind)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []storage.RecordKind{storage.RecCheckpoint, storage.RecTextBatch, storage.RecTextBatch}
+	if len(kinds) != len(want) {
+		t.Fatalf("log has %d records (%v), want %v", len(kinds), kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("record %d is %v, want %v", i, kinds[i], want[i])
+		}
+	}
+
+	// Recovery reproduces the committed state.
+	re, err := core.OpenDurable(snap, wal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseWAL()
+	if err := re.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for i, wantVal := range []string{"10", "20", "30"} {
+		if got := re.Doc().Value(texts[i]); got != wantVal {
+			t.Fatalf("recovered text %d = %q, want %q", i, got, wantVal)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package xmlparse
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzShred fuzzes the shredder with arbitrary bytes. Properties:
+//
+//  1. Parse never panics — malformed input returns an error.
+//  2. parse→serialize→parse is a fixpoint: the first serialization
+//     resolves entities and normalises quoting, and from then on the
+//     data model and its serialization are stable byte for byte.
+//
+// Seed corpus: f.Add seeds below plus the files checked in under
+// testdata/fuzz/FuzzShred.
+func FuzzShred(f *testing.F) {
+	for _, seed := range []string{
+		`<r/>`,
+		`<r a="1" b="x&amp;y"><c>text</c><!--n--><?pi d?></r>`,
+		`<r>&#65;&lt;tag&gt; mixed 3.5 <v>2009-03-24</v> tail</r>`,
+		`<r><![CDATA[raw <markup> & entities]]></r>`,
+		`<a><b><c attr="&quot;deep&quot;">x</c></b>` + "\r\n" + `</a>`,
+		`<r>` + "\xc3\xa9\xe4\xb8\xad" + `</r>`, // multi-byte UTF-8
+		`<r><empty/><empty></empty>07</r>`,
+		`no xml at all`,
+		`<unclosed>`,
+		`<r><mismatch></wrong></r>`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse(data) // must not panic
+		if err != nil {
+			return
+		}
+		s1, err := SerializeToBytes(doc)
+		if err != nil {
+			t.Fatalf("serialize of parsed doc: %v (input %q)", err, data)
+		}
+		doc2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("reparse of serialized output: %v\ninput:  %q\noutput: %q", err, data, s1)
+		}
+		s2, err := SerializeToBytes(doc2)
+		if err != nil {
+			t.Fatalf("second serialize: %v", err)
+		}
+		if !bytes.Equal(s1, s2) {
+			t.Fatalf("serialize fixpoint violated:\ninput: %q\n s1: %q\n s2: %q", data, s1, s2)
+		}
+		// The option'd parses must not panic either (their output can
+		// legitimately differ — dropped nodes — so only the no-panic
+		// property is checked).
+		for _, opts := range []Options{
+			{StripWhitespaceText: true},
+			{SkipComments: true, SkipPIs: true},
+			{StripWhitespaceText: true, SkipComments: true, SkipPIs: true},
+		} {
+			if optDoc, err := ParseWith(data, opts); err == nil {
+				if _, err := SerializeToBytes(optDoc); err != nil {
+					t.Fatalf("serialize with %+v: %v", opts, err)
+				}
+			}
+		}
+	})
+}

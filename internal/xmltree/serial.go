@@ -93,7 +93,10 @@ func ReadDoc(r io.Reader) (*Doc, error) {
 	if br.err != nil {
 		return nil, br.err
 	}
-	if n <= 0 || n > 1<<31-2 || na < 0 || na > 1<<31-2 || nNames < 0 || nNames > n+na+1 {
+	// The names dictionary may legitimately exceed the node count:
+	// deletions drop nodes but never dictionary entries, so a document
+	// that shrank keeps its interned names. Bound it independently.
+	if n <= 0 || n > 1<<31-2 || na < 0 || na > 1<<31-2 || nNames < 0 || nNames > 1<<28 {
 		return nil, fmt.Errorf("xmltree: implausible counts %d/%d/%d", n, na, nNames)
 	}
 	d := &Doc{

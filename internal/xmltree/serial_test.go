@@ -148,3 +148,38 @@ func BenchmarkWriteTo(b *testing.B) {
 		}
 	}
 }
+
+// TestRoundTripAfterRootDeletion: deleting the root element leaves a
+// document whose interned-name dictionary is larger than its node
+// count. The serial format must round-trip it (the old reader's
+// plausibility bound nNames <= n+na+1 rejected it).
+func TestRoundTripAfterRootDeletion(t *testing.T) {
+	b := NewBuilder()
+	b.StartElement("r")
+	b.StartElement("a")
+	b.Attribute("id", "1")
+	b.Text("x")
+	b.EndElement()
+	b.StartElement("bee")
+	b.EndElement()
+	b.EndElement()
+	d, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteSubtree(d.FirstChild(d.Root())); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != 1 {
+		t.Fatalf("doc has %d nodes after root deletion, want 1", d.NumNodes())
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDoc(&buf)
+	if err != nil {
+		t.Fatalf("round-trip after root deletion: %v", err)
+	}
+	assertSameDoc(t, d, got)
+}

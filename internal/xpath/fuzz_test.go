@@ -1,0 +1,54 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/xmlparse"
+)
+
+// FuzzXPathParse fuzzes the XPath dialect parser with arbitrary
+// expressions. Properties:
+//
+//  1. Parse never panics — malformed expressions return an error.
+//  2. A successfully parsed expression evaluates against a small
+//     document without panicking (the scan baseline exercises every
+//     axis/predicate path).
+//
+// Seed corpus: f.Add seeds below plus the files checked in under
+// testdata/fuzz/FuzzXPathParse.
+func FuzzXPathParse(f *testing.F) {
+	doc, err := xmlparse.ParseString(
+		`<site><people><person id="p1"><name>Ann</name><age>34.5</age>` +
+			`<joined>2009-03-24</joined></person><person id="p2"><name>Bob</name>` +
+			`<age>40</age></person></people><open t="2009-03-24T12:00:00">7</open></site>`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range []string{
+		`/site/people/person/name`,
+		`//person[age = 34.5]`,
+		`//person[@id = "p1"]/name`,
+		`//age[. >= 30 and . < 41]`,
+		`//joined[. = xs:date("2009-03-24")]`,
+		`//open[@t < xs:dateTime("2010-01-01T00:00:00")]`,
+		`//*[. = "Ann"]`,
+		`/site//person[starts-with(name, "A")]`,
+		`//person[position() = 1]`,
+		`]]][[[`,
+		`//person[`,
+		`/a/b[@x = `,
+		`//a[. = 1e309]`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		path, err := Parse(expr) // must not panic
+		if err != nil {
+			return
+		}
+		if path == nil {
+			t.Fatalf("Parse(%q) returned nil path and nil error", expr)
+		}
+		_ = Evaluate(doc, path) // must not panic either
+	})
+}

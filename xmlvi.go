@@ -34,6 +34,22 @@ type Options struct {
 	// setting produces identical indexes (down to snapshot bytes); see
 	// the package documentation for the shard/merge design.
 	Parallelism int
+	// WAL names a write-ahead log file that makes updates durable. With
+	// a WAL configured, the first Save writes the recovery baseline
+	// snapshot and attaches the log; from then on every mutation is
+	// logged (and fsynced, per WALSyncEvery) before it is applied, and
+	// Save/Checkpoint rewrite the snapshot and truncate the log. A crash
+	// loses at most the unsynced tail of the log — reopen with
+	// OpenDurable to recover. Updates made before the first Save are not
+	// logged: there is no snapshot to recover against yet.
+	WAL string
+	// WALSyncEvery batches log fsyncs: the log is forced to stable
+	// storage once every N appended records (0 or 1 = after every
+	// record, the safest setting). Batching amortises the fsync — the
+	// dominant cost of a durable update — at the price of the tail of an
+	// unsynced batch being lost on a crash; records are never
+	// half-applied either way.
+	WALSyncEvery int
 }
 
 func (o Options) indexOptions() core.Options {
@@ -58,6 +74,11 @@ type Document struct {
 	ix  *core.Indexes
 	mgr *txn.Manager
 	sub *substr.Index // optional, see EnableSubstringIndex
+
+	// Durability wiring (see Options.WAL): the log path is remembered
+	// until the first Save attaches it.
+	walPath      string
+	walSyncEvery int
 }
 
 // Parse shreds the XML input and builds all three value indices.
@@ -77,7 +98,7 @@ func ParseWithOptions(xml []byte, opts Options) (*Document, error) {
 		return nil, err
 	}
 	ix := core.Build(doc, opts.indexOptions())
-	return &Document{ix: ix, mgr: txn.NewManager(ix)}, nil
+	return &Document{ix: ix, mgr: txn.NewManager(ix), walPath: opts.WAL, walSyncEvery: opts.WALSyncEvery}, nil
 }
 
 // Load reads a snapshot produced by Save, verifying checksums.
@@ -89,9 +110,56 @@ func Load(path string) (*Document, error) {
 	return &Document{ix: ix, mgr: txn.NewManager(ix)}, nil
 }
 
+// OpenDurable recovers a durable document: it loads the snapshot,
+// replays the write-ahead log's tail against it (truncating a torn
+// record from a crashed writer, discarding a log already contained in
+// the snapshot), verifies the recovered leaf hashes and states, and
+// keeps the log attached so further updates stay durable. Recovery
+// always yields a state that existed: the snapshot plus a prefix of the
+// durably logged updates — never a half-applied record.
+func OpenDurable(snapshotPath, walPath string) (*Document, error) {
+	return OpenDurableWithOptions(snapshotPath, walPath, Options{})
+}
+
+// OpenDurableWithOptions is OpenDurable with explicit options. Only the
+// WAL-related fields are consulted (WALSyncEvery — index selection and
+// parallelism are determined by the snapshot).
+func OpenDurableWithOptions(snapshotPath, walPath string, opts Options) (*Document, error) {
+	ix, err := core.OpenDurable(snapshotPath, walPath, opts.WALSyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{ix: ix, mgr: txn.NewManager(ix), walPath: walPath, walSyncEvery: opts.WALSyncEvery}, nil
+}
+
 // Save persists the document and its indices to a checksummed snapshot
-// file.
-func (d *Document) Save(path string) error { return d.ix.Save(path) }
+// file. On a document with a configured WAL (Options.WAL or
+// OpenDurable), Save is a checkpoint: the snapshot is written
+// atomically, stamped with the next checkpoint generation, and the log
+// is truncated; the first such Save creates the log.
+func (d *Document) Save(path string) error {
+	if d.walPath != "" && !d.ix.HasWAL() {
+		return d.ix.StartDurable(path, d.walPath, d.walSyncEvery)
+	}
+	if d.ix.HasWAL() {
+		return d.ix.CheckpointTo(path)
+	}
+	return d.ix.Save(path)
+}
+
+// Checkpoint rewrites the snapshot at its last Save/OpenDurable path and
+// truncates the write-ahead log, bounding log growth and recovery time.
+// It fails with core.ErrNoWAL when no log is attached (no WAL
+// configured, or no Save yet).
+func (d *Document) Checkpoint() error { return d.ix.Checkpoint() }
+
+// SyncWAL forces batched log records to stable storage; a no-op without
+// an attached log or with WALSyncEvery <= 1 (always synced).
+func (d *Document) SyncWAL() error { return d.ix.SyncWAL() }
+
+// Close syncs and detaches the write-ahead log, if any. The document
+// remains usable in memory; subsequent updates are no longer logged.
+func (d *Document) Close() error { return d.ix.CloseWAL() }
 
 // XML serialises the document back to XML.
 func (d *Document) XML() ([]byte, error) { return xmlparse.SerializeToBytes(d.ix.Doc()) }
