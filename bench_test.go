@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	xmlvi "repro"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
@@ -224,6 +225,84 @@ func BenchmarkTxnCommutativeVsLocking(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkQueryPlannerCrossover is A6: one range predicate swept from
+// high to low selectivity, under a forced scan, a forced index drive,
+// and the cost-based planner (the Figure 8-style read-path crossover).
+// Paper-shaped expectation: the index drive wins by orders of magnitude
+// at low selectivity and loses near 1.0; the auto column should track
+// the winner on both sides of the crossover.
+func BenchmarkQueryPlannerCrossover(b *testing.B) {
+	cfg := benchConfig()
+	// One RunA6 call for both points: the dataset is generated and
+	// indexed once, so ns/op measures the queries, not repeated builds.
+	fracs := []float64{0.01, 0.5}
+	tags := []string{"lo", "hi"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunA6(cfg, "xmark1", fracs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) == len(fracs) {
+			for pi, r := range rows {
+				b.ReportMetric(r.ScanMS, tags[pi]+"_scan_ms")
+				b.ReportMetric(r.IndexMS, tags[pi]+"_index_ms")
+				b.ReportMetric(r.AutoMS, tags[pi]+"_auto_ms")
+			}
+		}
+	}
+}
+
+// BenchmarkQueryPlannerConjunctive is A7: conjunctive predicates whose
+// first condition is unselective and whose second is highly selective —
+// the workload the legacy first-indexable-condition heuristic gets
+// maximally wrong. The planner picks the selective driver (and
+// intersects further selective paths), so planner_ms should beat
+// legacy_ms clearly; speedup_x reports the ratio for the first query.
+func BenchmarkQueryPlannerConjunctive(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunA7(cfg, "xmark1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) > 0 {
+			b.ReportMetric(rows[0].LegacyMS, "legacy_ms")
+			b.ReportMetric(rows[0].PlannerMS, "planner_ms")
+			b.ReportMetric(rows[0].SpeedupX, "speedup_x")
+		}
+	}
+}
+
+// BenchmarkQuerySinglePredicate tracks raw planned-query latency on the
+// two single-predicate shapes (string equality, numeric range) so
+// BENCH_PR.json records planner overhead alongside build/update numbers.
+func BenchmarkQuerySinglePredicate(b *testing.B) {
+	xml, err := datagen.Generate("xmark1", *benchScale, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, err := xmlvi.ParseWithOptions(xml, xmlvi.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, q := range []struct{ name, expr string }{
+		{"eq", `//item[location = "Amsterdam"]`},
+		{"range", `//open_auction[initial > 4950]`},
+	} {
+		b.Run(q.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := doc.Query(q.expr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchResults = res
+			}
+		})
+	}
+}
+
+var benchResults []xmlvi.Result
 
 // BenchmarkBuild measures full index construction (string + every
 // registered typed index) over the XMark bench corpus, serial

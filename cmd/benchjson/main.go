@@ -155,6 +155,31 @@ func writeSummary(w io.Writer, report *Report) {
 		fmt.Fprintf(w, "**Parallel index build:** Parallelism=1 %.2fms vs Parallelism=4 %.2fms → **%.2fx speedup**\n",
 			p1/1e6, p4/1e6, p1/p4)
 	}
+	if legacy, planner := metricOf(report, "BenchmarkQueryPlannerConjunctive", "legacy_ms"),
+		metricOf(report, "BenchmarkQueryPlannerConjunctive", "planner_ms"); legacy > 0 && planner > 0 {
+		fmt.Fprintf(w, "**Query planner (conjunctive):** legacy heuristic %.3fms vs cost-based planner %.3fms → **%.2fx speedup**\n",
+			legacy, planner, legacy/planner)
+	}
+	if loScan, loIdx := metricOf(report, "BenchmarkQueryPlannerCrossover", "lo_scan_ms"),
+		metricOf(report, "BenchmarkQueryPlannerCrossover", "lo_index_ms"); loScan > 0 && loIdx > 0 {
+		fmt.Fprintf(w, "**Scan/index crossover:** low selectivity scan %.3fms vs index %.3fms",
+			loScan, loIdx)
+		if hiScan, hiIdx := metricOf(report, "BenchmarkQueryPlannerCrossover", "hi_scan_ms"),
+			metricOf(report, "BenchmarkQueryPlannerCrossover", "hi_index_ms"); hiScan > 0 && hiIdx > 0 {
+			fmt.Fprintf(w, "; high selectivity scan %.3fms vs index %.3fms", hiScan, hiIdx)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// metricOf returns one named metric of one benchmark, or 0 when absent.
+func metricOf(report *Report, bench, unit string) float64 {
+	for _, b := range report.Benchmarks {
+		if b.Name == bench {
+			return b.Metrics[unit]
+		}
+	}
+	return 0
 }
 
 // buildNS returns BenchmarkBuild/<sub>'s ns/op, or 0 when absent.

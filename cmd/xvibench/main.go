@@ -20,7 +20,7 @@ import (
 	"repro/internal/experiments"
 )
 
-var allExperiments = []string{"table1", "fig9", "fig10", "fig11", "a1", "a2", "a3", "a4", "a5"}
+var allExperiments = []string{"table1", "fig9", "fig10", "fig11", "a1", "a2", "a3", "a4", "a5", "a6", "a7"}
 
 // expAliases are the per-panel selectors that map onto a whole figure.
 var expAliases = []string{"fig9a", "fig9b", "fig9c", "fig9d", "fig10a", "fig10b"}
@@ -154,12 +154,38 @@ func main() {
 		}
 		experiments.ReportA5(out, row)
 	}
+	if selected["a6"] {
+		rows, err := experiments.RunA6(cfg, plannerDataset(cfg), nil)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.ReportA6(out, rows)
+	}
+	if selected["a7"] {
+		rows, err := experiments.RunA7(cfg, plannerDataset(cfg))
+		if err != nil {
+			fatal(err)
+		}
+		experiments.ReportA7(out, rows)
+	}
 	fmt.Fprintln(out)
 }
 
 func firstDataset(cfg experiments.Config) string {
 	if len(cfg.Datasets) > 0 {
 		return cfg.Datasets[0]
+	}
+	return "xmark1"
+}
+
+// plannerDataset picks the dataset for the planner ablations (A6/A7),
+// whose query workloads are XMark-shaped: the first selected xmark
+// variant, falling back to xmark1.
+func plannerDataset(cfg experiments.Config) string {
+	for _, d := range cfg.Datasets {
+		if strings.HasPrefix(d, "xmark") {
+			return d
+		}
 	}
 	return "xmark1"
 }

@@ -1,11 +1,13 @@
 // Command xviquery runs XPath queries against a snapshot produced by
-// xvishred, using the value indices (or a full scan with -scan, for
-// comparison).
+// xvishred, through the cost-based query planner (or a full scan with
+// -scan, for comparison).
 //
 // Usage:
 //
 //	xviquery -db doc.xvi '//person[.//age = 42]'
 //	xviquery -db doc.xvi -scan -t '//item[price > 100]'
+//	xviquery -db doc.xvi -explain '//item[quantity = 7 and location = "Oslo"]'
+//	xviquery -db doc.xvi -planner legacy -t '//item[quantity = 7]'
 package main
 
 import (
@@ -21,21 +23,30 @@ func main() {
 	db := flag.String("db", "", "snapshot file from xvishred (required)")
 	scan := flag.Bool("scan", false, "evaluate without indices (baseline)")
 	contains := flag.Bool("contains", false, "treat the argument as a substring pattern (q-gram index)")
+	explain := flag.Bool("explain", false, "print the executed plan tree (estimated vs actual cardinalities)")
+	planner := flag.String("planner", "auto", "query planning mode: auto, legacy, scan, index")
 	timing := flag.Bool("t", false, "print evaluation time")
 	limit := flag.Int("limit", 20, "maximum results to print (0 = all)")
 	flag.Parse()
 	if *db == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: xviquery -db file.xvi [-scan|-contains] [-t] 'xpath expression or pattern'")
+		fmt.Fprintln(os.Stderr, "usage: xviquery -db file.xvi [-scan|-contains] [-explain] [-planner mode] [-t] 'xpath expression or pattern'")
 		os.Exit(2)
 	}
 	expr := flag.Arg(0)
 
+	mode, err := xmlvi.ParsePlannerMode(*planner)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xviquery:", err)
+		os.Exit(2)
+	}
 	doc, err := xmlvi.Load(*db)
 	if err != nil {
 		fatal(err)
 	}
+	doc.SetPlanner(mode)
 	start := time.Now()
 	var results []xmlvi.Result
+	var plan *xmlvi.Explain
 	switch {
 	case *contains:
 		if !*scan {
@@ -45,12 +56,17 @@ func main() {
 		results = doc.Contains(expr)
 	case *scan:
 		results, err = doc.QueryScan(expr)
+	case *explain:
+		results, plan, err = doc.Explain(expr)
 	default:
 		results, err = doc.Query(expr)
 	}
 	elapsed := time.Since(start)
 	if err != nil {
 		fatal(err)
+	}
+	if plan != nil {
+		fmt.Print(plan.String())
 	}
 
 	for i, r := range results {

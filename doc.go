@@ -85,6 +85,55 @@
 // indexes in versioned per-type sections keyed by stable type ID) and
 // support concurrent commutative transactions (Section 5.1 of the paper).
 //
+// # Query planning
+//
+// Query runs through an explicit three-stage pipeline (internal/plan):
+// the parsed path is the logical plan; the planner turns it into a
+// physical plan by enumerating one access path per indexable condition
+// of the final step — hash equality on the string equi-index, a B+tree
+// range on the matching typed index (every type registered with
+// core.RegisterType advertises its range path this way: an indexable
+// literal plus an order-preserving Encode is all a type needs), and a
+// document scan as the universal fallback — and the executor drives the
+// chosen tree. Plan IR: result ← verify ← (intersect ←)? access paths.
+//
+// Costing uses a per-index statistics layer maintained in core: the
+// entry total, the distinct-key count, and a small equi-depth histogram
+// over each B+tree's key space. Histogram bucket counts are adjusted
+// exactly on every insert/delete; bucket bounds and distinct counts are
+// refreshed once accumulated churn passes a quarter of the tree, and
+// the whole layer is persisted in the snapshot's "stats" section
+// (rebuilt from the trees when loading an older snapshot). Equality
+// estimates are average cluster size capped by the covering bucket;
+// range estimates interpolate linearly inside boundary buckets.
+//
+// The planner picks the access path with the lowest estimated
+// cardinality as the driver, then greedily adds further selective paths
+// as intersection inputs while streaming them (through core's posting
+// iterators) into a context bitmap costs less than the per-context
+// verification it saves. Every candidate surviving the bitmap is
+// verified against the path structure and the full predicate list, so
+// planned execution is result-identical to the scan evaluator — the
+// equivalence property tests and FuzzQueryPlanned pin exactly that.
+//
+// Explain returns the executed plan tree; its String renders, per
+// operator, the estimated cardinality next to the actual one:
+//
+//	result //person[income > 95000 and birthday < xs:date("1960-01-01")]  (est 2.4, actual 2)
+//	└─ verify structure + remaining predicates  (est 2.4, actual 2)
+//	   └─ intersect bitmap over candidate contexts  (est 2.4, actual 2)
+//	      ├─ range(double) income > [0x..., 0x...]  [driver]  (est 3.0, actual 3)
+//	      └─ range(date) birthday < [0x0, 0x...]  (est 2.0, actual 2)
+//
+// Options.Planner (and Document.SetPlanner, for loaded snapshots)
+// selects the strategy: PlannerAuto (cost-based, the default),
+// PlannerLegacy (the pre-planner first-indexable-condition heuristic),
+// PlannerForceScan, and PlannerForceIndex — the last two are the arms
+// of the scan-vs-index selectivity crossover ablation (xvibench -exp
+// a6; the conjunctive planner-vs-legacy comparison is -exp a7).
+// Unsupported path shapes (attribute steps in the middle of a path)
+// fail with ErrUnsupportedPath instead of silently returning nothing.
+//
 // # Durability
 //
 // By default persistence is snapshot-only: updates live in memory until

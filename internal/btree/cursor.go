@@ -1,0 +1,49 @@
+package btree
+
+import "sort"
+
+// Cursor walks a tree's entries in ascending (key, posting) order over
+// the linked leaf level, one entry per Next call — the pull-style
+// counterpart of ScanRange that the streaming posting iterators in
+// internal/core are built on. A cursor observes the tree at the moment
+// it was opened; mutating the tree invalidates it.
+type Cursor struct {
+	l *leaf
+	i int
+}
+
+// CursorAt returns a cursor positioned at the first entry whose key is
+// >= key (so Next yields that entry first).
+func (t *Tree) CursorAt(key uint64) *Cursor {
+	start := Entry{Key: key, Val: 0}
+	n := t.root
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			break
+		}
+		ci := sort.Search(len(in.keys), func(i int) bool { return start.less(in.keys[i]) })
+		n = in.children[ci]
+	}
+	l := n.(*leaf)
+	i := sort.Search(len(l.entries), func(i int) bool { return !l.entries[i].less(start) })
+	return &Cursor{l: l, i: i}
+}
+
+// CursorFirst returns a cursor over the whole tree.
+func (t *Tree) CursorFirst() *Cursor { return &Cursor{l: t.first} }
+
+// Next returns the next entry in (key, posting) order; ok is false when
+// the cursor is exhausted.
+func (c *Cursor) Next() (Entry, bool) {
+	for c.l != nil {
+		if c.i < len(c.l.entries) {
+			e := c.l.entries[c.i]
+			c.i++
+			return e, true
+		}
+		c.l = c.l.next
+		c.i = 0
+	}
+	return Entry{}, false
+}

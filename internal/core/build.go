@@ -52,6 +52,10 @@ func Build(doc *xmltree.Doc, opts Options) *Indexes {
 		ix.buildTrees(1)
 	}
 	ix.eachTyped(func(ti *typedIndex) { ti.collect = false; ti.scratch = nil })
+	// Derive the planner statistics (distinct counts, equi-depth
+	// histograms) from the freshly loaded trees — one extra scan per
+	// tree, well under the cost of the bulk load that produced it.
+	ix.rebuildStats()
 	return ix
 }
 

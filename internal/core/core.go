@@ -125,6 +125,10 @@ type typedIndex struct {
 
 	tree *btree.Tree // (encoded value, packed posting)
 
+	// stats is the planner's equi-depth histogram plus distinct-key
+	// count over tree (see histogram.go).
+	stats *keyStats
+
 	// collect/scratch gather value-tree entries during the initial build
 	// pass, avoiding a second document scan.
 	collect bool
@@ -275,6 +279,11 @@ type Indexes struct {
 	hash     []uint32
 	attrHash []uint32
 	strTree  *btree.Tree
+
+	// strStats is the planner statistics over the string tree's hash
+	// keys (see histogram.go); the typed equivalents live on each
+	// typedIndex.
+	strStats *keyStats
 
 	// typed holds one index per enabled registry entry, in registry
 	// order. All per-type control flow in this package is iteration over

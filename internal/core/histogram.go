@@ -1,0 +1,295 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/vhash"
+)
+
+// histBuckets bounds the number of equi-depth buckets per histogram.
+// 64 buckets keep a histogram under ~1 KB while resolving range
+// selectivities down to ~1.5 % of an index before interpolation.
+const histBuckets = 64
+
+// keyStats summarises one B+tree's key distribution for the query
+// planner: the entry total, the distinct-key count, and a small
+// equi-depth histogram over the key space. Bucket counts are maintained
+// exactly through updates (every tree insert/delete adjusts the covering
+// bucket); bucket bounds and the distinct count are frozen at (re)build
+// time and refreshed once accumulated churn exceeds a quarter of the
+// tree, so estimates degrade gracefully between rebuilds instead of
+// drifting unboundedly. A keyStats is persisted with its snapshot and
+// rebuilt from the tree when loading an older snapshot without one.
+type keyStats struct {
+	total    int
+	distinct int
+	min, max uint64   // smallest and largest key at rebuild time
+	bounds   []uint64 // inclusive bucket upper bounds; last is MaxUint64
+	counts   []int    // current entries per bucket
+	churn    int      // inserts+deletes since the last rebuild
+}
+
+// buildKeyStats scans a tree once and derives its statistics. A nil or
+// empty tree yields a single empty catch-all bucket.
+func buildKeyStats(t *btree.Tree) *keyStats {
+	ks := &keyStats{bounds: []uint64{math.MaxUint64}, counts: []int{0}}
+	if t == nil || t.Len() == 0 {
+		return ks
+	}
+	total := t.Len()
+	depth := (total + histBuckets - 1) / histBuckets
+	ks.bounds = ks.bounds[:0]
+	ks.counts = ks.counts[:0]
+	first := true
+	var prev uint64
+	cum := 0
+	t.Scan(func(key uint64, _ uint32) bool {
+		if first {
+			ks.min, ks.distinct = key, 1
+			first = false
+		} else if key != prev {
+			ks.distinct++
+			// Buckets close only on key boundaries, so equal keys never
+			// straddle two buckets and eq-lookups hit exactly one.
+			if cum >= depth {
+				ks.bounds = append(ks.bounds, prev)
+				ks.counts = append(ks.counts, cum)
+				cum = 0
+			}
+		}
+		prev = key
+		cum++
+		return true
+	})
+	ks.max = prev
+	ks.total = total
+	ks.bounds = append(ks.bounds, math.MaxUint64)
+	ks.counts = append(ks.counts, cum)
+	return ks
+}
+
+// bucketFor locates the bucket covering key — the first bound >= key.
+// The last bound is MaxUint64, so the search always lands.
+func (ks *keyStats) bucketFor(key uint64) int {
+	return sort.Search(len(ks.bounds), func(i int) bool { return ks.bounds[i] >= key })
+}
+
+func (ks *keyStats) noteInsert(key uint64) {
+	ks.counts[ks.bucketFor(key)]++
+	ks.total++
+	ks.churn++
+	if key < ks.min {
+		ks.min = key
+	}
+	if key > ks.max {
+		ks.max = key
+	}
+}
+
+func (ks *keyStats) noteDelete(key uint64) {
+	if b := ks.bucketFor(key); ks.counts[b] > 0 {
+		ks.counts[b]--
+	}
+	if ks.total > 0 {
+		ks.total--
+	}
+	ks.churn++
+}
+
+// stale reports whether accumulated churn warrants a rebuild: a quarter
+// of the tree, with a floor so small trees don't rebuild on every touch.
+func (ks *keyStats) stale() bool {
+	return ks.churn > 64 && ks.churn*4 > ks.total
+}
+
+// estimateEq estimates the postings under one key as the average cluster
+// size (total over distinct) capped by the covering bucket's population.
+func (ks *keyStats) estimateEq(key uint64) float64 {
+	if ks.total == 0 || ks.distinct == 0 {
+		return 0
+	}
+	if key < ks.min || key > ks.max {
+		return 0
+	}
+	avg := float64(ks.total) / float64(ks.distinct)
+	if bc := float64(ks.counts[ks.bucketFor(key)]); bc < avg {
+		return bc
+	}
+	return avg
+}
+
+// estimateRange estimates the postings with lo <= key <= hi: full
+// buckets inside the range count whole, boundary buckets contribute by
+// linear interpolation over their key span (the classic equi-depth
+// uniform-within-bucket assumption).
+func (ks *keyStats) estimateRange(lo, hi uint64) float64 {
+	if ks.total == 0 || lo > hi || hi < ks.min || lo > ks.max {
+		return 0
+	}
+	if lo < ks.min {
+		lo = ks.min
+	}
+	if hi > ks.max {
+		hi = ks.max
+	}
+	est := 0.0
+	for b := ks.bucketFor(lo); b < len(ks.bounds); b++ {
+		bLo := ks.min
+		if b > 0 {
+			bLo = ks.bounds[b-1] + 1
+		}
+		bHi := ks.bounds[b]
+		if bHi > ks.max {
+			bHi = ks.max
+		}
+		if bLo > hi {
+			break
+		}
+		oLo, oHi := bLo, bHi
+		if lo > oLo {
+			oLo = lo
+		}
+		if hi < oHi {
+			oHi = hi
+		}
+		if oHi < oLo {
+			continue
+		}
+		width := float64(bHi-bLo) + 1
+		overlap := float64(oHi-oLo) + 1
+		est += float64(ks.counts[b]) * (overlap / width)
+	}
+	if est > float64(ks.total) {
+		est = float64(ks.total)
+	}
+	return est
+}
+
+// --- wiring into the index ---
+
+// rebuildStats derives fresh statistics for every built tree; called at
+// the end of Build and after loading a snapshot without a stats section.
+func (ix *Indexes) rebuildStats() {
+	if ix.strTree != nil {
+		ix.strStats = buildKeyStats(ix.strTree)
+	}
+	ix.eachTyped(func(ti *typedIndex) { ti.stats = buildKeyStats(ti.tree) })
+}
+
+// maintainStats refreshes any histogram whose churn crossed the rebuild
+// threshold. Called at the end of every mutating entry point, under the
+// write lock; a rebuild is O(tree) after O(tree/4) churn, so the
+// amortised cost per updated posting is O(1).
+func (ix *Indexes) maintainStats() {
+	if ix.strStats != nil && ix.strStats.stale() {
+		ix.strStats = buildKeyStats(ix.strTree)
+	}
+	for _, ti := range ix.typed {
+		if ti.stats != nil && ti.stats.stale() {
+			ti.stats = buildKeyStats(ti.tree)
+		}
+	}
+}
+
+// strTreeInsert / strTreeDelete / treeInsert / treeDelete funnel every
+// B+tree mutation past the statistics layer, keeping bucket counts
+// exact between histogram rebuilds.
+func (ix *Indexes) strTreeInsert(h uint32, posting uint32) {
+	if ix.strTree.Insert(uint64(h), posting) && ix.strStats != nil {
+		ix.strStats.noteInsert(uint64(h))
+	}
+}
+
+func (ix *Indexes) strTreeDelete(h uint32, posting uint32) {
+	if ix.strTree.Delete(uint64(h), posting) && ix.strStats != nil {
+		ix.strStats.noteDelete(uint64(h))
+	}
+}
+
+func (ti *typedIndex) treeInsert(key uint64, posting uint32) {
+	if ti.tree.Insert(key, posting) && ti.stats != nil {
+		ti.stats.noteInsert(key)
+	}
+}
+
+func (ti *typedIndex) treeDelete(key uint64, posting uint32) {
+	if ti.tree.Delete(key, posting) && ti.stats != nil {
+		ti.stats.noteDelete(key)
+	}
+}
+
+// --- planner-facing estimates ---
+
+// PlannerStats is the statistics layer's summary of one index, as
+// exposed to EXPLAIN output and tests.
+type PlannerStats struct {
+	Total    int // entries in the B+tree
+	Distinct int // distinct keys at the last histogram rebuild
+	Buckets  int // equi-depth buckets
+}
+
+// StringPlannerStats reports the string equi-index statistics; ok is
+// false when the index was not built.
+func (ix *Indexes) StringPlannerStats() (PlannerStats, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.strStats == nil {
+		return PlannerStats{}, false
+	}
+	return PlannerStats{Total: ix.strStats.total, Distinct: ix.strStats.distinct, Buckets: len(ix.strStats.counts)}, true
+}
+
+// TypedPlannerStats reports typed index id's statistics; ok is false
+// when the index was not built.
+func (ix *Indexes) TypedPlannerStats(id TypeID) (PlannerStats, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ti := ix.typedFor(id)
+	if ti == nil || ti.stats == nil {
+		return PlannerStats{}, false
+	}
+	return PlannerStats{Total: ti.stats.total, Distinct: ti.stats.distinct, Buckets: len(ti.stats.counts)}, true
+}
+
+// EstimateStringEq estimates how many postings carry H(value) — the
+// cardinality the planner assigns a hash-equality access path. The
+// estimate is the average hash-cluster size capped by the covering
+// bucket, so it answers in O(log buckets) regardless of tree size.
+func (ix *Indexes) EstimateStringEq(value string) float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.strStats == nil {
+		return 0
+	}
+	return ix.strStats.estimateEq(uint64(vhash.HashString(value)))
+}
+
+// EstimateTypedRange estimates how many postings fall in [lo, hi] under
+// typed index id (bounds exclusive when incLo/incHi are false) — the
+// cardinality the planner assigns a B+tree range access path.
+func (ix *Indexes) EstimateTypedRange(id TypeID, lo, hi uint64, incLo, incHi bool) float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ti := ix.typedFor(id)
+	if ti == nil || ti.stats == nil {
+		return 0
+	}
+	if !incLo {
+		if lo == math.MaxUint64 {
+			return 0
+		}
+		lo++
+	}
+	if !incHi {
+		if hi == 0 {
+			return 0
+		}
+		hi--
+	}
+	if lo == hi {
+		return ti.stats.estimateEq(lo)
+	}
+	return ti.stats.estimateRange(lo, hi)
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/xmltree"
+)
+
+// TestKeyStatsBuild pins the equi-depth construction: population equals
+// the tree, distinct keys counted exactly, equal keys never straddle a
+// bucket boundary.
+func TestKeyStatsBuild(t *testing.T) {
+	tr := btree.New()
+	// 50 distinct keys, key k carrying k%5+1 postings.
+	want := 0
+	for k := uint64(100); k < 150; k++ {
+		for v := uint32(0); v < uint32(k%5)+1; v++ {
+			tr.Insert(k, v)
+			want++
+		}
+	}
+	ks := buildKeyStats(tr)
+	if ks.total != want || ks.sum() != want {
+		t.Fatalf("total %d / sum %d, want %d", ks.total, ks.sum(), want)
+	}
+	if ks.distinct != 50 {
+		t.Fatalf("distinct = %d, want 50", ks.distinct)
+	}
+	if ks.min != 100 || ks.max != 149 {
+		t.Fatalf("min/max = %d/%d, want 100/149", ks.min, ks.max)
+	}
+	if ks.bounds[len(ks.bounds)-1] != math.MaxUint64 {
+		t.Fatal("missing catch-all bucket")
+	}
+	// Eq-estimate: avg cluster size = total/50 = 3; every key estimate
+	// must be within the bucket population.
+	if est := ks.estimateEq(120); est <= 0 || est > float64(ks.total) {
+		t.Fatalf("estimateEq(120) = %g", est)
+	}
+	if est := ks.estimateEq(99); est != 0 {
+		t.Fatalf("estimateEq below min = %g, want 0", est)
+	}
+	// Range estimate over everything returns the total.
+	if est := ks.estimateRange(0, math.MaxUint64); math.Abs(est-float64(want)) > 0.5 {
+		t.Fatalf("full-range estimate %g, want %d", est, want)
+	}
+}
+
+// TestKeyStatsRangeAccuracy checks interpolation quality on uniform
+// keys: a q-fraction range must estimate within 2x of truth.
+func TestKeyStatsRangeAccuracy(t *testing.T) {
+	tr := btree.New()
+	for k := uint64(0); k < 10000; k++ {
+		tr.Insert(k, uint32(k))
+	}
+	ks := buildKeyStats(tr)
+	for _, span := range []struct{ lo, hi uint64 }{{0, 99}, {5000, 5999}, {9000, 9999}, {2500, 7499}} {
+		truth := float64(span.hi - span.lo + 1)
+		est := ks.estimateRange(span.lo, span.hi)
+		if est < truth/2 || est > truth*2 {
+			t.Errorf("range [%d,%d]: est %g, truth %g", span.lo, span.hi, est, truth)
+		}
+	}
+}
+
+// TestKeyStatsMaintenance pins the update path: inserts/deletes keep
+// bucket populations exact, and enough churn triggers a rebuild that
+// refreshes distinct counts.
+func TestKeyStatsMaintenance(t *testing.T) {
+	doc := mustParseForTest(t, makeNumDoc(400))
+	ix := Build(doc, Options{Double: true})
+	ti := ix.typedFor(TypeDouble)
+	if ti.stats == nil {
+		t.Fatal("no stats after Build")
+	}
+	if ti.stats.sum() != ti.tree.Len() {
+		t.Fatalf("histogram population %d, tree %d", ti.stats.sum(), ti.tree.Len())
+	}
+	// Rewrite half the text nodes to new values; population must track.
+	var updates []TextUpdate
+	for i := 0; i < doc.NumNodes() && len(updates) < 200; i++ {
+		if doc.Kind(int32AsNodeID(i)) == xmltree.Text {
+			updates = append(updates, TextUpdate{Node: int32AsNodeID(i), Value: fmt.Sprintf("%d", 100000+i)})
+		}
+	}
+	if err := ix.UpdateTexts(updates); err != nil {
+		t.Fatal(err)
+	}
+	if ti.stats.sum() != ti.tree.Len() {
+		t.Fatalf("after updates: histogram population %d, tree %d", ti.stats.sum(), ti.tree.Len())
+	}
+	if err := ix.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The churn above (200 updates on ~400 entries) crosses the rebuild
+	// threshold, so bounds are fresh: distinct should reflect the new
+	// values.
+	if ti.stats.churn != 0 {
+		t.Fatalf("churn = %d after threshold crossing, want rebuilt (0)", ti.stats.churn)
+	}
+}
+
+// TestStatsPersistRoundTrip pins snapshot round-tripping: planner stats
+// load back identical (same estimates), and a loaded index keeps
+// maintaining them through updates.
+func TestStatsPersistRoundTrip(t *testing.T) {
+	doc := mustParseForTest(t, makeNumDoc(300))
+	ix := Build(doc, DefaultOptions())
+	path := filepath.Join(t.TempDir(), "stats.xvi")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []TypeID{TypeDouble, TypeDate} {
+		want, ok1 := ix.TypedPlannerStats(id)
+		got, ok2 := loaded.TypedPlannerStats(id)
+		if ok1 != ok2 || want != got {
+			t.Errorf("type %d: loaded stats %+v (ok=%v), want %+v (ok=%v)", id, got, ok2, want, ok1)
+		}
+	}
+	ws, ok1 := ix.StringPlannerStats()
+	gs, ok2 := loaded.StringPlannerStats()
+	if ok1 != ok2 || ws != gs {
+		t.Errorf("string stats %+v/%v, want %+v/%v", gs, ok2, ws, ok1)
+	}
+	// Estimates answer identically on the loaded index.
+	if a, b := ix.EstimateTypedRange(TypeDouble, 0, math.MaxUint64, true, true),
+		loaded.EstimateTypedRange(TypeDouble, 0, math.MaxUint64, true, true); a != b {
+		t.Errorf("full-range estimate %g loaded vs %g built", b, a)
+	}
+	if err := loaded.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsSectionOptional pins the fallback: a snapshot whose stats
+// section is damaged (here: simulated by zeroing the section lookup via
+// an old-format write path is not available, so corrupt detection is
+// exercised through the sanity check) still loads, with stats rebuilt
+// from the trees.
+func TestStatsSectionOptional(t *testing.T) {
+	doc := mustParseForTest(t, makeNumDoc(50))
+	ix := Build(doc, Options{Double: true})
+	// Clear the in-memory stats and save: writeStats persists an empty
+	// placeholder whose population (0) mismatches the tree, forcing
+	// loadStats down the rebuild path.
+	ti := ix.typedFor(TypeDouble)
+	saved := ti.stats
+	ti.stats = nil
+	path := filepath.Join(t.TempDir(), "nostats.xvi")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ti.stats = saved
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loaded.TypedPlannerStats(TypeDouble)
+	if !ok || got.Total != ti.tree.Len() {
+		t.Fatalf("rebuilt stats = %+v (ok=%v), want total %d", got, ok, ti.tree.Len())
+	}
+}
+
+// TestStringEqIterMatchesLookup pins the streaming string path against
+// the materialised one.
+func TestStringEqIterMatchesLookup(t *testing.T) {
+	doc := mustParseForTest(t, `<r><a>x</a><b>x</b><c>y</c><d at="x"/><e>x<f/></e></r>`)
+	ix := Build(doc, Options{String: true})
+	want := ix.LookupString("x")
+	it := ix.StringEqIter("x")
+	var got []Posting
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, p)
+	}
+	it.Close()
+	if len(got) != len(want) {
+		t.Fatalf("iterator %d postings, lookup %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("posting %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTypedRangeIterMatchesRange pins the streaming typed path —
+// including wrapper chain-lifting — against the materialised range.
+func TestTypedRangeIterMatchesRange(t *testing.T) {
+	doc := mustParseForTest(t, makeNumDoc(120))
+	ix := Build(doc, Options{Double: true})
+	lo, hi := btree.EncodeFloat64(10), btree.EncodeFloat64(60)
+	want := ix.RangeTyped(TypeDouble, lo, hi, true, true)
+	it := ix.TypedRangeIter(TypeDouble, lo, hi, true, true)
+	var got []Posting
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, p)
+	}
+	it.Close()
+	if len(got) != len(want) {
+		t.Fatalf("iterator %d postings, range %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("posting %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	// Exclusive-bound and empty iterators behave.
+	it = ix.TypedRangeIter(TypeDouble, lo, lo, false, false)
+	if _, ok := it.Next(); ok {
+		t.Fatal("empty exclusive range yielded a posting")
+	}
+	it.Close()
+	it = ix.TypedRangeIter(TypeDateTime, 0, math.MaxUint64, true, true) // not built
+	if _, ok := it.Next(); ok {
+		t.Fatal("unbuilt index yielded a posting")
+	}
+	it.Close()
+}
+
+// makeNumDoc builds a flat document of n numeric leaves (wrapped, so
+// chain-lifting applies) interleaved with non-numeric ones.
+func makeNumDoc(n int) string {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < n; i++ {
+		if i%7 == 0 {
+			fmt.Fprintf(&b, "<s>text%d</s>", i)
+			continue
+		}
+		fmt.Fprintf(&b, "<v>%d</v>", i%100)
+	}
+	b.WriteString("</r>")
+	return b.String()
+}
+
+// TestStatsSnapshotDeterministic guards the parallel-equivalence
+// contract: stats derive deterministically from the trees, so serial
+// and parallel builds still produce byte-identical snapshots.
+func TestStatsSnapshotDeterministic(t *testing.T) {
+	doc := mustParseForTest(t, makeNumDoc(500))
+	p1 := Build(doc, Options{String: true, Double: true, Date: true, Parallelism: 1})
+	p4 := Build(doc, Options{String: true, Double: true, Date: true, Parallelism: 4})
+	d := t.TempDir()
+	f1, f4 := filepath.Join(d, "p1.xvi"), filepath.Join(d, "p4.xvi")
+	if err := p1.Save(f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p4.Save(f4); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := os.ReadFile(f4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b4) {
+		t.Fatal("serial and parallel snapshots differ with stats section")
+	}
+}

@@ -29,6 +29,12 @@ const (
 	// (a snapshot that never had a WAL, or predates durability).
 	SectionWALGen = "walgen"
 
+	// SectionStats holds the planner statistics (distinct-key counts and
+	// equi-depth histograms, see histogram.go). Optional: snapshots
+	// written before the statistics layer load fine — the stats are
+	// rebuilt from the trees instead.
+	SectionStats = "stats"
+
 	// snapshotVersion is the overall snapshot format. Version 1 was the
 	// pre-registry layout (fixed double/datetime sections, unversioned
 	// 3-byte meta); version 2 stores a typed-index manifest in the meta
@@ -38,6 +44,11 @@ const (
 	// typedSectionVersion versions the per-type section payload
 	// independently of the snapshot envelope.
 	typedSectionVersion = 1
+
+	// statsSectionVersion versions the planner-statistics payload; an
+	// unknown version falls back to rebuilding from the trees rather
+	// than failing the load (statistics are derived data).
+	statsSectionVersion = 1
 )
 
 // TypedSectionName returns the snapshot section holding typed index id.
@@ -139,6 +150,9 @@ func (ix *Indexes) save(w *storage.Writer, withWALGen bool) error {
 		if err := ix.writeTyped(sec, ti); err != nil {
 			return err
 		}
+	}
+	if err := ix.writeStats(w); err != nil {
+		return err
 	}
 	if withWALGen {
 		sec, err = w.Section(SectionWALGen)
@@ -281,7 +295,139 @@ func load(r *storage.Reader) (*Indexes, error) {
 		}
 	}
 	ix.completeDerived()
+	ix.loadStats(r)
 	return ix, nil
+}
+
+// writeStats persists the planner statistics: one keyStats per built
+// tree, in the order the meta section declares them (string first, then
+// the typed manifest).
+func (ix *Indexes) writeStats(w *storage.Writer) error {
+	sec, err := w.Section(SectionStats)
+	if err != nil {
+		return err
+	}
+	se := newSliceEncoder(sec)
+	se.uv(statsSectionVersion)
+	if ix.strStats != nil {
+		se.uv(1)
+		writeKeyStats(se, ix.strStats)
+	} else {
+		se.uv(0)
+	}
+	se.uv(uint64(len(ix.typed)))
+	for _, ti := range ix.typed {
+		se.uv(uint64(ti.spec.ID))
+		writeKeyStats(se, ti.stats)
+	}
+	return se.flush()
+}
+
+func writeKeyStats(se *sliceEncoder, ks *keyStats) {
+	if ks == nil {
+		ks = &keyStats{bounds: []uint64{math.MaxUint64}, counts: []int{0}}
+	}
+	se.uv(uint64(ks.total))
+	se.uv(uint64(ks.distinct))
+	se.uv(ks.min)
+	se.uv(ks.max)
+	se.uv(uint64(len(ks.bounds)))
+	for _, b := range ks.bounds {
+		se.uv(b)
+	}
+	for _, c := range ks.counts {
+		se.uv(uint64(c))
+	}
+}
+
+// loadStats restores the planner statistics from the snapshot, falling
+// back to a rebuild from the trees whenever the section is absent (an
+// older snapshot), has an unknown version, or fails sanity checks —
+// statistics are derived data, so a fallback is always safe.
+func (ix *Indexes) loadStats(r *storage.Reader) {
+	if r.SectionLen(SectionStats) < 0 {
+		ix.rebuildStats()
+		return
+	}
+	sec, err := r.Section(SectionStats)
+	if err != nil {
+		ix.rebuildStats()
+		return
+	}
+	sd := newSliceDecoder(sec)
+	if v := sd.uv(); sd.err != nil || v != statsSectionVersion {
+		ix.rebuildStats()
+		return
+	}
+	var strStats *keyStats
+	if sd.uv() == 1 {
+		strStats = readKeyStats(sd)
+	}
+	nTyped := int(sd.uv())
+	if sd.err != nil || nTyped != len(ix.typed) {
+		ix.rebuildStats()
+		return
+	}
+	typedStats := make([]*keyStats, nTyped)
+	for i := 0; i < nTyped; i++ {
+		id := TypeID(sd.uv())
+		ks := readKeyStats(sd)
+		if sd.err != nil || id != ix.typed[i].spec.ID {
+			ix.rebuildStats()
+			return
+		}
+		typedStats[i] = ks
+	}
+	// Sanity: every histogram's population must match its tree.
+	if ix.strTree != nil && (strStats == nil || strStats.sum() != ix.strTree.Len()) {
+		ix.rebuildStats()
+		return
+	}
+	for i, ti := range ix.typed {
+		if typedStats[i].sum() != ti.tree.Len() {
+			ix.rebuildStats()
+			return
+		}
+	}
+	ix.strStats = strStats
+	for i, ti := range ix.typed {
+		ti.stats = typedStats[i]
+	}
+}
+
+func readKeyStats(sd *sliceDecoder) *keyStats {
+	ks := &keyStats{}
+	ks.total = int(sd.uv())
+	ks.distinct = int(sd.uv())
+	ks.min = sd.uv()
+	ks.max = sd.uv()
+	n := int(sd.uv())
+	if sd.err != nil || n <= 0 || n > 4*histBuckets {
+		sd.err = fmt.Errorf("implausible histogram bucket count %d", n)
+		return ks
+	}
+	ks.bounds = make([]uint64, n)
+	ks.counts = make([]int, n)
+	for i := range ks.bounds {
+		ks.bounds[i] = sd.uv()
+	}
+	for i := range ks.counts {
+		ks.counts[i] = int(sd.uv())
+	}
+	if sd.err == nil && ks.bounds[n-1] != math.MaxUint64 {
+		sd.err = fmt.Errorf("histogram missing catch-all bucket")
+	}
+	return ks
+}
+
+// sum is the histogram's population — a load-time cross-check against
+// the tree it describes.
+func (ks *keyStats) sum() int {
+	s := 0
+	for _, c := range ks.counts {
+		s += c
+	}
+	return s
 }
 
 // leafHashes extracts the persisted hash column: value-carrying leaves in

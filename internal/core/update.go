@@ -71,8 +71,8 @@ func (ix *Indexes) reindexNode(n xmltree.NodeID, old oldKeys) {
 	}
 	posting := packPosting(ix.stableOf[n], false)
 	if ix.strTree != nil && ix.hash[n] != old.hash {
-		ix.strTree.Delete(uint64(old.hash), posting)
-		ix.strTree.Insert(uint64(ix.hash[n]), posting)
+		ix.strTreeDelete(old.hash, posting)
+		ix.strTreeInsert(ix.hash[n], posting)
 	}
 	for t, ti := range ix.typed {
 		key, ok := ti.treeKey(ix.doc, n, ix.stableOf[n])
@@ -85,10 +85,10 @@ func diffTyped(ti *typedIndex, posting uint32, oldKey uint64, oldOK bool, newKey
 		return
 	}
 	if oldOK {
-		ti.tree.Delete(oldKey, posting)
+		ti.treeDelete(oldKey, posting)
 	}
 	if newOK {
-		ti.tree.Insert(newKey, posting)
+		ti.treeInsert(newKey, posting)
 	}
 }
 
@@ -213,6 +213,7 @@ func (ix *Indexes) applyTexts(updates []TextUpdate) error {
 		}
 	}
 	ix.refoldAncestors(affected)
+	ix.maintainStats()
 	return nil
 }
 
@@ -295,8 +296,8 @@ func (ix *Indexes) applyAttr(a xmltree.AttrID, value string) {
 	if ix.attrHash != nil {
 		ix.attrHash[a] = vhash.Hash(val)
 		if ix.attrHash[a] != oldHash {
-			ix.strTree.Delete(uint64(oldHash), posting)
-			ix.strTree.Insert(uint64(ix.attrHash[a]), posting)
+			ix.strTreeDelete(oldHash, posting)
+			ix.strTreeInsert(ix.attrHash[a], posting)
 		}
 	}
 	for t, ti := range ix.typed {
@@ -305,6 +306,7 @@ func (ix *Indexes) applyAttr(a xmltree.AttrID, value string) {
 		key, ok := ti.attrKey(a, stable)
 		diffTyped(ti, posting, oldTyped[t].key, oldTyped[t].ok, key, ok)
 	}
+	ix.maintainStats()
 }
 
 // DeleteSubtree removes node n with its subtree from the document and all
@@ -353,11 +355,11 @@ func (ix *Indexes) applyDelete(n xmltree.NodeID) error {
 		if indexedNodeKind(doc.Kind(i)) {
 			posting := packPosting(stable, false)
 			if ix.strTree != nil {
-				ix.strTree.Delete(uint64(ix.hash[i]), posting)
+				ix.strTreeDelete(ix.hash[i], posting)
 			}
 			ix.eachTyped(func(ti *typedIndex) {
 				if key, ok := ti.treeKey(doc, i, stable); ok {
-					ti.tree.Delete(key, posting)
+					ti.treeDelete(key, posting)
 				}
 			})
 		}
@@ -370,11 +372,11 @@ func (ix *Indexes) applyDelete(n xmltree.NodeID) error {
 		stable := ix.attrStableOf[a]
 		posting := packPosting(stable, true)
 		if ix.strTree != nil {
-			ix.strTree.Delete(uint64(ix.attrHash[a]), posting)
+			ix.strTreeDelete(ix.attrHash[a], posting)
 		}
 		ix.eachTyped(func(ti *typedIndex) {
 			if key, ok := ti.attrKey(a, stable); ok {
-				ti.tree.Delete(key, posting)
+				ti.treeDelete(key, posting)
 			}
 			delete(ti.attrItems, stable)
 		})
@@ -413,6 +415,7 @@ func (ix *Indexes) applyDelete(n xmltree.NodeID) error {
 
 	// Refold the ancestor chain against the pre-captured keys.
 	ix.refoldAncestorsWithOld(oldAnc)
+	ix.maintainStats()
 	return nil
 }
 
@@ -536,11 +539,11 @@ func (ix *Indexes) applyInsert(parent xmltree.NodeID, pos int, frag *xmltree.Doc
 		stable := ix.stableOf[i]
 		posting := packPosting(stable, false)
 		if ix.strTree != nil {
-			ix.strTree.Insert(uint64(ix.hash[i]), posting)
+			ix.strTreeInsert(ix.hash[i], posting)
 		}
 		ix.eachTyped(func(ti *typedIndex) {
 			if key, ok := ti.treeKey(doc, i, stable); ok {
-				ti.tree.Insert(key, posting)
+				ti.treeInsert(key, posting)
 			}
 		})
 	}
@@ -548,11 +551,11 @@ func (ix *Indexes) applyInsert(parent xmltree.NodeID, pos int, frag *xmltree.Doc
 		stable := ix.attrStableOf[a]
 		posting := packPosting(stable, true)
 		if ix.strTree != nil {
-			ix.strTree.Insert(uint64(ix.attrHash[a]), posting)
+			ix.strTreeInsert(ix.attrHash[a], posting)
 		}
 		ix.eachTyped(func(ti *typedIndex) {
 			if key, ok := ti.attrKey(a, stable); ok {
-				ti.tree.Insert(key, posting)
+				ti.treeInsert(key, posting)
 			}
 		})
 	}
@@ -560,6 +563,7 @@ func (ix *Indexes) applyInsert(parent xmltree.NodeID, pos int, frag *xmltree.Doc
 	// Refold the chain from the insertion parent upwards against the
 	// pre-captured keys.
 	ix.refoldAncestorsWithOld(oldAnc)
+	ix.maintainStats()
 	return at, nil
 }
 

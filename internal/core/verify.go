@@ -190,6 +190,29 @@ func (ix *Indexes) Verify() error {
 			}
 		}
 	}
+
+	// Planner statistics: every histogram's maintained population must
+	// track its tree exactly (bounds may be stale between rebuilds, the
+	// counts never are).
+	if ix.strTree != nil && ix.strStats != nil {
+		if got := ix.strStats.sum(); got != ix.strTree.Len() {
+			return fmt.Errorf("core: string histogram population %d, tree has %d", got, ix.strTree.Len())
+		}
+		if ix.strStats.total != ix.strTree.Len() {
+			return fmt.Errorf("core: string stats total %d, tree has %d", ix.strStats.total, ix.strTree.Len())
+		}
+	}
+	for _, ti := range ix.typed {
+		if ti.stats == nil {
+			continue
+		}
+		if got := ti.stats.sum(); got != ti.tree.Len() {
+			return fmt.Errorf("core: %s histogram population %d, tree has %d", ti.spec.Name, got, ti.tree.Len())
+		}
+		if ti.stats.total != ti.tree.Len() {
+			return fmt.Errorf("core: %s stats total %d, tree has %d", ti.spec.Name, ti.stats.total, ti.tree.Len())
+		}
+	}
 	return nil
 }
 

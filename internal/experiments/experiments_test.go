@@ -206,6 +206,66 @@ func TestRunA5CommutativeWins(t *testing.T) {
 	ReportA5(&buf, row)
 }
 
+// TestRunA6CrossoverShapesHold pins the planner crossover ablation's
+// deterministic properties: every strategy agrees on the hits (checked
+// inside RunA6), hits grow with selectivity, and the cost-based planner
+// picks the index on the selective side. Wall-clock orderings are
+// logged, not asserted — timing assertions on shared CI runners are the
+// flake class the A5 rework already removed once.
+func TestRunA6CrossoverShapesHold(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.1
+	cfg.Repeat = 2
+	rows, err := RunA6(cfg, "xmark1", []float64{0.01, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	low, high := rows[0], rows[1]
+	if !low.AutoIndex {
+		t.Error("low selectivity: planner did not choose the index")
+	}
+	if low.Hits > high.Hits {
+		t.Errorf("hits decreased with selectivity: %d at 0.01 vs %d at 0.9", low.Hits, high.Hits)
+	}
+	t.Logf("low sel: scan %.3fms, index %.3fms, auto %.3fms", low.ScanMS, low.IndexMS, low.AutoMS)
+	var buf bytes.Buffer
+	ReportA6(&buf, rows)
+	if !strings.Contains(buf.String(), "A6") {
+		t.Error("report missing title")
+	}
+}
+
+// TestRunA7PlannerShapesHold pins the conjunctive ablation's
+// deterministic properties: planner and legacy agree on the hits
+// (checked inside RunA7) and the planner drives an index rather than
+// the legacy mistake of scanning or driving the unselective first
+// condition. Timings are logged, not asserted (see A6).
+func TestRunA7PlannerShapesHold(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.15
+	cfg.Repeat = 2
+	rows, err := RunA7(cfg, "xmark1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no A7 rows")
+	}
+	first := rows[0]
+	if !first.UsedIndex {
+		t.Error("planner fell back to scan on the conjunctive workload")
+	}
+	t.Logf("legacy %.3fms, planner %.3fms (%.1fx)", first.LegacyMS, first.PlannerMS, first.SpeedupX)
+	var buf bytes.Buffer
+	ReportA7(&buf, rows)
+	if !strings.Contains(buf.String(), "A7") {
+		t.Error("report missing title")
+	}
+}
+
 // TestAncestorLockingConflictsAtRoot pins the semantics the A5 ablation
 // measures — any two overlapping ancestor-locking transactions conflict
 // at the root, even on disjoint leaves — deterministically, instead of

@@ -190,6 +190,52 @@ func ReportA4(w io.Writer, rows []A4Row) {
 		[]string{"dataset", "one-pass ms", "three-pass ms", "speedup"}, t)
 }
 
+// ReportA6 renders the scan-vs-index selectivity crossover.
+func ReportA6(w io.Writer, rows []A6Row) {
+	var t [][]string
+	for _, r := range rows {
+		auto := "scan"
+		if r.AutoIndex {
+			auto = "index"
+		}
+		t = append(t, []string{
+			r.Dataset,
+			fmt.Sprintf("%.3f", r.Selectivity),
+			fmt.Sprint(r.Hits),
+			fmt.Sprintf("%.2f", r.ScanMS),
+			fmt.Sprintf("%.2f", r.IndexMS),
+			fmt.Sprintf("%.2f", r.AutoMS),
+			auto,
+		})
+	}
+	table(w, "A6 — range-predicate selectivity crossover: forced scan vs forced index vs planner",
+		[]string{"dataset", "selectivity", "hits", "scan ms", "index ms", "auto ms", "auto chose"}, t)
+}
+
+// ReportA7 renders the conjunctive planner-vs-legacy comparison.
+func ReportA7(w io.Writer, rows []A7Row) {
+	var t [][]string
+	for _, r := range rows {
+		strategy := "scan"
+		if r.UsedIndex {
+			strategy = "index"
+		}
+		if r.Intersected {
+			strategy = "intersect"
+		}
+		t = append(t, []string{
+			r.Query,
+			fmt.Sprint(r.Hits),
+			fmt.Sprintf("%.2f", r.LegacyMS),
+			fmt.Sprintf("%.2f", r.PlannerMS),
+			fmt.Sprintf("%.1fx", r.SpeedupX),
+			strategy,
+		})
+	}
+	table(w, "A7 — conjunctive predicates: first-condition heuristic vs cost-based planner",
+		[]string{"query", "hits", "legacy ms", "planner ms", "speedup", "planner strategy"}, t)
+}
+
 // ReportA5 renders the transaction ablation.
 func ReportA5(w io.Writer, r A5Row) {
 	table(w, "A5 — concurrent updates: commutative commit vs ancestor locking",

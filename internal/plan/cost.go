@@ -1,0 +1,260 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/xpath"
+)
+
+// The cost model: abstract work units per primitive operation, chosen
+// from the relative costs measured on the query benchmarks (a structure
+// + predicate verification walks ancestor chains and re-evaluates every
+// predicate by navigation, an order of magnitude over streaming one
+// posting out of a B+tree leaf).
+const (
+	costScanNode = 1.0  // visit one node/attr during a document scan
+	costFetch    = 1.2  // stream one posting out of a B+tree
+	costContext  = 1.5  // map one candidate to its context nodes
+	costVerify   = 12.0 // verify structure + all predicates at one context
+	costProbe    = 0.3  // mark or probe one bitmap slot
+)
+
+// Prepare plans a query against the indexes under the given mode. It
+// fails with xpath.ErrUnsupportedPath (wrapped) for shapes the
+// evaluators cannot answer.
+func Prepare(ix *core.Indexes, path *xpath.Path, mode Mode) (*Plan, error) {
+	if err := xpath.CheckSupported(path); err != nil {
+		return nil, err
+	}
+	p := &Plan{Expr: path.String(), Mode: mode, ix: ix, path: path}
+	switch mode {
+	case Legacy:
+		p.Root = newNode("legacy", "first indexable condition drives", -1)
+		p.EstCost = -1
+		return p, nil
+	case ForceScan:
+		p.planScan()
+		return p, nil
+	}
+
+	cands := p.enumerate()
+	if len(cands) == 0 {
+		p.planScan()
+		return p, nil
+	}
+	driver, extras, indexCost := p.chooseIndexStrategy(cands)
+	if mode == Auto && p.scanCost() <= indexCost {
+		p.planScan()
+		return p, nil
+	}
+	p.driver, p.extras, p.EstCost = driver, extras, indexCost
+	p.buildIndexTree()
+	return p, nil
+}
+
+// Run plans and executes in one call, returning the sorted postings and
+// the executed plan (actual cardinalities filled in).
+func Run(ix *core.Indexes, path *xpath.Path, mode Mode) ([]core.Posting, *Plan, error) {
+	p, err := Prepare(ix, path, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.Execute(), p, nil
+}
+
+// scanCost estimates a full document scan: every node and attribute is
+// visited and tested.
+func (p *Plan) scanCost() float64 {
+	doc := p.ix.Doc()
+	return float64(doc.NumNodes()+doc.NumAttrs()) * costScanNode
+}
+
+func (p *Plan) planScan() {
+	p.EstCost = p.scanCost()
+	p.Root = newNode("scan", "document scan + navigation", -1)
+	p.Root.Children = nil
+}
+
+// enumerate builds one access path per indexable condition of the final
+// step. On a final attribute step only dot conditions (the attribute's
+// own value) are indexable; on node steps any condition whose literal
+// has an index is.
+func (p *Plan) enumerate() []*accessPath {
+	steps := p.path.Steps
+	if len(steps) == 0 {
+		return nil
+	}
+	last := steps[len(steps)-1]
+	p.attrStep = last.Kind == xpath.TestAttr
+	var out []*accessPath
+	for _, pred := range last.Preds {
+		for _, c := range pred.Conds {
+			if p.attrStep && !c.Dot {
+				continue // attributes have no children; cond is vacuously false
+			}
+			if ap := p.accessPathFor(c); ap != nil {
+				out = append(out, ap)
+			}
+		}
+	}
+	return out
+}
+
+// accessPathFor maps one condition to an index access path, or nil when
+// no built index can answer it. The key-range construction mirrors the
+// evaluator's candidate retrieval exactly (same casts, same open/closed
+// bound handling), so a planned query selects the same candidates.
+func (p *Plan) accessPathFor(c xpath.Cond) *accessPath {
+	ix := p.ix
+	switch {
+	case c.Lit.IsDate:
+		if !ix.HasTyped(core.TypeDate) {
+			return nil
+		}
+		lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+		switch c.Op {
+		case xpath.OpEq:
+			lo, hi = c.Lit.Days, c.Lit.Days
+		case xpath.OpLt:
+			hi = c.Lit.Days - 1 // integral day domain: exclusive = previous day
+		case xpath.OpLe:
+			hi = c.Lit.Days
+		case xpath.OpGt:
+			lo = c.Lit.Days + 1
+		case xpath.OpGe:
+			lo = c.Lit.Days
+		case xpath.OpNe:
+			return nil // the whole index; never selective
+		}
+		ap := &accessPath{cond: c, kind: pathRange, typeID: core.TypeDate, typeName: "date",
+			lo: btree.EncodeInt64(lo), hi: btree.EncodeInt64(hi), incLo: true, incHi: true}
+		ap.est = ix.EstimateTypedRange(ap.typeID, ap.lo, ap.hi, true, true)
+		return ap
+	case c.Lit.IsNum:
+		if !ix.HasTyped(core.TypeDouble) || math.IsNaN(c.Lit.Num) {
+			return nil
+		}
+		lo, hi := math.Inf(-1), math.Inf(1)
+		incLo, incHi := true, true
+		switch c.Op {
+		case xpath.OpEq:
+			lo, hi = c.Lit.Num, c.Lit.Num
+		case xpath.OpLt:
+			hi, incHi = c.Lit.Num, false
+		case xpath.OpLe:
+			hi = c.Lit.Num
+		case xpath.OpGt:
+			lo, incLo = c.Lit.Num, false
+		case xpath.OpGe:
+			lo = c.Lit.Num
+		case xpath.OpNe:
+			return nil
+		}
+		ap := &accessPath{cond: c, kind: pathRange, typeID: core.TypeDouble, typeName: "double",
+			lo: btree.EncodeFloat64(lo), hi: btree.EncodeFloat64(hi), incLo: incLo, incHi: incHi}
+		ap.est = ix.EstimateTypedRange(ap.typeID, ap.lo, ap.hi, incLo, incHi)
+		return ap
+	case c.Op == xpath.OpEq:
+		if !ix.HasString() {
+			return nil
+		}
+		ap := &accessPath{cond: c, kind: pathHashEq, value: c.Lit.Str}
+		ap.est = ix.EstimateStringEq(c.Lit.Str)
+		return ap
+	}
+	return nil
+}
+
+// chooseIndexStrategy picks the cheapest driver and greedily adds
+// intersection paths while they pay for themselves: streaming an extra
+// path into a bitmap costs its own enumeration, and saves the expensive
+// per-context verification for every driver context it filters out.
+func (p *Plan) chooseIndexStrategy(cands []*accessPath) (driver *accessPath, extras []*accessPath, cost float64) {
+	driver = cands[0]
+	for _, ap := range cands[1:] {
+		if ap.est < driver.est {
+			driver = ap
+		}
+	}
+	universe := p.scanCost() // node+attr count in scan-cost units (costScanNode = 1)
+	if universe < 1 {
+		universe = 1
+	}
+
+	// surviving tracks the expected number of driver contexts still
+	// reaching verification as extras are added (independence assumed).
+	surviving := driver.est
+	cost = driver.est * (costFetch + costContext)
+	// Consider the most selective extras first: each accepted extra
+	// shrinks the surviving count the next one is judged against.
+	rest := make([]*accessPath, 0, len(cands)-1)
+	for _, ap := range cands {
+		if ap != driver {
+			rest = append(rest, ap)
+		}
+	}
+	for i := 1; i < len(rest); i++ {
+		for j := i; j > 0 && rest[j].est < rest[j-1].est; j-- {
+			rest[j], rest[j-1] = rest[j-1], rest[j]
+		}
+	}
+	for _, ap := range rest {
+		if len(extras) == maxExtras {
+			break
+		}
+		sel := ap.est / universe
+		if sel > 1 {
+			sel = 1
+		}
+		streamCost := ap.est*(costFetch+costContext+costProbe) + surviving*costProbe
+		saving := surviving * (1 - sel) * costVerify
+		if streamCost < saving {
+			extras = append(extras, ap)
+			cost += streamCost
+			surviving *= sel
+		}
+	}
+	cost += surviving * costVerify
+	return driver, extras, cost
+}
+
+// buildIndexTree assembles the printable operator tree for an index
+// strategy: result ← verify ← (intersect ←)? access paths.
+func (p *Plan) buildIndexTree() {
+	p.driver.node = newNode(opName(p.driver), p.driver.describe()+"  [driver]", p.driver.est)
+	children := []*Node{p.driver.node}
+	surviving := p.driver.est
+	universe := p.scanCost()
+	if universe < 1 {
+		universe = 1
+	}
+	for _, ap := range p.extras {
+		ap.node = newNode(opName(ap), ap.describe(), ap.est)
+		children = append(children, ap.node)
+		sel := ap.est / universe
+		if sel > 1 {
+			sel = 1
+		}
+		surviving *= sel
+	}
+	feed := children[0]
+	if len(p.extras) > 0 {
+		inter := newNode("intersect", "bitmap over candidate contexts", surviving)
+		inter.Children = children
+		feed = inter
+	}
+	p.verifyNode = newNode("verify", "structure + remaining predicates", surviving)
+	p.verifyNode.Children = []*Node{feed}
+	p.Root = newNode("result", p.Expr, surviving)
+	p.Root.Children = []*Node{p.verifyNode}
+}
+
+func opName(ap *accessPath) string {
+	if ap.kind == pathHashEq {
+		return "hash-eq"
+	}
+	return fmt.Sprintf("range(%s)", ap.typeName)
+}

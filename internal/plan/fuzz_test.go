@@ -1,0 +1,78 @@
+package plan
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmlparse"
+	"repro/internal/xpath"
+)
+
+// FuzzQueryPlanned fuzzes the whole planning pipeline with arbitrary
+// expressions against a fixed document. Properties:
+//
+//  1. Prepare/Execute never panic, in any mode.
+//  2. Either every mode fails with ErrUnsupportedPath, or every mode's
+//     result is identical to the scan oracle (the planner-vs-scan
+//     equivalence property, under fuzzed inputs).
+//
+// Seed corpus: f.Add seeds below plus the files checked in under
+// testdata/fuzz/FuzzQueryPlanned.
+func FuzzQueryPlanned(f *testing.F) {
+	doc, err := xmlparse.ParseString(
+		`<site><people><person id="p1"><name>Ann</name><age>34.5</age>` +
+			`<joined>2009-03-24</joined></person><person id="p2"><name>Bob</name>` +
+			`<age>40</age></person><person id="p3"><name>Cy</name><age>40</age>` +
+			`<joined>2011-11-05</joined></person></people>` +
+			`<open t="2009-03-24T12:00:00">7</open><w>4<v>2</v></w></site>`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ix := core.Build(doc, core.DefaultOptions())
+	for _, seed := range []string{
+		`/site/people/person/name`,
+		`//person[age = 34.5]`,
+		`//person[age = 40 and name = "Bob"]`,
+		`//person[@id = "p1"]/name`,
+		`//person/@id[. = "p2"]`,
+		`//age[. >= 30 and . < 41]`,
+		`//joined[. = xs:date("2009-03-24")]`,
+		`//person[joined > xs:date("2010-01-01") and age = 40]`,
+		`//*[. = "Ann"]`,
+		`//w[. = 42]`,
+		`//person[age != 40]`,
+		`//name/text()[. = "Cy"]`,
+		`//@id/name`,
+		`]]][[[`,
+		`//a[. = 1e309]`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		path, err := xpath.Parse(expr) // must not panic
+		if err != nil {
+			return
+		}
+		var oracle []core.Posting
+		oracleOK := xpath.CheckSupported(path) == nil
+		if oracleOK {
+			oracle = xpath.Evaluate(doc, path)
+		}
+		for _, mode := range allModes {
+			got, _, err := Run(ix, path, mode)
+			if err != nil {
+				if oracleOK || !errors.Is(err, xpath.ErrUnsupportedPath) {
+					t.Fatalf("%q mode=%s: unexpected error %v", expr, mode, err)
+				}
+				continue
+			}
+			if !oracleOK {
+				t.Fatalf("%q mode=%s: ran an unsupported shape", expr, mode)
+			}
+			if !postingsEqual(got, oracle) {
+				t.Fatalf("%q mode=%s: %d hits, oracle %d", expr, mode, len(got), len(oracle))
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmlparse"
+	"repro/internal/xmltree"
+)
+
+// benchScanDoc is a wide two-level document: descendant steps fan out
+// from many contexts, making per-step dedup the hot path the visit-set
+// (formerly map[NodeID]bool + sort-based dedupe) optimisation targets.
+func benchScanDoc(tb testing.TB) *xmltree.Doc {
+	tb.Helper()
+	var b strings.Builder
+	b.WriteString("<r>")
+	for g := 0; g < 200; g++ {
+		b.WriteString("<g>")
+		for i := 0; i < 30; i++ {
+			fmt.Fprintf(&b, "<w><v>%d</v></w>", i)
+		}
+		b.WriteString("</g>")
+	}
+	b.WriteString("</r>")
+	doc, err := xmlparse.ParseString(b.String())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return doc
+}
+
+// BenchmarkScanDescendant measures the per-step dedup cost of stacked
+// descendant steps (every <g> context re-reaches every <v>).
+func BenchmarkScanDescendant(b *testing.B) {
+	doc := benchScanDoc(b)
+	path := MustParse(`//g//v`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPostings = Evaluate(doc, path)
+	}
+}
+
+// BenchmarkScanPredicateRel measures the relative-path dedup inside
+// predicate evaluation (relNodes' per-step context dedup; the two-step
+// relative path makes the intermediate context set non-trivial).
+func BenchmarkScanPredicateRel(b *testing.B) {
+	doc := benchScanDoc(b)
+	path := MustParse(`//g[w/v = 7]`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPostings = Evaluate(doc, path)
+	}
+}
+
+var benchPostings []core.Posting

@@ -33,6 +33,74 @@ func EvaluateIndexed(ix *core.Indexes, path *Path) []core.Posting {
 type evaluator struct {
 	doc *xmltree.Doc
 	ix  *core.Indexes
+
+	// stepSeen and relSeen are reusable epoch-stamped visit sets
+	// replacing the per-step map[NodeID]bool and dedupe allocations on
+	// the evaluation hot path. stepSeen serves the top-level step loops
+	// (run, runIndexed — never active at the same time); relSeen serves
+	// the step loop inside relNodes, which runs nested within a
+	// stepSeen scope but never within itself (relative-path steps carry
+	// no predicates), so the two sets never clobber each other.
+	stepSeen visitSet
+	relSeen  visitSet
+}
+
+// visitSet marks visited node ids with an epoch stamp; bumping the epoch
+// clears the whole set in O(1), so one backing store per evaluator is
+// reused across steps and queries. Two representations share the
+// interface: scan-shaped scopes (which touch most of the document
+// anyway) pre-size a dense array, while selective index-driven scopes
+// use a retained epoch map and never pay O(document) per query. Once a
+// dense array exists it serves sparse scopes too — the array is already
+// paid for.
+type visitSet struct {
+	marks  []uint32
+	sparse map[xmltree.NodeID]uint32
+	epoch  uint32
+}
+
+// beginDense starts a fresh scope over ids [0, n), backed by an array.
+func (v *visitSet) beginDense(n int) {
+	if len(v.marks) < n {
+		v.marks = make([]uint32, n)
+		v.epoch = 0
+	}
+	v.bump()
+}
+
+// beginSparse starts a fresh scope without pre-sizing: marks live in a
+// reused epoch map (unless a dense array already exists), created
+// lazily on the first add so empty scopes cost nothing.
+func (v *visitSet) beginSparse() { v.bump() }
+
+func (v *visitSet) bump() {
+	if v.epoch == ^uint32(0) {
+		for i := range v.marks {
+			v.marks[i] = 0
+		}
+		v.sparse = nil
+		v.epoch = 0
+	}
+	v.epoch++
+}
+
+// add marks id and reports whether it was new in this scope.
+func (v *visitSet) add(id xmltree.NodeID) bool {
+	if v.marks != nil {
+		if v.marks[id] == v.epoch {
+			return false
+		}
+		v.marks[id] = v.epoch
+		return true
+	}
+	if v.sparse[id] == v.epoch {
+		return false
+	}
+	if v.sparse == nil {
+		v.sparse = make(map[xmltree.NodeID]uint32)
+	}
+	v.sparse[id] = v.epoch
+	return true
 }
 
 // --- scan evaluation ---
@@ -53,11 +121,10 @@ func (ev *evaluator) run(path *Path) []core.Posting {
 			return sortPostings(doc, out)
 		}
 		var next []xmltree.NodeID
-		seen := map[xmltree.NodeID]bool{}
+		ev.stepSeen.beginDense(doc.NumNodes())
 		for _, n := range contexts {
 			ev.nodeStep(n, step, func(m xmltree.NodeID) {
-				if !seen[m] {
-					seen[m] = true
+				if ev.stepSeen.add(m) {
 					next = append(next, m)
 				}
 			})
@@ -218,6 +285,16 @@ func (ev *evaluator) relNodes(n xmltree.NodeID, rel []Step, yield func(string) b
 		}
 		var next []xmltree.NodeID
 		stop := false
+		if !last {
+			// Follow the query's shape: scan evaluation (dense stepSeen
+			// already paid for) dedupes densely; a selective index drive
+			// stays sparse so predicates on few candidates cost O(matches).
+			if ev.stepSeen.marks != nil {
+				ev.relSeen.beginDense(doc.NumNodes())
+			} else {
+				ev.relSeen.beginSparse()
+			}
+		}
 		for _, ctx := range contexts {
 			ev.nodeStep(ctx, Step{Axis: step.Axis, Kind: step.Kind, Name: step.Name}, func(m xmltree.NodeID) {
 				if stop {
@@ -229,7 +306,9 @@ func (ev *evaluator) relNodes(n xmltree.NodeID, rel []Step, yield func(string) b
 					}
 					return
 				}
-				next = append(next, m)
+				if ev.relSeen.add(m) {
+					next = append(next, m)
+				}
 			})
 			if stop {
 				return
@@ -238,7 +317,7 @@ func (ev *evaluator) relNodes(n xmltree.NodeID, rel []Step, yield func(string) b
 		if last {
 			return
 		}
-		contexts = dedupe(next)
+		contexts = next
 		if len(contexts) == 0 {
 			return
 		}
@@ -394,11 +473,16 @@ func (ev *evaluator) runIndexed(path *Path) ([]core.Posting, bool) {
 	}
 	cands := ev.candidates(cond)
 	doc := ev.doc
-	seen := map[xmltree.NodeID]bool{}
+	// Sparse scope: a selective index drive must not pay O(document)
+	// for its dedup set.
+	ev.stepSeen.beginSparse()
 	var out []core.Posting
 	for _, cand := range cands {
 		for _, ctx := range ev.contextsFor(cand, cond) {
-			if seen[ctx] {
+			// Mark up front: verification is deterministic, so a context
+			// that failed once need not be re-verified when another
+			// candidate maps to it.
+			if !ev.stepSeen.add(ctx) {
 				continue
 			}
 			if !ev.testMatch(ctx, last) {
@@ -412,7 +496,6 @@ func (ev *evaluator) runIndexed(path *Path) ([]core.Posting, bool) {
 			if !ev.predsHold(ctx, last.Preds) {
 				continue
 			}
-			seen[ctx] = true
 			out = append(out, core.NodePosting(ctx))
 		}
 	}

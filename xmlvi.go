@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/plan"
 	"repro/internal/substr"
 	"repro/internal/txn"
 	"repro/internal/xmlparse"
@@ -50,7 +51,33 @@ type Options struct {
 	// unsynced batch being lost on a crash; records are never
 	// half-applied either way.
 	WALSyncEvery int
+	// Planner selects the query planning mode Query uses. The zero
+	// value, PlannerAuto, is the cost-based planner; PlannerLegacy is
+	// the pre-planner first-indexable-condition heuristic;
+	// PlannerForceScan and PlannerForceIndex pin one strategy (the two
+	// arms of the scan-vs-index crossover ablation). See Explain for
+	// inspecting the chosen plan.
+	Planner PlannerMode
 }
+
+// PlannerMode is the query planning knob; see Options.Planner.
+type PlannerMode = plan.Mode
+
+const (
+	// PlannerAuto is the cost-based planner (the default).
+	PlannerAuto = plan.Auto
+	// PlannerLegacy is the pre-planner heuristic: the first indexable
+	// condition drives, everything else is verified by navigation.
+	PlannerLegacy = plan.Legacy
+	// PlannerForceScan always evaluates by document scan.
+	PlannerForceScan = plan.ForceScan
+	// PlannerForceIndex always drives the cheapest index access path.
+	PlannerForceIndex = plan.ForceIndex
+)
+
+// ParsePlannerMode resolves "auto", "legacy" (or "off"), "scan", or
+// "index" — the command-line spellings of Options.Planner.
+func ParsePlannerMode(s string) (PlannerMode, error) { return plan.ParseMode(s) }
 
 func (o Options) indexOptions() core.Options {
 	if !o.String && !o.Double && !o.DateTime && !o.Date && len(o.Types) == 0 {
@@ -75,6 +102,10 @@ type Document struct {
 	mgr *txn.Manager
 	sub *substr.Index // optional, see EnableSubstringIndex
 
+	// planner is the query planning mode Query and Explain run under
+	// (Options.Planner, or SetPlanner after loading).
+	planner PlannerMode
+
 	// Durability wiring (see Options.WAL): the log path is remembered
 	// until the first Save attaches it.
 	walPath      string
@@ -98,7 +129,7 @@ func ParseWithOptions(xml []byte, opts Options) (*Document, error) {
 		return nil, err
 	}
 	ix := core.Build(doc, opts.indexOptions())
-	return &Document{ix: ix, mgr: txn.NewManager(ix), walPath: opts.WAL, walSyncEvery: opts.WALSyncEvery}, nil
+	return &Document{ix: ix, mgr: txn.NewManager(ix), planner: opts.Planner, walPath: opts.WAL, walSyncEvery: opts.WALSyncEvery}, nil
 }
 
 // Load reads a snapshot produced by Save, verifying checksums.
@@ -129,7 +160,7 @@ func OpenDurableWithOptions(snapshotPath, walPath string, opts Options) (*Docume
 	if err != nil {
 		return nil, err
 	}
-	return &Document{ix: ix, mgr: txn.NewManager(ix), walPath: walPath, walSyncEvery: opts.WALSyncEvery}, nil
+	return &Document{ix: ix, mgr: txn.NewManager(ix), planner: opts.Planner, walPath: walPath, walSyncEvery: opts.WALSyncEvery}, nil
 }
 
 // Save persists the document and its indices to a checksummed snapshot
@@ -234,15 +265,29 @@ func (d *Document) results(ps []core.Posting) []Result {
 	return out
 }
 
+// ErrUnsupportedPath is returned by Query, QueryScan, and Explain for
+// parsed expressions whose shape the evaluators cannot answer (such as
+// attribute steps in the middle of a path). Match with errors.Is.
+var ErrUnsupportedPath = xpath.ErrUnsupportedPath
+
 // Query evaluates an XPath expression (see the xpath dialect in the
-// README) using the value indices, falling back to scanning for
-// non-indexable shapes.
+// README) through the cost-based query planner: each indexable
+// predicate condition is priced as an index access path, the cheapest
+// drives, selective companions are intersected, and non-indexable
+// shapes fall back to scanning. Options.Planner (or SetPlanner)
+// switches the strategy; Explain shows the chosen plan. Unsupported
+// path shapes fail with ErrUnsupportedPath instead of silently
+// returning an empty result.
 func (d *Document) Query(expr string) ([]Result, error) {
 	p, err := xpath.Parse(expr)
 	if err != nil {
 		return nil, err
 	}
-	return d.results(xpath.EvaluateIndexed(d.ix, p)), nil
+	ps, _, err := plan.Run(d.ix, p, d.planner)
+	if err != nil {
+		return nil, err
+	}
+	return d.results(ps), nil
 }
 
 // QueryScan evaluates an XPath expression without indices — the baseline
@@ -252,8 +297,39 @@ func (d *Document) QueryScan(expr string) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := xpath.CheckSupported(p); err != nil {
+		return nil, err
+	}
 	return d.results(xpath.Evaluate(d.ix.Doc(), p)), nil
 }
+
+// Explain is the executed plan of one query: a printable operator tree
+// (Plan.String) whose nodes carry the planner's cardinality estimates
+// next to the actual counts observed during execution.
+type Explain = plan.Plan
+
+// Explain plans and executes an XPath expression, returning the results
+// together with the executed plan tree. The plan reports, per operator,
+// the estimated cardinality (from the statistics layer's distinct-key
+// counts and equi-depth histograms) and the actual one.
+func (d *Document) Explain(expr string) ([]Result, *Explain, error) {
+	p, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps, pl, err := plan.Run(d.ix, p, d.planner)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.results(ps), pl, nil
+}
+
+// SetPlanner switches the query planning mode (useful on documents
+// loaded from snapshots, where no Options are passed).
+func (d *Document) SetPlanner(m PlannerMode) { d.planner = m }
+
+// Planner reports the current query planning mode.
+func (d *Document) Planner() PlannerMode { return d.planner }
 
 // LookupString returns every node whose string value equals value,
 // verified (hash candidates are checked against the document).
