@@ -12,6 +12,9 @@ package xmlvi_test
 import (
 	"flag"
 	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +23,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/xmlparse"
+	"repro/internal/xmltree"
 )
 
 var benchScale = flag.Float64("benchscale", 0.10, "dataset scale for experiment benches (1.0 ≈ 1/64 of paper size)")
@@ -423,4 +427,119 @@ func dateBenchWindow() (lo, hi int64) {
 	day := int64(24 * 3600)
 	return time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC).Unix() / day,
 		time.Date(2001, 12, 31, 0, 0, 0, 0, time.UTC).Unix() / day
+}
+
+// concurrentBenchDoc builds a flat document with one constant "needle"
+// text node (the readers' point-lookup target) plus n storm nodes, all
+// "g0", returned as the writer's update targets.
+func concurrentBenchDoc(tb testing.TB, n int) (*core.Indexes, []xmltree.NodeID) {
+	tb.Helper()
+	var sb strings.Builder
+	sb.WriteString("<r><k>needle</k>")
+	for i := 0; i < n; i++ {
+		sb.WriteString("<v>g0</v>")
+	}
+	sb.WriteString("</r>")
+	doc, err := xmlparse.Parse([]byte(sb.String()))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ix := core.Build(doc, core.DefaultOptions())
+	var texts []xmltree.NodeID
+	d := ix.Doc()
+	for i := 0; i < d.NumNodes(); i++ {
+		nd := xmltree.NodeID(i)
+		if d.Kind(nd) == xmltree.Text && d.Value(nd) != "needle" {
+			texts = append(texts, nd)
+		}
+	}
+	return ix, texts
+}
+
+// runConcurrentWindow storms whole-document text batches from one writer
+// while 8 reader goroutines pin snapshots and run selective string
+// lookups, for one wall-clock window. When lock is non-nil every read holds RLock and
+// every commit holds Lock — reproducing the pre-MVCC global-RWMutex
+// contract on top of the identical index — so the two arms differ only
+// in synchronization. Returns total reads and commits completed.
+func runConcurrentWindow(b *testing.B, ix *core.Indexes, nodes []xmltree.NodeID, window time.Duration, lock *sync.RWMutex) (int64, int64) {
+	b.Helper()
+	var stop atomic.Bool
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	const readers = 8
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := int64(0)
+			for !stop.Load() {
+				if lock != nil {
+					lock.RLock()
+				}
+				s := ix.Snapshot()
+				if len(s.LookupString("needle")) == 0 {
+					panic("lookup missed its own snapshot")
+				}
+				if lock != nil {
+					lock.RUnlock()
+				}
+				n++
+			}
+			reads.Add(n)
+		}()
+	}
+	commits := int64(0)
+	batch := make([]core.TextUpdate, len(nodes))
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		commits++
+		v := fmt.Sprintf("g%d", commits)
+		for i, nd := range nodes {
+			batch[i] = core.TextUpdate{Node: nd, Value: v}
+		}
+		if lock != nil {
+			lock.Lock()
+		}
+		err := ix.UpdateTexts(batch)
+		if lock != nil {
+			lock.Unlock()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	return reads.Load(), commits
+}
+
+// BenchmarkConcurrentQPS is the MVCC headline number: 8 readers doing
+// string lookups while one writer storms whole-document update batches.
+// The snapshot arm reads lock-free off published versions; the rwmutex
+// arm wraps the identical operations in an external sync.RWMutex (the
+// pre-MVCC contract), so every commit's clone+rebuild stalls all eight
+// readers. Reported metrics: reads/s per arm and the speedup ratio
+// (acceptance floor: 5x).
+func BenchmarkConcurrentQPS(b *testing.B) {
+	const window = 300 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		snapIx, snapNodes := concurrentBenchDoc(b, 3000)
+		snapReads, snapCommits := runConcurrentWindow(b, snapIx, snapNodes, window, nil)
+
+		lockIx, lockNodes := concurrentBenchDoc(b, 3000)
+		var mu sync.RWMutex
+		lockReads, lockCommits := runConcurrentWindow(b, lockIx, lockNodes, window, &mu)
+
+		if i == 0 {
+			secs := window.Seconds()
+			b.ReportMetric(float64(snapReads)/secs, "snapshot_qps")
+			b.ReportMetric(float64(lockReads)/secs, "rwmutex_qps")
+			if lockReads > 0 {
+				b.ReportMetric(float64(snapReads)/float64(lockReads), "speedup_x")
+			}
+			b.ReportMetric(float64(snapCommits)/secs, "snapshot_commits_s")
+			b.ReportMetric(float64(lockCommits)/secs, "rwmutex_commits_s")
+		}
+	}
 }

@@ -170,6 +170,11 @@ func writeSummary(w io.Writer, report *Report) {
 		}
 		fmt.Fprintln(w)
 	}
+	if rw, snap := metricOf(report, "BenchmarkConcurrentQPS", "rwmutex_qps"),
+		metricOf(report, "BenchmarkConcurrentQPS", "snapshot_qps"); rw > 0 && snap > 0 {
+		fmt.Fprintf(w, "**Concurrent reads (8 readers + update storm):** RWMutex %.0f reads/s vs MVCC snapshots %.0f reads/s → **%.0fx speedup**\n",
+			rw, snap, snap/rw)
+	}
 }
 
 // metricOf returns one named metric of one benchmark, or 0 when absent.

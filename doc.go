@@ -200,17 +200,32 @@
 //
 // # Concurrency
 //
-// After construction, a Document's index-backed lookups (LookupString,
-// LookupDouble, the Range methods) may run concurrently with each
-// other. Once lookups interleave with updates, the index layer's
-// internal reader/writer lock orders them: text and attribute updates
-// exclude the lookup entry points, so a lookup never observes a
-// half-applied update. What remains the caller's responsibility: tree
-// navigation, Query's scan fallback, Contains (the substring index has
-// no internal lock), and structural updates (Delete, InsertXML) are not
-// covered by that lock and require coordinating through the transaction
-// layer (Begin/Txn, whose commit section funnels every write through
-// the locked update path) or external synchronization.
+// The index layer is multi-versioned: the document, every index column,
+// and every B+tree live in an immutable Snapshot, and a commit never
+// mutates the published version. Instead each write — text batch,
+// attribute update, Delete, InsertXML, WAL replay — builds a draft by
+// copy-on-write cloning of exactly the state it changes, applies the
+// operation to the draft, and publishes it with one atomic pointer
+// swap. Version numbers increase by one per commit; a failed commit
+// publishes nothing (the draft is discarded whole, so batches are
+// atomic: a reader sees all of a batch or none of it).
+//
+// Readers therefore never block and never lock. Every read entry point
+// (LookupString, LookupDouble, the Range methods, Query, tree
+// navigation, Contains) pins the current version with one atomic load
+// and runs entirely against it; a query plans, executes, and binds its
+// results against one pinned version even while writers storm. A
+// pinned Snapshot is immutable forever — Go's garbage collector is the
+// epoch-reclamation scheme: a version's memory is reclaimed when the
+// last reader drops it, with no reader registration or grace periods.
+//
+// Writers are serialized by a single internal commit mutex; for
+// multi-statement isolation and commutativity checking, coordinate
+// writes through the transaction layer (Begin/Txn, whose commit section
+// funnels every write through the same commit path). The type registry
+// follows the same pattern — RegisterType copies and atomically swaps
+// an immutable table — so lookups during registration are lock-free
+// too.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.

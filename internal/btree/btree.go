@@ -9,6 +9,26 @@
 //   - the dateTime range index stores (order-encoded int64, node id).
 //
 // EncodeFloat64 and EncodeInt64 provide the order-preserving encodings.
+//
+// # Copy-on-write versioning
+//
+// Trees are persistent in the functional-data-structure sense: Clone is
+// O(1) and returns a new Tree handle that shares every node with the
+// original; Insert and Delete on the clone copy only the root-to-leaf
+// path they touch (path copying) and never mutate a node owned by an
+// older handle. Ownership is tracked by a generation counter: Clone bumps
+// the tree's generation, and a node is mutable in place only when its
+// generation matches the tree's. A published (shared) tree is therefore
+// deeply immutable — readers may scan it, open cursors on it, and hold
+// it across arbitrary later Clone+mutate cycles without synchronization.
+// Retired nodes are reclaimed by the garbage collector once the last
+// handle referencing them is dropped.
+//
+// The single-writer discipline of internal/core (one draft clone mutated
+// at a time, then atomically published) is what makes the generation
+// check sound: two live drafts cloned from the same base would share a
+// generation number but never share freshly copied nodes, because each
+// draft copies shared nodes before writing them.
 package btree
 
 import "sort"
@@ -37,12 +57,16 @@ const (
 	minInner = maxInner / 2
 )
 
+// leaf and inner nodes carry the generation of the tree handle that
+// created them; a handle may mutate a node in place only when the
+// generations match (see the package comment).
 type leaf struct {
+	gen     uint64
 	entries []Entry
-	next    *leaf
 }
 
 type inner struct {
+	gen uint64
 	// keys[i] is the smallest entry of children[i+1]'s subtree;
 	// len(children) == len(keys)+1.
 	keys     []Entry
@@ -54,18 +78,47 @@ type node interface{ isNode() }
 func (*leaf) isNode()  {}
 func (*inner) isNode() {}
 
-// Tree is a B+tree. The zero value is not usable; call New.
+// Tree is a B+tree handle. The zero value is not usable; call New.
 type Tree struct {
 	root   node
-	first  *leaf
 	height int
 	length int
+	gen    uint64
 }
 
 // New returns an empty tree.
 func New() *Tree {
-	l := &leaf{}
-	return &Tree{root: l, first: l, height: 1}
+	return &Tree{root: &leaf{}, height: 1}
+}
+
+// Clone returns a new handle sharing all nodes with t. Mutations through
+// either handle copy shared nodes before writing (path copying), so the
+// other handle's view is unaffected. O(1).
+func (t *Tree) Clone() *Tree {
+	c := *t
+	c.gen++
+	return &c
+}
+
+// mutableLeaf returns l if t owns it, or a copy stamped with t's
+// generation otherwise.
+func (t *Tree) mutableLeaf(l *leaf) *leaf {
+	if l.gen == t.gen {
+		return l
+	}
+	return &leaf{gen: t.gen, entries: append([]Entry(nil), l.entries...)}
+}
+
+// mutableInner returns in if t owns it, or a copy otherwise.
+func (t *Tree) mutableInner(in *inner) *inner {
+	if in.gen == t.gen {
+		return in
+	}
+	return &inner{
+		gen:      t.gen,
+		keys:     append([]Entry(nil), in.keys...),
+		children: append([]node(nil), in.children...),
+	}
 }
 
 // NewFromSorted bulk-loads a tree from entries that must be sorted by
@@ -85,7 +138,6 @@ func NewFromSorted(entries []Entry) *Tree {
 	const fill = maxLeaf * 85 / 100
 	var leaves []node
 	var seps []Entry
-	var first, prev *leaf
 	for off := 0; off < len(entries); {
 		n := fill
 		if rem := len(entries) - off; rem < n {
@@ -96,17 +148,13 @@ func NewFromSorted(entries []Entry) *Tree {
 			n = (n + rem + 1) / 2
 		}
 		l := &leaf{entries: append([]Entry(nil), entries[off:off+n]...)}
-		if prev != nil {
-			prev.next = l
+		if len(leaves) > 0 {
 			seps = append(seps, l.entries[0])
-		} else {
-			first = l
 		}
-		prev = l
 		leaves = append(leaves, l)
 		off += n
 	}
-	t := &Tree{first: first, length: len(entries), height: 1}
+	t := &Tree{length: len(entries), height: 1}
 	level := leaves
 	for len(level) > 1 {
 		t.height++
@@ -143,11 +191,13 @@ func (t *Tree) Len() int { return t.length }
 func (t *Tree) Height() int { return t.height }
 
 // Insert adds the (key, val) pair; it reports whether the pair was new.
+// Nodes shared with older handles are copied, never mutated.
 func (t *Tree) Insert(key uint64, val uint32) bool {
 	e := Entry{Key: key, Val: val}
-	split, sep, added := t.insert(t.root, e)
+	self, split, sep, added := t.insert(t.root, e)
+	t.root = self
 	if split != nil {
-		t.root = &inner{keys: []Entry{sep}, children: []node{t.root, split}}
+		t.root = &inner{gen: t.gen, keys: []Entry{sep}, children: []node{self, split}}
 		t.height++
 	}
 	if added {
@@ -156,50 +206,58 @@ func (t *Tree) Insert(key uint64, val uint32) bool {
 	return added
 }
 
-// insert descends into n; if n splits, it returns the new right sibling
-// and its separator (the smallest entry of the right sibling's subtree).
-func (t *Tree) insert(n node, e Entry) (right node, sep Entry, added bool) {
+// insert descends into n and returns the node that replaces n on the
+// copied path (n itself when no copy or change was needed); if n splits,
+// it also returns the new right sibling and its separator (the smallest
+// entry of the right sibling's subtree).
+func (t *Tree) insert(n node, e Entry) (self, right node, sep Entry, added bool) {
 	switch n := n.(type) {
 	case *leaf:
 		i := sort.Search(len(n.entries), func(i int) bool { return !n.entries[i].less(e) })
 		if i < len(n.entries) && n.entries[i] == e {
-			return nil, Entry{}, false
+			return n, nil, Entry{}, false
 		}
-		n.entries = append(n.entries, Entry{})
-		copy(n.entries[i+1:], n.entries[i:])
-		n.entries[i] = e
-		if len(n.entries) <= maxLeaf {
-			return nil, Entry{}, true
+		l := t.mutableLeaf(n)
+		l.entries = append(l.entries, Entry{})
+		copy(l.entries[i+1:], l.entries[i:])
+		l.entries[i] = e
+		if len(l.entries) <= maxLeaf {
+			return l, nil, Entry{}, true
 		}
-		mid := len(n.entries) / 2
-		r := &leaf{entries: append([]Entry(nil), n.entries[mid:]...), next: n.next}
-		n.entries = n.entries[:mid:mid]
-		n.next = r
-		return r, r.entries[0], true
+		mid := len(l.entries) / 2
+		r := &leaf{gen: t.gen, entries: append([]Entry(nil), l.entries[mid:]...)}
+		l.entries = l.entries[:mid:mid]
+		return l, r, r.entries[0], true
 	case *inner:
 		ci := sort.Search(len(n.keys), func(i int) bool { return e.less(n.keys[i]) })
-		r, s, ok := t.insert(n.children[ci], e)
+		child, r, s, ok := t.insert(n.children[ci], e)
+		if r == nil && child == n.children[ci] {
+			return n, nil, Entry{}, ok
+		}
+		in := t.mutableInner(n)
+		in.children[ci] = child
 		if r == nil {
-			return nil, Entry{}, ok
+			return in, nil, Entry{}, ok
 		}
-		n.keys = append(n.keys, Entry{})
-		copy(n.keys[ci+1:], n.keys[ci:])
-		n.keys[ci] = s
-		n.children = append(n.children, nil)
-		copy(n.children[ci+2:], n.children[ci+1:])
-		n.children[ci+1] = r
-		if len(n.children) <= maxInner {
-			return nil, Entry{}, ok
+		in.keys = append(in.keys, Entry{})
+		copy(in.keys[ci+1:], in.keys[ci:])
+		in.keys[ci] = s
+		in.children = append(in.children, nil)
+		copy(in.children[ci+2:], in.children[ci+1:])
+		in.children[ci+1] = r
+		if len(in.children) <= maxInner {
+			return in, nil, Entry{}, ok
 		}
-		mid := len(n.keys) / 2
-		sepUp := n.keys[mid]
+		mid := len(in.keys) / 2
+		sepUp := in.keys[mid]
 		rn := &inner{
-			keys:     append([]Entry(nil), n.keys[mid+1:]...),
-			children: append([]node(nil), n.children[mid+1:]...),
+			gen:      t.gen,
+			keys:     append([]Entry(nil), in.keys[mid+1:]...),
+			children: append([]node(nil), in.children[mid+1:]...),
 		}
-		n.keys = n.keys[:mid:mid]
-		n.children = n.children[: mid+1 : mid+1]
-		return rn, sepUp, ok
+		in.keys = in.keys[:mid:mid]
+		in.children = in.children[: mid+1 : mid+1]
+		return in, rn, sepUp, ok
 	}
 	panic("btree: unknown node type")
 }
@@ -207,26 +265,39 @@ func (t *Tree) insert(n node, e Entry) (right node, sep Entry, added bool) {
 // Delete removes the (key, val) pair; it reports whether it was present.
 // Underfull nodes are tolerated (no rebalancing): deletions in the
 // indices are always paired with reinsertions of similar volume, and
-// lookups remain correct on underfull trees. Empty leaves are unlinked
-// lazily during scans.
+// lookups remain correct on underfull trees. Like Insert, Delete copies
+// shared nodes on the touched path instead of mutating them.
 func (t *Tree) Delete(key uint64, val uint32) bool {
 	e := Entry{Key: key, Val: val}
-	n := t.root
-	for {
-		switch nn := n.(type) {
-		case *inner:
-			ci := sort.Search(len(nn.keys), func(i int) bool { return e.less(nn.keys[i]) })
-			n = nn.children[ci]
-		case *leaf:
-			i := sort.Search(len(nn.entries), func(i int) bool { return !nn.entries[i].less(e) })
-			if i >= len(nn.entries) || nn.entries[i] != e {
-				return false
-			}
-			nn.entries = append(nn.entries[:i], nn.entries[i+1:]...)
-			t.length--
-			return true
-		}
+	self, removed := t.delete(t.root, e)
+	if removed {
+		t.root = self
+		t.length--
 	}
+	return removed
+}
+
+func (t *Tree) delete(n node, e Entry) (node, bool) {
+	switch n := n.(type) {
+	case *inner:
+		ci := sort.Search(len(n.keys), func(i int) bool { return e.less(n.keys[i]) })
+		child, ok := t.delete(n.children[ci], e)
+		if !ok {
+			return n, false
+		}
+		in := t.mutableInner(n)
+		in.children[ci] = child
+		return in, true
+	case *leaf:
+		i := sort.Search(len(n.entries), func(i int) bool { return !n.entries[i].less(e) })
+		if i >= len(n.entries) || n.entries[i] != e {
+			return n, false
+		}
+		l := t.mutableLeaf(n)
+		l.entries = append(l.entries[:i], l.entries[i+1:]...)
+		return l, true
+	}
+	panic("btree: unknown node type")
 }
 
 // Contains reports whether the exact (key, val) pair is present.
@@ -257,52 +328,85 @@ func (t *Tree) ScanRange(lo, hi uint64, f func(key uint64, val uint32) bool) {
 	if lo > hi {
 		return
 	}
-	start := Entry{Key: lo, Val: 0}
-	n := t.root
-	for {
-		in, ok := n.(*inner)
-		if !ok {
-			break
-		}
-		ci := sort.Search(len(in.keys), func(i int) bool { return start.less(in.keys[i]) })
-		n = in.children[ci]
-	}
-	l := n.(*leaf)
-	i := sort.Search(len(l.entries), func(i int) bool { return !l.entries[i].less(start) })
-	for l != nil {
-		for ; i < len(l.entries); i++ {
-			e := l.entries[i]
+	scanRangeNode(t.root, Entry{Key: lo}, hi, f)
+}
+
+// scanRangeNode reports whether the scan should continue past n's
+// subtree.
+func scanRangeNode(n node, start Entry, hi uint64, f func(key uint64, val uint32) bool) bool {
+	switch nn := n.(type) {
+	case *leaf:
+		i := sort.Search(len(nn.entries), func(i int) bool { return !nn.entries[i].less(start) })
+		for ; i < len(nn.entries); i++ {
+			e := nn.entries[i]
 			if e.Key > hi {
-				return
+				return false
 			}
 			if !f(e.Key, e.Val) {
-				return
+				return false
 			}
 		}
-		l = l.next
-		i = 0
+		return true
+	case *inner:
+		ci := sort.Search(len(nn.keys), func(i int) bool { return start.less(nn.keys[i]) })
+		for ; ci < len(nn.children); ci++ {
+			if !scanRangeNode(nn.children[ci], start, hi, f) {
+				return false
+			}
+		}
+		return true
 	}
+	panic("btree: unknown node type")
 }
 
 // Scan calls f for every entry in ascending order.
 func (t *Tree) Scan(f func(key uint64, val uint32) bool) {
-	for l := t.first; l != nil; l = l.next {
-		for _, e := range l.entries {
+	scanNode(t.root, f)
+}
+
+func scanNode(n node, f func(key uint64, val uint32) bool) bool {
+	switch nn := n.(type) {
+	case *leaf:
+		for _, e := range nn.entries {
 			if !f(e.Key, e.Val) {
-				return
+				return false
 			}
 		}
+		return true
+	case *inner:
+		for _, c := range nn.children {
+			if !scanNode(c, f) {
+				return false
+			}
+		}
+		return true
 	}
+	panic("btree: unknown node type")
 }
 
 // Min returns the smallest entry; ok is false on an empty tree.
 func (t *Tree) Min() (Entry, bool) {
-	for l := t.first; l != nil; l = l.next {
-		if len(l.entries) > 0 {
-			return l.entries[0], true
+	return minNode(t.root)
+}
+
+func minNode(n node) (Entry, bool) {
+	switch nn := n.(type) {
+	case *leaf:
+		if len(nn.entries) > 0 {
+			return nn.entries[0], true
 		}
+		return Entry{}, false
+	case *inner:
+		// Leaves can be left empty by deletions; fall through to the
+		// next child when a whole subtree has drained.
+		for _, c := range nn.children {
+			if e, ok := minNode(c); ok {
+				return e, true
+			}
+		}
+		return Entry{}, false
 	}
-	return Entry{}, false
+	panic("btree: unknown node type")
 }
 
 // EncodeFloat64 maps a float64 to a uint64 preserving numeric order

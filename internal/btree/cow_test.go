@@ -1,0 +1,110 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCloneDiverge drives a chain of clone+mutate cycles and checks that
+// every retained handle still sees exactly the entry set it was cloned
+// at — the property the MVCC snapshot layer in internal/core depends on.
+func TestCloneDiverge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cur := New()
+	live := map[uint64]bool{}
+
+	type version struct {
+		tree *Tree
+		keys map[uint64]bool
+	}
+	var history []version
+
+	snapshotKeys := func() map[uint64]bool {
+		m := make(map[uint64]bool, len(live))
+		for k := range live {
+			m[k] = true
+		}
+		return m
+	}
+
+	for round := 0; round < 40; round++ {
+		history = append(history, version{tree: cur, keys: snapshotKeys()})
+		cur = cur.Clone()
+		// A burst of inserts and deletes against the new draft.
+		for i := 0; i < 50; i++ {
+			k := uint64(rng.Intn(800))
+			if rng.Intn(3) == 0 {
+				if cur.Delete(k, uint32(k)) {
+					delete(live, k)
+				}
+			} else {
+				if cur.Insert(k, uint32(k)) {
+					live[k] = true
+				}
+			}
+		}
+	}
+	history = append(history, version{tree: cur, keys: snapshotKeys()})
+
+	for vi, v := range history {
+		got := map[uint64]bool{}
+		v.tree.Scan(func(k uint64, val uint32) bool {
+			if uint32(k) != val {
+				t.Fatalf("version %d: entry (%d,%d) corrupted", vi, k, val)
+			}
+			if got[k] {
+				t.Fatalf("version %d: duplicate key %d", vi, k)
+			}
+			got[k] = true
+			return true
+		})
+		if len(got) != len(v.keys) {
+			t.Fatalf("version %d: %d entries, want %d", vi, len(got), len(v.keys))
+		}
+		for k := range v.keys {
+			if !got[k] {
+				t.Fatalf("version %d: key %d missing", vi, k)
+			}
+			if !v.tree.Contains(k, uint32(k)) {
+				t.Fatalf("version %d: Contains(%d) = false", vi, k)
+			}
+		}
+		if v.tree.Len() != len(v.keys) {
+			t.Fatalf("version %d: Len = %d, want %d", vi, v.tree.Len(), len(v.keys))
+		}
+	}
+}
+
+// TestCursorSurvivesCloneMutation opens a cursor on a base tree, mutates
+// a clone heavily, and checks the cursor still yields the base entries.
+func TestCursorSurvivesCloneMutation(t *testing.T) {
+	var entries []Entry
+	for i := 0; i < 500; i++ {
+		entries = append(entries, Entry{Key: uint64(i * 3), Val: uint32(i * 3)})
+	}
+	base := NewFromSorted(entries)
+	cur := base.CursorAt(0)
+
+	draft := base.Clone()
+	for i := 0; i < 500; i++ {
+		draft.Delete(uint64(i*3), uint32(i*3))
+		draft.Insert(uint64(i*3+1), uint32(i*3+1))
+	}
+
+	var got []Entry
+	for {
+		e, ok := cur.Next()
+		if !ok {
+			break
+		}
+		got = append(got, e)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("cursor saw %d entries, want %d", len(got), len(entries))
+	}
+	for i, e := range got {
+		if e != entries[i] {
+			t.Fatalf("cursor entry %d = %+v, want %+v", i, e, entries[i])
+		}
+	}
+}

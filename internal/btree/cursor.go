@@ -2,48 +2,72 @@ package btree
 
 import "sort"
 
-// Cursor walks a tree's entries in ascending (key, posting) order over
-// the linked leaf level, one entry per Next call — the pull-style
-// counterpart of ScanRange that the streaming posting iterators in
-// internal/core are built on. A cursor observes the tree at the moment
-// it was opened; mutating the tree invalidates it.
+// Cursor walks a tree's entries in ascending (key, posting) order, one
+// entry per Next call — the pull-style counterpart of ScanRange that the
+// streaming posting iterators in internal/core are built on. It keeps an
+// explicit root-to-leaf descent stack instead of leaf links, so it works
+// on the shared, immutable node graphs produced by Clone: a cursor over
+// a published tree stays valid indefinitely, regardless of mutations
+// applied to later clones. Mutating the SAME handle the cursor was
+// opened on invalidates it.
 type Cursor struct {
-	l *leaf
+	stack []cursorFrame
+}
+
+// cursorFrame records one node on the descent path and the next index to
+// visit in it: a child index for inner nodes, an entry index for leaves.
+type cursorFrame struct {
+	n node
 	i int
 }
 
 // CursorAt returns a cursor positioned at the first entry whose key is
 // >= key (so Next yields that entry first).
 func (t *Tree) CursorAt(key uint64) *Cursor {
-	start := Entry{Key: key, Val: 0}
+	start := Entry{Key: key}
+	c := &Cursor{stack: make([]cursorFrame, 0, t.height)}
 	n := t.root
 	for {
-		in, ok := n.(*inner)
-		if !ok {
-			break
+		switch nn := n.(type) {
+		case *inner:
+			ci := sort.Search(len(nn.keys), func(i int) bool { return start.less(nn.keys[i]) })
+			c.stack = append(c.stack, cursorFrame{n: nn, i: ci + 1})
+			n = nn.children[ci]
+		case *leaf:
+			i := sort.Search(len(nn.entries), func(i int) bool { return !nn.entries[i].less(start) })
+			c.stack = append(c.stack, cursorFrame{n: nn, i: i})
+			return c
 		}
-		ci := sort.Search(len(in.keys), func(i int) bool { return start.less(in.keys[i]) })
-		n = in.children[ci]
 	}
-	l := n.(*leaf)
-	i := sort.Search(len(l.entries), func(i int) bool { return !l.entries[i].less(start) })
-	return &Cursor{l: l, i: i}
 }
 
 // CursorFirst returns a cursor over the whole tree.
-func (t *Tree) CursorFirst() *Cursor { return &Cursor{l: t.first} }
+func (t *Tree) CursorFirst() *Cursor {
+	return &Cursor{stack: []cursorFrame{{n: t.root}}}
+}
 
 // Next returns the next entry in (key, posting) order; ok is false when
 // the cursor is exhausted.
 func (c *Cursor) Next() (Entry, bool) {
-	for c.l != nil {
-		if c.i < len(c.l.entries) {
-			e := c.l.entries[c.i]
-			c.i++
-			return e, true
+	for len(c.stack) > 0 {
+		top := &c.stack[len(c.stack)-1]
+		switch n := top.n.(type) {
+		case *leaf:
+			if top.i < len(n.entries) {
+				e := n.entries[top.i]
+				top.i++
+				return e, true
+			}
+			c.stack = c.stack[:len(c.stack)-1]
+		case *inner:
+			if top.i < len(n.children) {
+				child := n.children[top.i]
+				top.i++
+				c.stack = append(c.stack, cursorFrame{n: child})
+			} else {
+				c.stack = c.stack[:len(c.stack)-1]
+			}
 		}
-		c.l = c.l.next
-		c.i = 0
 	}
 	return Entry{}, false
 }

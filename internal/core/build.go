@@ -17,7 +17,7 @@ import (
 func Build(doc *xmltree.Doc, opts Options) *Indexes {
 	n := doc.NumNodes()
 	na := doc.NumAttrs()
-	ix := &Indexes{
+	ix := &Snapshot{
 		doc:          doc,
 		opts:         opts,
 		stableOf:     make([]uint32, n),
@@ -56,7 +56,7 @@ func Build(doc *xmltree.Doc, opts Options) *Indexes {
 	// histograms) from the freshly loaded trees — one extra scan per
 	// tree, well under the cost of the bulk load that produced it.
 	ix.rebuildStats()
-	return ix
+	return wrapSnapshot(ix)
 }
 
 // foldFrag combines an accumulated fragment with a child fragment,
@@ -83,7 +83,7 @@ type buildFrame struct {
 }
 
 // identityFrags returns one identity fragment per enabled typed index.
-func (ix *Indexes) identityFrags() []fsm.Frag {
+func (ix *Snapshot) identityFrags() []fsm.Frag {
 	if len(ix.typed) == 0 {
 		return nil
 	}
@@ -105,7 +105,7 @@ func (ix *Indexes) identityFrags() []fsm.Frag {
 // A nil sink writes typed-index results straight into the shared side
 // tables; concurrent shard workers pass their own sink so the map and
 // slice appends stay private until the merge (see parallel.go).
-func (ix *Indexes) buildPass(from, to xmltree.NodeID, sink *buildSink) {
+func (ix *Snapshot) buildPass(from, to xmltree.NodeID, sink *buildSink) {
 	doc := ix.doc
 	var stack []buildFrame
 
@@ -212,7 +212,7 @@ func (ix *Indexes) buildPass(from, to xmltree.NodeID, sink *buildSink) {
 // Attribute values never contribute to ancestors, which also makes this
 // pass trivially shardable: parallel builds carve [0, NumAttrs) into
 // chunks and give each worker its own sink.
-func (ix *Indexes) buildAttrs(from, to xmltree.AttrID, sink *buildSink) {
+func (ix *Snapshot) buildAttrs(from, to xmltree.AttrID, sink *buildSink) {
 	doc := ix.doc
 	for a := from; a <= to; a++ {
 		val := doc.AttrValueBytes(a)
@@ -244,7 +244,7 @@ func indexedNodeKind(k xmltree.Kind) bool {
 // CPU-bound goroutines stay within Options.Parallelism. The loaded trees
 // are identical for any worker count: entries are sorted by
 // (key, posting) before bulk loading, which erases collection order.
-func (ix *Indexes) buildTrees(workers int) {
+func (ix *Snapshot) buildTrees(workers int) {
 	doc := ix.doc
 	n := doc.NumNodes()
 	na := doc.NumAttrs()

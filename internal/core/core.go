@@ -23,6 +23,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/fsm"
@@ -236,36 +237,21 @@ func (ti *typedIndex) attrKey(a xmltree.AttrID, stable uint32) (uint64, bool) {
 	return ti.spec.Encode(ti.attrFrag(a, stable))
 }
 
-// Indexes bundles a document with its value indices. All updates to the
-// document must go through Indexes methods so the indices stay consistent.
-//
-// # Concurrency
-//
-// A freshly built or loaded Indexes is immutable until one of the update
-// methods is called, so any number of goroutines may read it
-// concurrently. Once updates and lookups interleave, the internal
-// reader/writer lock takes over: the mutating methods (UpdateText,
-// UpdateTexts, UpdateAttr, DeleteSubtree, InsertChildren) hold the write
-// lock, and the top-level read entry points — LookupString and friends,
-// the Range/Scan lookups, TypedFrag and the typed value accessors,
-// Verify, Stats, Save, and SavePartsTo — hold the read lock, so a reader
-// never observes a half-applied update and readers never block one
-// another.
-//
-// The fine-grained accessors (Doc and tree navigation, NodeHash,
-// AttrHash, TypedElem, the stable-id maps) are deliberately left
-// unsynchronized: they sit on query hot paths and are safe to call
-// concurrently with each other, but interleaving them with updates
-// requires external coordination — in-process, the txn layer, whose
-// commit section funnels every write through UpdateTexts.
-type Indexes struct {
+// Snapshot is one immutable published version of the value indices over
+// one version of the document. Readers obtain a Snapshot from
+// Indexes.Snapshot (or implicitly through the Indexes read wrappers) and
+// can use it for any read — lookups, ranges, Verify, Stats, Save —
+// without synchronization, for as long as they like: a Snapshot is never
+// mutated after it is published. Writers build the next version as a
+// private copy-on-write clone of the current one (see update.go) and
+// publish it with one atomic pointer swap on the owning Indexes.
+type Snapshot struct {
 	doc  *xmltree.Doc
 	opts Options
 
-	// mu orders updates against the read entry points; see the
-	// concurrency notes above. Build runs before the value escapes, so
-	// the construction passes themselves never take it.
-	mu sync.RWMutex
+	// version is the publication sequence number: Build/Load produce
+	// version 1 and every committed mutation increments it by one.
+	version uint64
 
 	// Stable node ids: postings in the B+trees survive structural updates.
 	// stableOf[pre] is the node's stable id; preOf[stable] is the current
@@ -282,7 +268,8 @@ type Indexes struct {
 
 	// strStats is the planner statistics over the string tree's hash
 	// keys (see histogram.go); the typed equivalents live on each
-	// typedIndex.
+	// typedIndex. Statistics version with the snapshot, so a plan never
+	// mixes estimates from one version with postings from another.
 	strStats *keyStats
 
 	// typed holds one index per enabled registry entry, in registry
@@ -290,36 +277,104 @@ type Indexes struct {
 	// this slice.
 	typed []*typedIndex
 
-	// Scratch buffers reused by the sequential update paths (an Indexes
-	// is not safe for concurrent mutation, so one of each suffices).
+	// Scratch buffers reused by the sequential update paths. They are
+	// only ever touched by the single serialized writer preparing the
+	// next version (never by readers), so sharing them across clones is
+	// safe.
 	scratchFrags []fsm.Frag
 	scratchKeys  []keyState
+}
+
+// Indexes bundles a document with its value indices. All updates to the
+// document must go through Indexes methods so the indices stay consistent.
+//
+// # Concurrency
+//
+// Indexes is multi-version: the current index state lives in an
+// atomically swapped *Snapshot. Every read entry point — LookupString
+// and friends, the Range/Scan lookups, TypedFrag and the typed value
+// accessors, Query planning, Verify, Stats, Save, SavePartsTo — loads
+// the current snapshot once and runs entirely against it, so reads are
+// lock-free, never block writers, are never blocked by writers, and
+// always observe one fully published version (no torn reads).
+//
+// The mutating methods (UpdateText, UpdateTexts, UpdateAttr,
+// DeleteSubtree, InsertChildren) serialize among themselves on an
+// internal writer mutex, clone the columns they change off the current
+// snapshot (B+trees share structure via path copying), apply the change
+// to the private draft, and publish it with one atomic store. Retired
+// versions are reclaimed by the garbage collector once the last reader
+// drops its snapshot reference — Go's reachability acts as the epoch.
+//
+// For multi-statement write transactions with conflict detection, use
+// the txn layer, whose commit section funnels every write through
+// UpdateTexts.
+type Indexes struct {
+	cur atomic.Pointer[Snapshot]
+
+	// wmu serializes writers: mutations, checkpoints, and WAL
+	// generation changes. Readers never take it.
+	wmu sync.Mutex
+
+	opts Options
 
 	// Durability (see durable.go). wal, when attached, receives one
 	// logical record per mutation before the mutation is applied; walGen
 	// pairs the log with the snapshot generation it extends, and
-	// snapshotPath is where Checkpoint rewrites the snapshot.
+	// snapshotPath is where Checkpoint rewrites the snapshot. All are
+	// writer-side state guarded by wmu (walGen additionally atomic for
+	// the lock-free WALGeneration accessor).
 	wal          *storage.WAL
-	walGen       uint64
+	walGen       atomic.Uint64
 	snapshotPath string
+}
+
+// wrapSnapshot publishes s as version 1 of a fresh Indexes handle.
+func wrapSnapshot(s *Snapshot) *Indexes {
+	if s.version == 0 {
+		s.version = 1
+	}
+	ix := &Indexes{opts: s.opts}
+	ix.cur.Store(s)
+	return ix
+}
+
+// Snapshot returns the current published version. The returned value is
+// immutable and remains valid (and consistent) indefinitely; callers
+// that issue several reads which must observe the same version should
+// capture one Snapshot and issue them all against it.
+func (ix *Indexes) Snapshot() *Snapshot { return ix.cur.Load() }
+
+// Version reports the current publication sequence number (1 for a
+// freshly built or loaded Indexes, +1 per committed mutation).
+func (ix *Indexes) Version() uint64 { return ix.cur.Load().version }
+
+// Version reports the snapshot's publication sequence number.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// publish installs the draft as the current version. Callers must hold
+// wmu and must have built draft against the snapshot that is still
+// current.
+func (ix *Indexes) publish(draft *Snapshot) {
+	ix.cur.Store(draft)
 }
 
 // Doc returns the indexed document. Treat it as read-only; mutate through
 // Indexes methods.
-func (ix *Indexes) Doc() *xmltree.Doc { return ix.doc }
+func (ix *Snapshot) Doc() *xmltree.Doc { return ix.doc }
 
 // Options reports which indices were built.
-func (ix *Indexes) Options() Options { return ix.opts }
+func (ix *Snapshot) Options() Options { return ix.opts }
 
 // NodeHash returns the stored hash of node n's string value.
-func (ix *Indexes) NodeHash(n xmltree.NodeID) uint32 { return ix.hash[n] }
+func (ix *Snapshot) NodeHash(n xmltree.NodeID) uint32 { return ix.hash[n] }
 
 // AttrHash returns the stored hash of attribute a's value.
-func (ix *Indexes) AttrHash(a xmltree.AttrID) uint32 { return ix.attrHash[a] }
+func (ix *Snapshot) AttrHash(a xmltree.AttrID) uint32 { return ix.attrHash[a] }
 
 // typedFor returns the typed index maintaining type id, or nil when it
 // was not enabled at build time.
-func (ix *Indexes) typedFor(id TypeID) *typedIndex {
+func (ix *Snapshot) typedFor(id TypeID) *typedIndex {
 	for _, ti := range ix.typed {
 		if ti.spec.ID == id {
 			return ti
@@ -330,7 +385,7 @@ func (ix *Indexes) typedFor(id TypeID) *typedIndex {
 
 // TypedIDs lists the typed indexes built for this document, in registry
 // order.
-func (ix *Indexes) TypedIDs() []TypeID {
+func (ix *Snapshot) TypedIDs() []TypeID {
 	out := make([]TypeID, len(ix.typed))
 	for i, ti := range ix.typed {
 		out[i] = ti.spec.ID
@@ -339,15 +394,15 @@ func (ix *Indexes) TypedIDs() []TypeID {
 }
 
 // HasTyped reports whether typed index id was built.
-func (ix *Indexes) HasTyped(id TypeID) bool { return ix.typedFor(id) != nil }
+func (ix *Snapshot) HasTyped(id TypeID) bool { return ix.typedFor(id) != nil }
 
 // HasString reports whether the string equi-index was built.
-func (ix *Indexes) HasString() bool { return ix.strTree != nil }
+func (ix *Snapshot) HasString() bool { return ix.strTree != nil }
 
 // TypedElem returns node n's monoid element under typed index id
 // (fsm.Reject if the node's string value cannot be part of the type's
 // lexical space, or if the index was not built).
-func (ix *Indexes) TypedElem(id TypeID, n xmltree.NodeID) fsm.Elem {
+func (ix *Snapshot) TypedElem(id TypeID, n xmltree.NodeID) fsm.Elem {
 	ti := ix.typedFor(id)
 	if ti == nil {
 		return fsm.Reject
@@ -357,15 +412,12 @@ func (ix *Indexes) TypedElem(id TypeID, n xmltree.NodeID) fsm.Elem {
 
 // TypedFrag returns node n's fragment under typed index id; ok is false
 // when the index was not built or the node is rejected.
-func (ix *Indexes) TypedFrag(id TypeID, n xmltree.NodeID) (fsm.Frag, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) TypedFrag(id TypeID, n xmltree.NodeID) (fsm.Frag, bool) {
 	return ix.typedFrag(id, n)
 }
 
-// typedFrag is TypedFrag without the read lock, for internal reuse from
-// paths that already hold it.
-func (ix *Indexes) typedFrag(id TypeID, n xmltree.NodeID) (fsm.Frag, bool) {
+// typedFrag is the internal spelling of TypedFrag.
+func (ix *Snapshot) typedFrag(id TypeID, n xmltree.NodeID) (fsm.Frag, bool) {
 	ti := ix.typedFor(id)
 	if ti == nil || ti.elems[n] == fsm.Reject {
 		return fsm.Frag{}, false
@@ -375,14 +427,12 @@ func (ix *Indexes) typedFrag(id TypeID, n xmltree.NodeID) (fsm.Frag, bool) {
 
 // DoubleElem returns node n's double-machine element (fsm.Reject if the
 // node's string value cannot be part of a double).
-func (ix *Indexes) DoubleElem(n xmltree.NodeID) fsm.Elem {
+func (ix *Snapshot) DoubleElem(n xmltree.NodeID) fsm.Elem {
 	return ix.TypedElem(TypeDouble, n)
 }
 
 // DoubleValue returns the xs:double value of node n, if castable.
-func (ix *Indexes) DoubleValue(n xmltree.NodeID) (float64, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) DoubleValue(n xmltree.NodeID) (float64, bool) {
 	f, ok := ix.typedFrag(TypeDouble, n)
 	if !ok {
 		return 0, false
@@ -392,9 +442,7 @@ func (ix *Indexes) DoubleValue(n xmltree.NodeID) (float64, bool) {
 
 // DateTimeValue returns the epoch-millisecond value of node n, if
 // castable.
-func (ix *Indexes) DateTimeValue(n xmltree.NodeID) (int64, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) DateTimeValue(n xmltree.NodeID) (int64, bool) {
 	f, ok := ix.typedFrag(TypeDateTime, n)
 	if !ok {
 		return 0, false
@@ -404,9 +452,7 @@ func (ix *Indexes) DateTimeValue(n xmltree.NodeID) (int64, bool) {
 
 // DateValue returns the epoch-day value of node n, if castable as
 // xs:date.
-func (ix *Indexes) DateValue(n xmltree.NodeID) (int64, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) DateValue(n xmltree.NodeID) (int64, bool) {
 	f, ok := ix.typedFrag(TypeDate, n)
 	if !ok {
 		return 0, false
@@ -415,14 +461,14 @@ func (ix *Indexes) DateValue(n xmltree.NodeID) (int64, bool) {
 }
 
 // StableOf returns the stable id of tree node n.
-func (ix *Indexes) StableOf(n xmltree.NodeID) uint32 { return ix.stableOf[n] }
+func (ix *Snapshot) StableOf(n xmltree.NodeID) uint32 { return ix.stableOf[n] }
 
 // AttrStableOf returns the stable id of attribute a.
-func (ix *Indexes) AttrStableOf(a xmltree.AttrID) uint32 { return ix.attrStableOf[a] }
+func (ix *Snapshot) AttrStableOf(a xmltree.AttrID) uint32 { return ix.attrStableOf[a] }
 
 // NodeOfStable resolves a stable id to the current pre rank, or
 // xmltree.InvalidNode if the node was deleted.
-func (ix *Indexes) NodeOfStable(s uint32) xmltree.NodeID {
+func (ix *Snapshot) NodeOfStable(s uint32) xmltree.NodeID {
 	if int(s) >= len(ix.preOf) || ix.preOf[s] < 0 {
 		return xmltree.InvalidNode
 	}
@@ -430,14 +476,14 @@ func (ix *Indexes) NodeOfStable(s uint32) xmltree.NodeID {
 }
 
 // AttrOfStable resolves a stable attribute id, or xmltree.InvalidAttr.
-func (ix *Indexes) AttrOfStable(s uint32) xmltree.AttrID {
+func (ix *Snapshot) AttrOfStable(s uint32) xmltree.AttrID {
 	if int(s) >= len(ix.attrOf) || ix.attrOf[s] < 0 {
 		return xmltree.InvalidAttr
 	}
 	return xmltree.AttrID(ix.attrOf[s])
 }
 
-func (ix *Indexes) resolve(packed uint32) (Posting, bool) {
+func (ix *Snapshot) resolve(packed uint32) (Posting, bool) {
 	stable, isAttr := unpackPosting(packed)
 	if isAttr {
 		a := ix.AttrOfStable(stable)
@@ -464,7 +510,7 @@ func newTypedIndex(spec TypeSpec, nNodes, nAttrs int) *typedIndex {
 }
 
 // eachTyped calls f for each enabled typed index, in registry order.
-func (ix *Indexes) eachTyped(f func(*typedIndex)) {
+func (ix *Snapshot) eachTyped(f func(*typedIndex)) {
 	for _, ti := range ix.typed {
 		f(ti)
 	}

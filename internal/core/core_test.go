@@ -366,6 +366,9 @@ func TestInsertChildrenMaintainsIndexes(t *testing.T) {
 	if err := ix.Verify(); err != nil {
 		t.Fatalf("after insert: %v", err)
 	}
+	// The commit published a new version; d still reads the pre-insert
+	// document, so re-fetch before inspecting the inserted node.
+	d = ix.Doc()
 	if d.Name(at) != "height" {
 		t.Fatalf("inserted node = %q", d.Name(at))
 	}
@@ -455,6 +458,7 @@ func TestStableIDsSurviveStructuralChurn(t *testing.T) {
 	if err := ix.DeleteSubtree(findElem(d, "a")); err != nil {
 		t.Fatal(err)
 	}
+	d = ix.Doc() // the delete published a new version
 	hits := ix.LookupDoubleEq(30)
 	found := false
 	for _, p := range hits {

@@ -202,7 +202,7 @@ func decodeCheckpoint(p []byte) (uint64, error) {
 	return gen, d.err
 }
 
-// --- logging hooks (called by the mutators in update.go, under mu) ---
+// --- logging hooks (called by the mutators in update.go, under wmu) ---
 
 // logRecord appends one record to the attached WAL, if any. Called after
 // argument validation and before any in-memory mutation, so the log
@@ -219,58 +219,81 @@ func (ix *Indexes) logRecord(kind storage.RecordKind, payload []byte) error {
 // ApplyLogRecord decodes and applies one WAL record through the
 // non-logging update paths. It is the replay half of recovery; applying
 // a record that was logged by a hook on the same state is exactly the
-// original mutation. Checkpoint markers are no-ops here (recovery
-// interprets them before replay).
+// original mutation. Each replayed record runs through the same
+// clone-apply-publish cycle as a live mutation, so partially decoded or
+// failing records leave the published state untouched. Checkpoint
+// markers are no-ops here (recovery interprets them before replay).
 func (ix *Indexes) ApplyLogRecord(rec storage.Record) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return ix.applyLogRecordLocked(rec)
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	draft, err := ix.cur.Load().replayRecord(rec)
+	if err != nil {
+		return err
+	}
+	if draft != nil {
+		ix.publish(draft)
+	}
+	return nil
 }
 
-func (ix *Indexes) applyLogRecordLocked(rec storage.Record) error {
+// replayRecord validates and applies one record against a draft cloned
+// from s, returning the draft (nil for marker records).
+func (s *Snapshot) replayRecord(rec storage.Record) (*Snapshot, error) {
 	switch rec.Kind {
 	case storage.RecCheckpoint:
-		return nil
+		return nil, nil
 	case storage.RecTextBatch:
 		updates, err := decodeTextBatch(rec.Payload)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if err := ix.validateTexts(updates); err != nil {
-			return fmt.Errorf("core: replaying text batch: %w", err)
+		if err := s.validateTexts(updates); err != nil {
+			return nil, fmt.Errorf("core: replaying text batch: %w", err)
 		}
-		return ix.applyTexts(updates)
+		draft := s.cloneForText()
+		if err := draft.applyTexts(updates); err != nil {
+			return nil, err
+		}
+		return draft, nil
 	case storage.RecAttrUpdate:
 		a, value, err := decodeAttrUpdate(rec.Payload)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if err := ix.validateAttr(a); err != nil {
-			return fmt.Errorf("core: replaying attr update: %w", err)
+		if err := s.validateAttr(a); err != nil {
+			return nil, fmt.Errorf("core: replaying attr update: %w", err)
 		}
-		ix.applyAttr(a, value)
-		return nil
+		draft := s.cloneForAttr()
+		draft.applyAttr(a, value)
+		return draft, nil
 	case storage.RecDelete:
 		n, err := decodeDelete(rec.Payload)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if err := ix.validateDelete(n); err != nil {
-			return fmt.Errorf("core: replaying delete: %w", err)
+		if err := s.validateDelete(n); err != nil {
+			return nil, fmt.Errorf("core: replaying delete: %w", err)
 		}
-		return ix.applyDelete(n)
+		draft := s.cloneForStructure()
+		if err := draft.applyDelete(n); err != nil {
+			return nil, err
+		}
+		return draft, nil
 	case storage.RecInsert:
 		parent, pos, frag, err := decodeInsert(rec.Payload)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if err := ix.validateInsert(parent, pos, frag); err != nil {
-			return fmt.Errorf("core: replaying insert: %w", err)
+		if err := s.validateInsert(parent, pos, frag); err != nil {
+			return nil, fmt.Errorf("core: replaying insert: %w", err)
 		}
-		_, err = ix.applyInsert(parent, pos, frag)
-		return err
+		draft := s.cloneForStructure()
+		if _, err := draft.applyInsert(parent, pos, frag); err != nil {
+			return nil, err
+		}
+		return draft, nil
 	default:
-		return fmt.Errorf("core: unknown WAL record kind %v", rec.Kind)
+		return nil, fmt.Errorf("core: unknown WAL record kind %v", rec.Kind)
 	}
 }
 
@@ -282,8 +305,8 @@ func (ix *Indexes) applyLogRecordLocked(rec storage.Record) error {
 // walPath. syncEvery batches fsyncs (see storage.WAL); <= 1 syncs every
 // record.
 func (ix *Indexes) StartDurable(snapshotPath, walPath string, syncEvery int) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
 	if ix.wal != nil {
 		return errors.New("core: a write-ahead log is already attached")
 	}
@@ -337,16 +360,16 @@ func OpenDurable(snapshotPath, walPath string, syncEvery int) (*Indexes, error) 
 	}
 
 	switch {
-	case logGen > ix.walGen:
-		return fail(fmt.Errorf("%w: snapshot generation %d, log generation %d", ErrStaleSnapshot, ix.walGen, logGen))
-	case logGen < ix.walGen:
+	case logGen > ix.walGen.Load():
+		return fail(fmt.Errorf("%w: snapshot generation %d, log generation %d", ErrStaleSnapshot, ix.walGen.Load(), logGen))
+	case logGen < ix.walGen.Load():
 		// The crash landed between the checkpoint's snapshot rename and
 		// its log reset: every logged record is already in the snapshot.
 		// Discard the log and restamp it with the snapshot's generation.
 		if err := w.Reset(); err != nil {
 			return fail(err)
 		}
-		if err := w.Append(storage.RecCheckpoint, encodeCheckpoint(ix.walGen)); err != nil {
+		if err := w.Append(storage.RecCheckpoint, encodeCheckpoint(ix.walGen.Load())); err != nil {
 			return fail(err)
 		}
 	default:
@@ -358,7 +381,7 @@ func OpenDurable(snapshotPath, walPath string, syncEvery int) (*Indexes, error) 
 		if len(records) == 0 {
 			// Brand-new (or fully torn-away) log: stamp it so future
 			// recoveries can check the pairing.
-			if err := w.Append(storage.RecCheckpoint, encodeCheckpoint(ix.walGen)); err != nil {
+			if err := w.Append(storage.RecCheckpoint, encodeCheckpoint(ix.walGen.Load())); err != nil {
 				return fail(err)
 			}
 		}
@@ -367,10 +390,10 @@ func OpenDurable(snapshotPath, walPath string, syncEvery int) (*Indexes, error) 
 	if err := ix.VerifyLeaves(); err != nil {
 		return fail(fmt.Errorf("core: recovered state failed verification: %w", err))
 	}
-	ix.mu.Lock()
+	ix.wmu.Lock()
 	ix.wal = w
 	ix.snapshotPath = snapshotPath
-	ix.mu.Unlock()
+	ix.wmu.Unlock()
 	return ix, nil
 }
 
@@ -379,8 +402,8 @@ func OpenDurable(snapshotPath, walPath string, syncEvery int) (*Indexes, error) 
 // recovery time and log growth. Updates logged before Checkpoint returns
 // are durable in the snapshot; the log restarts empty.
 func (ix *Indexes) Checkpoint() error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
 	if ix.wal == nil {
 		return ErrNoWAL
 	}
@@ -390,8 +413,8 @@ func (ix *Indexes) Checkpoint() error {
 // CheckpointTo is Checkpoint with a new snapshot path, which also
 // becomes the target of subsequent Checkpoint calls.
 func (ix *Indexes) CheckpointTo(path string) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
 	if ix.wal == nil {
 		return ErrNoWAL
 	}
@@ -399,17 +422,19 @@ func (ix *Indexes) CheckpointTo(path string) error {
 	return ix.checkpointLocked(path)
 }
 
+// checkpointLocked runs under wmu: it snapshots the currently published
+// version, which cannot change while the writer mutex is held.
 func (ix *Indexes) checkpointLocked(path string) error {
-	prev := ix.walGen
-	ix.walGen = prev + 1
+	prev := ix.walGen.Load()
+	ix.walGen.Store(prev + 1)
 	tmp := path + ".tmp"
-	if err := ix.saveFile(tmp, true); err != nil {
-		ix.walGen = prev
+	if err := ix.cur.Load().saveFile(tmp, true, prev+1); err != nil {
+		ix.walGen.Store(prev)
 		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		ix.walGen = prev
+		ix.walGen.Store(prev)
 		os.Remove(tmp)
 		return err
 	}
@@ -422,7 +447,7 @@ func (ix *Indexes) checkpointLocked(path string) error {
 	if err := ix.wal.Reset(); err != nil {
 		return fmt.Errorf("core: checkpoint snapshot written but log reset failed (log poisoned, further updates will fail): %w", err)
 	}
-	if err := ix.wal.Append(storage.RecCheckpoint, encodeCheckpoint(ix.walGen)); err != nil {
+	if err := ix.wal.Append(storage.RecCheckpoint, encodeCheckpoint(ix.walGen.Load())); err != nil {
 		return fmt.Errorf("core: checkpoint snapshot written but marker append failed (log poisoned, further updates will fail): %w", err)
 	}
 	return nil
@@ -442,15 +467,13 @@ func syncDir(dir string) {
 // WALGeneration reports the current checkpoint generation (0 before the
 // first checkpoint or when no WAL was ever attached).
 func (ix *Indexes) WALGeneration() uint64 {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.walGen
+	return ix.walGen.Load()
 }
 
 // HasWAL reports whether a write-ahead log is attached.
 func (ix *Indexes) HasWAL() bool {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
 	return ix.wal != nil
 }
 
@@ -458,8 +481,8 @@ func (ix *Indexes) HasWAL() bool {
 // without a WAL). Call at quiesce points when running with fsync
 // batching (syncEvery > 1).
 func (ix *Indexes) SyncWAL() error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
 	if ix.wal == nil {
 		return nil
 	}
@@ -469,8 +492,8 @@ func (ix *Indexes) SyncWAL() error {
 // CloseWAL syncs and detaches the write-ahead log. The index set remains
 // usable in memory; further updates are no longer logged.
 func (ix *Indexes) CloseWAL() error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
 	if ix.wal == nil {
 		return nil
 	}

@@ -400,3 +400,100 @@ func TestValidationFailuresLogNothing(t *testing.T) {
 	}
 	ix.CloseWAL()
 }
+
+// TestOpenDurableCrashMidVersionPublish is the MVCC flavour of the
+// crash-injection property: a sequence of version-publishing commits
+// (text batch, attr update, delete, insert) runs against a durable
+// index, and a crash is injected at EVERY byte boundary of the logged
+// tail. Recovery must always land on exactly one of the published
+// version boundaries — the document is byte-identical to some pre- or
+// post-commit snapshot, never a blend of two versions — and the number
+// of recovered commits grows monotonically with the surviving prefix.
+func TestOpenDurableCrashMidVersionPublish(t *testing.T) {
+	ix, snap, wal := durablePair(t, `<r at="0"><a>1</a><b>two</b><c>3.5</c></r>`, 1)
+
+	// states[g] is the serialized document after g commits.
+	states := [][]byte{docXML(t, ix)}
+	commit := func(f func() error) {
+		t.Helper()
+		if err := f(); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, docXML(t, ix))
+	}
+	texts := textNodesOf(ix.Doc())
+	commit(func() error {
+		return ix.UpdateTexts([]TextUpdate{
+			{Node: texts[0], Value: "42"},
+			{Node: texts[1], Value: "forty-two"},
+		})
+	})
+	commit(func() error { return ix.UpdateAttr(0, "updated") })
+	commit(func() error {
+		doc := ix.Doc()
+		for i := 0; i < doc.NumNodes(); i++ {
+			n := xmltree.NodeID(i)
+			if doc.Kind(n) == xmltree.Element && doc.Name(n) == "b" {
+				return ix.DeleteSubtree(n)
+			}
+		}
+		return fmt.Errorf("no <b>")
+	})
+	commit(func() error {
+		_, err := ix.InsertChildren(ix.Doc().Root(), 0, mustParseForTest(t, `<d ts="2009-03-24">12.5</d>`))
+		return err
+	})
+	commit(func() error { return ix.UpdateText(textNodesOf(ix.Doc())[0], "99.5") })
+	if err := ix.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	rawSnap, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawWAL, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lastRecovered := 0
+	for cut := 0; cut <= len(rawWAL); cut++ {
+		dir := t.TempDir()
+		snapCopy := filepath.Join(dir, "db.xvi")
+		walCopy := filepath.Join(dir, "db.wal")
+		if err := os.WriteFile(snapCopy, rawSnap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(walCopy, rawWAL[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenDurable(snapCopy, walCopy, 1)
+		if err != nil {
+			t.Fatalf("cut@%d: recovery failed: %v", cut, err)
+		}
+		got := docXML(t, re)
+		verr := re.Verify()
+		re.CloseWAL()
+		if verr != nil {
+			t.Fatalf("cut@%d: recovered index fails Verify: %v", cut, verr)
+		}
+		recovered := -1
+		for g, want := range states {
+			if bytes.Equal(got, want) {
+				recovered = g
+				break
+			}
+		}
+		if recovered < 0 {
+			t.Fatalf("cut@%d: recovered document matches no published version:\n%s", cut, got)
+		}
+		if recovered < lastRecovered {
+			t.Fatalf("cut@%d: recovered %d commits after %d at a shorter prefix", cut, recovered, lastRecovered)
+		}
+		lastRecovered = recovered
+	}
+	if lastRecovered != len(states)-1 {
+		t.Fatalf("full log recovered %d commits, want %d", lastRecovered, len(states)-1)
+	}
+}

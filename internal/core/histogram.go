@@ -171,7 +171,7 @@ func (ks *keyStats) estimateRange(lo, hi uint64) float64 {
 
 // rebuildStats derives fresh statistics for every built tree; called at
 // the end of Build and after loading a snapshot without a stats section.
-func (ix *Indexes) rebuildStats() {
+func (ix *Snapshot) rebuildStats() {
 	if ix.strTree != nil {
 		ix.strStats = buildKeyStats(ix.strTree)
 	}
@@ -182,7 +182,7 @@ func (ix *Indexes) rebuildStats() {
 // threshold. Called at the end of every mutating entry point, under the
 // write lock; a rebuild is O(tree) after O(tree/4) churn, so the
 // amortised cost per updated posting is O(1).
-func (ix *Indexes) maintainStats() {
+func (ix *Snapshot) maintainStats() {
 	if ix.strStats != nil && ix.strStats.stale() {
 		ix.strStats = buildKeyStats(ix.strTree)
 	}
@@ -196,13 +196,13 @@ func (ix *Indexes) maintainStats() {
 // strTreeInsert / strTreeDelete / treeInsert / treeDelete funnel every
 // B+tree mutation past the statistics layer, keeping bucket counts
 // exact between histogram rebuilds.
-func (ix *Indexes) strTreeInsert(h uint32, posting uint32) {
+func (ix *Snapshot) strTreeInsert(h uint32, posting uint32) {
 	if ix.strTree.Insert(uint64(h), posting) && ix.strStats != nil {
 		ix.strStats.noteInsert(uint64(h))
 	}
 }
 
-func (ix *Indexes) strTreeDelete(h uint32, posting uint32) {
+func (ix *Snapshot) strTreeDelete(h uint32, posting uint32) {
 	if ix.strTree.Delete(uint64(h), posting) && ix.strStats != nil {
 		ix.strStats.noteDelete(uint64(h))
 	}
@@ -232,9 +232,7 @@ type PlannerStats struct {
 
 // StringPlannerStats reports the string equi-index statistics; ok is
 // false when the index was not built.
-func (ix *Indexes) StringPlannerStats() (PlannerStats, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) StringPlannerStats() (PlannerStats, bool) {
 	if ix.strStats == nil {
 		return PlannerStats{}, false
 	}
@@ -243,9 +241,7 @@ func (ix *Indexes) StringPlannerStats() (PlannerStats, bool) {
 
 // TypedPlannerStats reports typed index id's statistics; ok is false
 // when the index was not built.
-func (ix *Indexes) TypedPlannerStats(id TypeID) (PlannerStats, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) TypedPlannerStats(id TypeID) (PlannerStats, bool) {
 	ti := ix.typedFor(id)
 	if ti == nil || ti.stats == nil {
 		return PlannerStats{}, false
@@ -257,9 +253,7 @@ func (ix *Indexes) TypedPlannerStats(id TypeID) (PlannerStats, bool) {
 // cardinality the planner assigns a hash-equality access path. The
 // estimate is the average hash-cluster size capped by the covering
 // bucket, so it answers in O(log buckets) regardless of tree size.
-func (ix *Indexes) EstimateStringEq(value string) float64 {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) EstimateStringEq(value string) float64 {
 	if ix.strStats == nil {
 		return 0
 	}
@@ -269,9 +263,7 @@ func (ix *Indexes) EstimateStringEq(value string) float64 {
 // EstimateTypedRange estimates how many postings fall in [lo, hi] under
 // typed index id (bounds exclusive when incLo/incHi are false) — the
 // cardinality the planner assigns a B+tree range access path.
-func (ix *Indexes) EstimateTypedRange(id TypeID, lo, hi uint64, incLo, incHi bool) float64 {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) EstimateTypedRange(id TypeID, lo, hi uint64, incLo, incHi bool) float64 {
 	ti := ix.typedFor(id)
 	if ti == nil || ti.stats == nil {
 		return 0

@@ -75,7 +75,7 @@ func TestKeyStatsRangeAccuracy(t *testing.T) {
 func TestKeyStatsMaintenance(t *testing.T) {
 	doc := mustParseForTest(t, makeNumDoc(400))
 	ix := Build(doc, Options{Double: true})
-	ti := ix.typedFor(TypeDouble)
+	ti := ix.Snapshot().typedFor(TypeDouble)
 	if ti.stats == nil {
 		t.Fatal("no stats after Build")
 	}
@@ -92,6 +92,9 @@ func TestKeyStatsMaintenance(t *testing.T) {
 	if err := ix.UpdateTexts(updates); err != nil {
 		t.Fatal(err)
 	}
+	// The commit published a new version; re-fetch its typed index (the
+	// old ti still describes the pre-update snapshot, by design).
+	ti = ix.Snapshot().typedFor(TypeDouble)
 	if ti.stats.sum() != ti.tree.Len() {
 		t.Fatalf("after updates: histogram population %d, tree %d", ti.stats.sum(), ti.tree.Len())
 	}
@@ -153,7 +156,7 @@ func TestStatsSectionOptional(t *testing.T) {
 	// Clear the in-memory stats and save: writeStats persists an empty
 	// placeholder whose population (0) mismatches the tree, forcing
 	// loadStats down the rebuild path.
-	ti := ix.typedFor(TypeDouble)
+	ti := ix.Snapshot().typedFor(TypeDouble)
 	saved := ti.stats
 	ti.stats = nil
 	path := filepath.Join(t.TempDir(), "nostats.xvi")

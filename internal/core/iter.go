@@ -17,14 +17,14 @@ import (
 // typed range iterators interleave each hit's single-child ancestor
 // chain, exactly like the materialised Range* lookups.
 //
-// The iterator holds the index read lock from construction until Close,
-// so a concurrent update cannot slip between candidate retrieval and
-// verification. Close must be called exactly once. Read locks do not
-// nest under a pending writer, so a goroutine must drain or Close one
-// iterator before opening the next — the executor opens its access
-// paths strictly one at a time.
+// The iterator pins the Snapshot it was opened on, so a concurrent
+// update cannot slip between candidate retrieval and verification:
+// published versions are immutable and a writer's copy-on-write commit
+// never touches the node graph a live cursor walks. Close is a no-op
+// kept for API symmetry (the snapshot is released by the garbage
+// collector once unreachable); it remains safe to call exactly once.
 type PostingIter struct {
-	ix  *Indexes
+	ix  *Snapshot
 	cur *btree.Cursor
 	hi  uint64
 
@@ -42,8 +42,7 @@ type PostingIter struct {
 // StringEqIter streams the verified postings whose string value equals
 // value, in ascending posting order (the hash index stores one posting
 // per node, wrappers included, so no chain lifting applies).
-func (ix *Indexes) StringEqIter(value string) *PostingIter {
-	ix.mu.RLock()
+func (ix *Snapshot) StringEqIter(value string) *PostingIter {
 	it := &PostingIter{ix: ix, verify: value, doVerify: true}
 	if ix.strTree != nil {
 		h := uint64(vhash.HashString(value))
@@ -57,8 +56,7 @@ func (ix *Indexes) StringEqIter(value string) *PostingIter {
 // index id has an encoded key in [lo, hi] (exclusive bounds when
 // incLo/incHi are false), in ascending value order, with each hit's
 // wrapper-element chain interleaved.
-func (ix *Indexes) TypedRangeIter(id TypeID, lo, hi uint64, incLo, incHi bool) *PostingIter {
-	ix.mu.RLock()
+func (ix *Snapshot) TypedRangeIter(id TypeID, lo, hi uint64, incLo, incHi bool) *PostingIter {
 	it := &PostingIter{ix: ix, chainLift: true}
 	ti := ix.typedFor(id)
 	if ti == nil {
@@ -127,8 +125,9 @@ func (it *PostingIter) Next() (Posting, bool) {
 	}
 }
 
-// Close releases the index read lock. It must be called exactly once per
-// iterator, drained or not.
+// Close releases the iterator's cursor state. Snapshot reads take no
+// locks, so this only drops references; calling it after draining (or
+// abandoning) an iterator keeps the old locking contract's shape.
 func (it *PostingIter) Close() {
 	if it.closed {
 		return
@@ -136,5 +135,4 @@ func (it *PostingIter) Close() {
 	it.closed = true
 	it.cur = nil
 	it.pending = nil
-	it.ix.mu.RUnlock()
 }

@@ -11,13 +11,11 @@ import (
 // LookupStringCandidates returns the postings whose hash equals H(value),
 // unverified: hash collisions may contribute false positives, which the
 // paper's query pipeline filters afterwards (see LookupString).
-func (ix *Indexes) LookupStringCandidates(value string) []Posting {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) LookupStringCandidates(value string) []Posting {
 	return ix.lookupStringCandidates(value)
 }
 
-func (ix *Indexes) lookupStringCandidates(value string) []Posting {
+func (ix *Snapshot) lookupStringCandidates(value string) []Posting {
 	if ix.strTree == nil {
 		return nil
 	}
@@ -37,9 +35,7 @@ func (ix *Indexes) lookupStringCandidates(value string) []Posting {
 // the paper describes in Section 3). Candidate retrieval and verification
 // run under one read-lock acquisition, so a concurrent update cannot slip
 // between them.
-func (ix *Indexes) LookupString(value string) []Posting {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) LookupString(value string) []Posting {
 	cands := ix.lookupStringCandidates(value)
 	out := cands[:0]
 	for _, p := range cands {
@@ -50,7 +46,7 @@ func (ix *Indexes) LookupString(value string) []Posting {
 	return out
 }
 
-func (ix *Indexes) postingStringValue(p Posting) string {
+func (ix *Snapshot) postingStringValue(p Posting) string {
 	if p.IsAttr {
 		return ix.doc.AttrValue(p.Attr)
 	}
@@ -62,13 +58,11 @@ func (ix *Indexes) postingStringValue(p Posting) string {
 // incLo/incHi are false), in ascending value order — the generic range
 // lookup every per-type entry point delegates to. Keys compare in value
 // order because every TypeSpec.Encode is order-preserving.
-func (ix *Indexes) RangeTyped(id TypeID, lo, hi uint64, incLo, incHi bool) []Posting {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) RangeTyped(id TypeID, lo, hi uint64, incLo, incHi bool) []Posting {
 	return ix.rangeTyped(id, lo, hi, incLo, incHi)
 }
 
-func (ix *Indexes) rangeTyped(id TypeID, lo, hi uint64, incLo, incHi bool) []Posting {
+func (ix *Snapshot) rangeTyped(id TypeID, lo, hi uint64, incLo, incHi bool) []Posting {
 	ti := ix.typedFor(id)
 	if ti == nil {
 		return nil
@@ -99,13 +93,11 @@ func (ix *Indexes) rangeTyped(id TypeID, lo, hi uint64, incLo, incHi bool) []Pos
 // satisfies lo ≤ v ≤ hi (with exclusive bounds when incLo/incHi are
 // false), in ascending value order. A NaN bound denotes an empty range
 // (XPath comparisons with NaN are always false), never a key-space scan.
-func (ix *Indexes) RangeDouble(lo, hi float64, incLo, incHi bool) []Posting {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) RangeDouble(lo, hi float64, incLo, incHi bool) []Posting {
 	return ix.rangeDouble(lo, hi, incLo, incHi)
 }
 
-func (ix *Indexes) rangeDouble(lo, hi float64, incLo, incHi bool) []Posting {
+func (ix *Snapshot) rangeDouble(lo, hi float64, incLo, incHi bool) []Posting {
 	if math.IsNaN(lo) || math.IsNaN(hi) {
 		return nil
 	}
@@ -116,7 +108,7 @@ func (ix *Indexes) rangeDouble(lo, hi float64, incLo, incHi bool) []Posting {
 // chain: wrapper elements share their only contributing child's value and
 // are not stored in the value trees, so they are materialised here (the
 // inverse of the storage rule in typedIndex.treeKey).
-func (ix *Indexes) appendWithChain(out []Posting, p Posting) []Posting {
+func (ix *Snapshot) appendWithChain(out []Posting, p Posting) []Posting {
 	out = append(out, p)
 	if p.IsAttr {
 		return out
@@ -150,34 +142,26 @@ func countContributing(doc *xmltree.Doc, n xmltree.NodeID) int {
 // exactly — the generic-index answer to the paper's introduction example
 // //person[.//age = 42], where "42", "42.0", " +4.2E1", and the
 // mixed-content <age><decades>4</decades>2<years/></age> all match.
-func (ix *Indexes) LookupDoubleEq(v float64) []Posting {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) LookupDoubleEq(v float64) []Posting {
 	return ix.rangeDouble(v, v, true, true)
 }
 
 // RangeDateTime returns the postings of nodes whose dateTime value in
 // epoch milliseconds m satisfies lo ≤ m ≤ hi, ascending.
-func (ix *Indexes) RangeDateTime(lo, hi int64) []Posting {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) RangeDateTime(lo, hi int64) []Posting {
 	return ix.rangeTyped(TypeDateTime, btree.EncodeInt64(lo), btree.EncodeInt64(hi), true, true)
 }
 
 // RangeDate returns the postings of nodes whose xs:date value in days
 // since the epoch d satisfies lo ≤ d ≤ hi, ascending.
-func (ix *Indexes) RangeDate(lo, hi int64) []Posting {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) RangeDate(lo, hi int64) []Posting {
 	return ix.rangeTyped(TypeDate, btree.EncodeInt64(lo), btree.EncodeInt64(hi), true, true)
 }
 
 // ScanStringEquals is the index-less baseline: walk every indexed node and
 // compare materialised string values. Used by the ablation benches and by
 // tests as ground truth.
-func (ix *Indexes) ScanStringEquals(value string) []Posting {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) ScanStringEquals(value string) []Posting {
 	doc := ix.doc
 	var out []Posting
 	for i := 0; i < doc.NumNodes(); i++ {
@@ -228,9 +212,7 @@ func ScanTypedRange(doc *xmltree.Doc, id TypeID, lo, hi uint64) []Posting {
 
 // ScanDoubleRange is the index-less baseline for double range predicates:
 // it materialises and casts every node's string value.
-func (ix *Indexes) ScanDoubleRange(lo, hi float64, incLo, incHi bool) []Posting {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) ScanDoubleRange(lo, hi float64, incLo, incHi bool) []Posting {
 	doc := ix.doc
 	var out []Posting
 	within := func(v float64) bool {
@@ -262,8 +244,6 @@ func (ix *Indexes) ScanDoubleRange(lo, hi float64, incLo, incHi bool) []Posting 
 
 // ScanDateRange is the index-less baseline for xs:date range predicates
 // over epoch days.
-func (ix *Indexes) ScanDateRange(lo, hi int64) []Posting {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) ScanDateRange(lo, hi int64) []Posting {
 	return ScanTypedRange(ix.doc, TypeDate, btree.EncodeInt64(lo), btree.EncodeInt64(hi))
 }

@@ -240,7 +240,7 @@ func parallelFor(workers, jobs int, f func(i int)) {
 // fold, parallel bulk loads. Results are bit-for-bit identical to the
 // serial build (parallel_test.go pins this property per registered
 // type, down to snapshot bytes).
-func (ix *Indexes) buildParallel(workers int) {
+func (ix *Snapshot) buildParallel(workers int) {
 	doc := ix.doc
 	spine, shards := planShards(doc, workers)
 
@@ -294,7 +294,7 @@ func (ix *Indexes) buildParallel(workers int) {
 // from post-update refolds. What Build adds on top of an update's refold
 // is entry collection: a value-tree entry for COMBINED (mixed-content)
 // values.
-func (ix *Indexes) buildSpine(spine []xmltree.NodeID) {
+func (ix *Snapshot) buildSpine(spine []xmltree.NodeID) {
 	doc := ix.doc
 	for i := len(spine) - 1; i >= 0; i-- {
 		n := spine[i]

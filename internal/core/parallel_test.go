@@ -36,8 +36,9 @@ func dumpTree(t *btree.Tree) []btree.Entry {
 // assertIndexesEqual compares every observable structure of two index
 // sets built over equal documents: per-node and per-attribute hashes,
 // per-type elements, fragment items, and full tree contents.
-func assertIndexesEqual(t *testing.T, want, got *Indexes) {
+func assertIndexesEqual(t *testing.T, wantIx, gotIx *Indexes) {
 	t.Helper()
+	want, got := wantIx.Snapshot(), gotIx.Snapshot()
 	if len(want.hash) != len(got.hash) {
 		t.Fatalf("hash column length %d, want %d", len(got.hash), len(want.hash))
 	}

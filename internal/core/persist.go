@@ -55,31 +55,31 @@ const (
 func TypedSectionName(id TypeID) string { return fmt.Sprintf("typed.%d", id) }
 
 // Save writes the document and all built indices to a snapshot file at
-// path (page-structured, checksummed; see the storage package).
-func (ix *Indexes) Save(path string) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.saveFile(path, false)
+// path (page-structured, checksummed; see the storage package). Snapshots
+// are immutable once published, so Save needs no locking — it serialises
+// exactly the version it was called on, even while later versions commit.
+func (ix *Snapshot) Save(path string) error {
+	return ix.saveFile(path, false, 0)
 }
 
-// saveFile writes a complete snapshot without taking the lock; callers
-// hold it. withWALGen stamps the current checkpoint generation into the
-// snapshot (checkpoints only — a plain Save deliberately produces a
-// generation-0 snapshot that no existing log pairs with, because its
-// records would double-apply on top of the freshly saved state).
-func (ix *Indexes) saveFile(path string, withWALGen bool) error {
+// saveFile writes a complete snapshot. withWALGen stamps walGen, the
+// checkpoint generation, into the snapshot (checkpoints only — a plain
+// Save deliberately produces a generation-0 snapshot that no existing
+// log pairs with, because its records would double-apply on top of the
+// freshly saved state).
+func (ix *Snapshot) saveFile(path string, withWALGen bool, walGen uint64) error {
 	w, err := storage.NewWriter(path)
 	if err != nil {
 		return err
 	}
-	if err := ix.save(w, withWALGen); err != nil {
+	if err := ix.save(w, withWALGen, walGen); err != nil {
 		w.Close()
 		return err
 	}
 	return w.Close()
 }
 
-func (ix *Indexes) save(w *storage.Writer, withWALGen bool) error {
+func (ix *Snapshot) save(w *storage.Writer, withWALGen bool, walGen uint64) error {
 	sec, err := w.Section(SectionMeta)
 	if err != nil {
 		return err
@@ -160,7 +160,7 @@ func (ix *Indexes) save(w *storage.Writer, withWALGen bool) error {
 			return err
 		}
 		se = newSliceEncoder(sec)
-		se.uv(ix.walGen)
+		se.uv(walGen)
 		if err := se.flush(); err != nil {
 			return err
 		}
@@ -227,7 +227,7 @@ func load(r *storage.Reader) (*Indexes, error) {
 		return nil, err
 	}
 	n, na := doc.NumNodes(), doc.NumAttrs()
-	ix := &Indexes{doc: doc, opts: optionsForTypes(hasString, typeIDs)}
+	ix := &Snapshot{doc: doc, opts: optionsForTypes(hasString, typeIDs)}
 
 	sec, err = r.Section(SectionStable)
 	if err != nil {
@@ -283,26 +283,29 @@ func load(r *storage.Reader) (*Indexes, error) {
 		}
 		ix.typed = append(ix.typed, ti)
 	}
+	var walGen uint64
 	if r.SectionLen(SectionWALGen) >= 0 {
 		sec, err = r.Section(SectionWALGen)
 		if err != nil {
 			return nil, err
 		}
 		sd = newSliceDecoder(sec)
-		ix.walGen = sd.uv()
+		walGen = sd.uv()
 		if sd.err != nil {
 			return nil, fmt.Errorf("core: reading snapshot WAL generation: %w", sd.err)
 		}
 	}
 	ix.completeDerived()
 	ix.loadStats(r)
-	return ix, nil
+	out := wrapSnapshot(ix)
+	out.walGen.Store(walGen)
+	return out, nil
 }
 
 // writeStats persists the planner statistics: one keyStats per built
 // tree, in the order the meta section declares them (string first, then
 // the typed manifest).
-func (ix *Indexes) writeStats(w *storage.Writer) error {
+func (ix *Snapshot) writeStats(w *storage.Writer) error {
 	sec, err := w.Section(SectionStats)
 	if err != nil {
 		return err
@@ -344,7 +347,7 @@ func writeKeyStats(se *sliceEncoder, ks *keyStats) {
 // back to a rebuild from the trees whenever the section is absent (an
 // older snapshot), has an unknown version, or fails sanity checks —
 // statistics are derived data, so a fallback is always safe.
-func (ix *Indexes) loadStats(r *storage.Reader) {
+func (ix *Snapshot) loadStats(r *storage.Reader) {
 	if r.SectionLen(SectionStats) < 0 {
 		ix.rebuildStats()
 		return
@@ -432,7 +435,7 @@ func (ks *keyStats) sum() int {
 
 // leafHashes extracts the persisted hash column: value-carrying leaves in
 // document order.
-func (ix *Indexes) leafHashes() []uint32 {
+func (ix *Snapshot) leafHashes() []uint32 {
 	doc := ix.doc
 	out := make([]uint32, 0, doc.NumNodes())
 	for i := 0; i < doc.NumNodes(); i++ {
@@ -460,7 +463,7 @@ func countLeaves(doc *xmltree.Doc) int {
 // texts were not persisted — a fast FSM run restores them), then interior
 // hashes and states by folding children with C and the SCT, bottom-up, in
 // O(document) without materialising any string value.
-func (ix *Indexes) completeDerived() {
+func (ix *Snapshot) completeDerived() {
 	doc := ix.doc
 	n := doc.NumNodes()
 	for i := 0; i < n; i++ {
@@ -523,7 +526,7 @@ func readTree(r io.Reader) (*btree.Tree, error) {
 // digit/punctuation content and attributes. Whitespace-only leaves and
 // interior elements are derived data, refolded on load via FSM runs and
 // SCT folds.
-func (ix *Indexes) writeTyped(w io.Writer, ti *typedIndex) error {
+func (ix *Snapshot) writeTyped(w io.Writer, ti *typedIndex) error {
 	doc := ix.doc
 	se := newSliceEncoder(w)
 	se.uv(typedSectionVersion)
@@ -605,7 +608,7 @@ func decodeRunVal(u uint64) float64 {
 	return math.Float64frombits(u >> 1)
 }
 
-func (ix *Indexes) readTyped(r io.Reader, ti *typedIndex, n, na int) error {
+func (ix *Snapshot) readTyped(r io.Reader, ti *typedIndex, n, na int) error {
 	sd := newSliceDecoder(r)
 	if v := sd.uv(); sd.err == nil && v != typedSectionVersion {
 		return fmt.Errorf("unsupported typed section format version %d (this build reads version %d)", v, typedSectionVersion)
@@ -739,9 +742,7 @@ func (p SaveParts) typeIDs() []TypeID {
 }
 
 // SavePartsTo writes only the selected sections to path.
-func (ix *Indexes) SavePartsTo(path string, parts SaveParts) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) SavePartsTo(path string, parts SaveParts) error {
 	w, err := storage.NewWriter(path)
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/fsm"
@@ -55,14 +56,28 @@ func (s TypeSpec) validate() error {
 	return nil
 }
 
-// typeRegistry is the process-wide table of known typed indexes, in
-// registration order (which fixes iteration order everywhere: build
-// loops, snapshots, stats).
-var typeRegistry = struct {
-	sync.RWMutex
+// regTable is one immutable version of the typed-index registry: a
+// published table is never mutated, so readers resolve specs with a
+// single atomic pointer load and no lock — the same copy-on-write
+// publication protocol the index snapshots use. Registration order is
+// part of the table (it fixes iteration order everywhere: build loops,
+// snapshots, stats).
+type regTable struct {
 	specs map[TypeID]TypeSpec
 	order []TypeID
-}{specs: make(map[TypeID]TypeSpec)}
+}
+
+var (
+	// regMu serialises writers (RegisterType); readers never take it.
+	regMu sync.Mutex
+	// typeRegistry points at the current immutable table. Initialised
+	// here, before the package init() below registers the built-ins.
+	typeRegistry = func() *atomic.Pointer[regTable] {
+		p := new(atomic.Pointer[regTable])
+		p.Store(&regTable{specs: make(map[TypeID]TypeSpec)})
+		return p
+	}()
+)
 
 // RegisterType adds a typed index to the registry. It is the single
 // extension point for new ordered XML types: define a base DFA (see
@@ -70,51 +85,62 @@ var typeRegistry = struct {
 // register — build, update, lookup, persist, verify, and stats pick the
 // type up with no further control flow. Registering a duplicate ID or
 // name, or an incomplete spec, panics: registration happens at init time
-// and a bad spec is a programming error.
+// and a bad spec is a programming error. Each registration publishes a
+// fresh table copy, so concurrent lookups (index builds, snapshot loads)
+// are never blocked, not even during registration.
 func RegisterType(spec TypeSpec) {
 	if err := spec.validate(); err != nil {
 		panic(err.Error())
 	}
-	typeRegistry.Lock()
-	defer typeRegistry.Unlock()
-	if _, dup := typeRegistry.specs[spec.ID]; dup {
+	regMu.Lock()
+	defer regMu.Unlock()
+	cur := typeRegistry.Load()
+	if _, dup := cur.specs[spec.ID]; dup {
 		panic(fmt.Sprintf("core: typed index ID %d registered twice", spec.ID))
 	}
-	for _, id := range typeRegistry.order {
-		if typeRegistry.specs[id].Name == spec.Name {
+	for _, id := range cur.order {
+		if cur.specs[id].Name == spec.Name {
 			panic(fmt.Sprintf("core: typed index name %q registered twice", spec.Name))
 		}
 	}
-	typeRegistry.specs[spec.ID] = spec
-	typeRegistry.order = append(typeRegistry.order, spec.ID)
+	next := &regTable{
+		specs: make(map[TypeID]TypeSpec, len(cur.specs)+1),
+		order: make([]TypeID, len(cur.order), len(cur.order)+1),
+	}
+	for id, s := range cur.specs {
+		next.specs[id] = s
+	}
+	copy(next.order, cur.order)
+	next.specs[spec.ID] = spec
+	next.order = append(next.order, spec.ID)
+	typeRegistry.Store(next)
 }
 
-// LookupType returns the spec registered under id.
+// LookupType returns the spec registered under id. Lock-free.
 func LookupType(id TypeID) (TypeSpec, bool) {
-	typeRegistry.RLock()
-	defer typeRegistry.RUnlock()
-	spec, ok := typeRegistry.specs[id]
+	t := typeRegistry.Load()
+	spec, ok := t.specs[id]
 	return spec, ok
 }
 
-// TypeByName returns the spec registered under name.
+// TypeByName returns the spec registered under name. Lock-free.
 func TypeByName(name string) (TypeSpec, bool) {
-	typeRegistry.RLock()
-	defer typeRegistry.RUnlock()
-	for _, id := range typeRegistry.order {
-		if typeRegistry.specs[id].Name == name {
-			return typeRegistry.specs[id], true
+	t := typeRegistry.Load()
+	for _, id := range t.order {
+		if t.specs[id].Name == name {
+			return t.specs[id], true
 		}
 	}
 	return TypeSpec{}, false
 }
 
 // RegisteredTypes lists all registered type IDs in registration order.
+// The table is immutable, so the returned slice is a copy only to keep
+// callers from appending into a published version.
 func RegisteredTypes() []TypeID {
-	typeRegistry.RLock()
-	defer typeRegistry.RUnlock()
-	out := make([]TypeID, len(typeRegistry.order))
-	copy(out, typeRegistry.order)
+	t := typeRegistry.Load()
+	out := make([]TypeID, len(t.order))
+	copy(out, t.order)
 	return out
 }
 

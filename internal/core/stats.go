@@ -65,9 +65,7 @@ func (s IndexStats) TypedFor(id TypeID) (TypedStats, bool) {
 }
 
 // Stats scans the index structures; cost is O(nodes · types).
-func (ix *Indexes) Stats() IndexStats {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) Stats() IndexStats {
 	doc := ix.doc
 	var s IndexStats
 	s.Attrs = doc.NumAttrs()
@@ -103,7 +101,7 @@ func (ix *Indexes) Stats() IndexStats {
 	return s
 }
 
-func (ix *Indexes) typedStats(ti *typedIndex) TypedStats {
+func (ix *Snapshot) typedStats(ti *typedIndex) TypedStats {
 	doc := ix.doc
 	ts := TypedStats{ID: ti.spec.ID, Name: ti.spec.Name}
 	for i := 0; i < doc.NumNodes(); i++ {
@@ -170,7 +168,7 @@ func isCombinedValue(doc *xmltree.Doc, n xmltree.NodeID) bool {
 // DocBytes estimates the persisted size of the document itself (node
 // columns + live heap + attribute table), the denominator of the storage
 // panels in Figure 9.
-func (ix *Indexes) DocBytes() int {
+func (ix *Snapshot) DocBytes() int {
 	doc := ix.doc
 	// kind 1 + size 4 + level 4 + parent 4 + name 4 + value ref 8 per node,
 	// name 4 + value ref 8 per attribute, plus the live text heap.

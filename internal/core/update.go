@@ -32,7 +32,7 @@ type oldKeys struct {
 
 // captureNodeInto snapshots node n's keys, appending typed-key states to
 // buf (which must be empty).
-func (ix *Indexes) captureNodeInto(buf []keyState, n xmltree.NodeID) oldKeys {
+func (ix *Snapshot) captureNodeInto(buf []keyState, n xmltree.NodeID) oldKeys {
 	var o oldKeys
 	if ix.hash != nil {
 		o.hash = ix.hash[n]
@@ -47,7 +47,7 @@ func (ix *Indexes) captureNodeInto(buf []keyState, n xmltree.NodeID) oldKeys {
 	return o
 }
 
-func (ix *Indexes) captureNode(n xmltree.NodeID) oldKeys {
+func (ix *Snapshot) captureNode(n xmltree.NodeID) oldKeys {
 	return ix.captureNodeInto(make([]keyState, 0, len(ix.typed)), n)
 }
 
@@ -55,7 +55,7 @@ func (ix *Indexes) captureNode(n xmltree.NodeID) oldKeys {
 // the capture→recompute→reindex sequences that consume the snapshot
 // before the next capture. Callers that retain snapshots (the structural
 // updates' ancestor maps) must use captureNode.
-func (ix *Indexes) captureNodeScratch(n xmltree.NodeID) oldKeys {
+func (ix *Snapshot) captureNodeScratch(n xmltree.NodeID) oldKeys {
 	o := ix.captureNodeInto(ix.scratchKeys[:0], n)
 	if o.typed != nil {
 		ix.scratchKeys = o.typed
@@ -65,7 +65,7 @@ func (ix *Indexes) captureNodeScratch(n xmltree.NodeID) oldKeys {
 
 // reindexNode diffs a node's keys against the snapshot and repairs the
 // B+trees. Non-indexed kinds (comments, PIs) keep fields but no postings.
-func (ix *Indexes) reindexNode(n xmltree.NodeID, old oldKeys) {
+func (ix *Snapshot) reindexNode(n xmltree.NodeID, old oldKeys) {
 	if !indexedNodeKind(ix.doc.Kind(n)) {
 		return
 	}
@@ -94,7 +94,7 @@ func diffTyped(ti *typedIndex, posting uint32, oldKey uint64, oldOK bool, newKey
 
 // recomputeLeaf refreshes the fields of a value-carrying node from its
 // (new) character data.
-func (ix *Indexes) recomputeLeaf(n xmltree.NodeID) {
+func (ix *Snapshot) recomputeLeaf(n xmltree.NodeID) {
 	val := ix.doc.ValueBytes(n)
 	stable := ix.stableOf[n]
 	if ix.hash != nil {
@@ -110,7 +110,7 @@ func (ix *Indexes) recomputeLeaf(n xmltree.NodeID) {
 // its immediate children's stored fields — the heart of the Figure 8
 // update algorithm: no text is read, only child hashes and states are
 // combined.
-func (ix *Indexes) recomputeInterior(n xmltree.NodeID) {
+func (ix *Snapshot) recomputeInterior(n xmltree.NodeID) {
 	doc := ix.doc
 	var h uint32
 	frags := ix.scratchFrags[:0]
@@ -142,9 +142,7 @@ func (ix *Indexes) recomputeInterior(n xmltree.NodeID) {
 // UpdateText changes the value of a single text node and maintains all
 // indices.
 func (ix *Indexes) UpdateText(n xmltree.NodeID, value string) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return ix.updateTexts([]TextUpdate{{Node: n, Value: value}})
+	return ix.UpdateTexts([]TextUpdate{{Node: n, Value: value}})
 }
 
 // UpdateTexts applies a batch of text-node value updates — the paper's
@@ -152,17 +150,20 @@ func (ix *Indexes) UpdateText(n xmltree.NodeID, value string) error {
 // FSMs once; every affected ancestor is then refolded exactly once from
 // its children's stored fields, deepest first, and the B+trees are
 // repaired by diffing keys.
+//
+// Like every mutating entry point, the batch is validated against the
+// current snapshot, write-ahead logged, applied to a private
+// copy-on-write draft, and published atomically — concurrent readers
+// keep running against the previous version throughout and observe the
+// whole batch or none of it.
 func (ix *Indexes) UpdateTexts(updates []TextUpdate) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return ix.updateTexts(updates)
-}
-
-func (ix *Indexes) updateTexts(updates []TextUpdate) error {
 	if len(updates) == 0 {
 		return nil
 	}
-	if err := ix.validateTexts(updates); err != nil {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	s := ix.cur.Load()
+	if err := s.validateTexts(updates); err != nil {
 		return err
 	}
 	// Write-ahead: the batch is logged (one record per UpdateTexts call,
@@ -172,12 +173,17 @@ func (ix *Indexes) updateTexts(updates []TextUpdate) error {
 			return err
 		}
 	}
-	return ix.applyTexts(updates)
+	draft := s.cloneForText()
+	if err := draft.applyTexts(updates); err != nil {
+		return err
+	}
+	ix.publish(draft)
+	return nil
 }
 
 // validateTexts rejects a batch that names non-value-carrying or
 // out-of-range nodes, before anything is logged or mutated.
-func (ix *Indexes) validateTexts(updates []TextUpdate) error {
+func (ix *Snapshot) validateTexts(updates []TextUpdate) error {
 	doc := ix.doc
 	for _, u := range updates {
 		if u.Node < 0 || int(u.Node) >= doc.NumNodes() {
@@ -193,7 +199,7 @@ func (ix *Indexes) validateTexts(updates []TextUpdate) error {
 }
 
 // applyTexts performs a validated batch against document and indices.
-func (ix *Indexes) applyTexts(updates []TextUpdate) error {
+func (ix *Snapshot) applyTexts(updates []TextUpdate) error {
 	doc := ix.doc
 	affected := make(map[xmltree.NodeID]struct{})
 	for _, u := range updates {
@@ -219,7 +225,7 @@ func (ix *Indexes) applyTexts(updates []TextUpdate) error {
 
 // refoldAncestors recomputes a set of interior nodes deepest-first
 // (descending pre order guarantees children precede parents).
-func (ix *Indexes) refoldAncestors(affected map[xmltree.NodeID]struct{}) {
+func (ix *Snapshot) refoldAncestors(affected map[xmltree.NodeID]struct{}) {
 	if len(affected) == 0 {
 		return
 	}
@@ -237,7 +243,7 @@ func (ix *Indexes) refoldAncestors(affected map[xmltree.NodeID]struct{}) {
 
 // refoldAncestorsWithOld is refoldAncestors for structural updates, where
 // the pre-mutation keys were captured by the caller.
-func (ix *Indexes) refoldAncestorsWithOld(olds map[xmltree.NodeID]oldKeys) {
+func (ix *Snapshot) refoldAncestorsWithOld(olds map[xmltree.NodeID]oldKeys) {
 	if len(olds) == 0 {
 		return
 	}
@@ -255,9 +261,10 @@ func (ix *Indexes) refoldAncestorsWithOld(olds map[xmltree.NodeID]oldKeys) {
 // UpdateAttr changes an attribute value. Attribute values do not
 // contribute to ancestor string values, so no refolding is needed.
 func (ix *Indexes) UpdateAttr(a xmltree.AttrID, value string) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if err := ix.validateAttr(a); err != nil {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	s := ix.cur.Load()
+	if err := s.validateAttr(a); err != nil {
 		return err
 	}
 	if ix.wal != nil {
@@ -265,18 +272,20 @@ func (ix *Indexes) UpdateAttr(a xmltree.AttrID, value string) error {
 			return err
 		}
 	}
-	ix.applyAttr(a, value)
+	draft := s.cloneForAttr()
+	draft.applyAttr(a, value)
+	ix.publish(draft)
 	return nil
 }
 
-func (ix *Indexes) validateAttr(a xmltree.AttrID) error {
+func (ix *Snapshot) validateAttr(a xmltree.AttrID) error {
 	if a < 0 || int(a) >= ix.doc.NumAttrs() {
 		return fmt.Errorf("core: attribute %d out of range", a)
 	}
 	return nil
 }
 
-func (ix *Indexes) applyAttr(a xmltree.AttrID, value string) {
+func (ix *Snapshot) applyAttr(a xmltree.AttrID, value string) {
 	doc := ix.doc
 	stable := ix.attrStableOf[a]
 	posting := packPosting(stable, true)
@@ -313,9 +322,10 @@ func (ix *Indexes) applyAttr(a xmltree.AttrID, value string) {
 // indices, then refolds the ancestor chain (the paper's subtree-deletion
 // variant of Figure 8).
 func (ix *Indexes) DeleteSubtree(n xmltree.NodeID) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if err := ix.validateDelete(n); err != nil {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	s := ix.cur.Load()
+	if err := s.validateDelete(n); err != nil {
 		return err
 	}
 	if ix.wal != nil {
@@ -323,10 +333,15 @@ func (ix *Indexes) DeleteSubtree(n xmltree.NodeID) error {
 			return err
 		}
 	}
-	return ix.applyDelete(n)
+	draft := s.cloneForStructure()
+	if err := draft.applyDelete(n); err != nil {
+		return err
+	}
+	ix.publish(draft)
+	return nil
 }
 
-func (ix *Indexes) validateDelete(n xmltree.NodeID) error {
+func (ix *Snapshot) validateDelete(n xmltree.NodeID) error {
 	if n <= 0 || int(n) >= ix.doc.NumNodes() {
 		if n == 0 {
 			return errors.New("core: cannot delete the document node")
@@ -336,7 +351,7 @@ func (ix *Indexes) validateDelete(n xmltree.NodeID) error {
 	return nil
 }
 
-func (ix *Indexes) applyDelete(n xmltree.NodeID) error {
+func (ix *Snapshot) applyDelete(n xmltree.NodeID) error {
 	doc := ix.doc
 	end := n + xmltree.NodeID(doc.Size(n))
 	parent := doc.Parent(n)
@@ -424,12 +439,13 @@ func (ix *Indexes) applyDelete(n xmltree.NodeID) error {
 // pass, and refolds the ancestor chain. It returns the first inserted
 // node.
 func (ix *Indexes) InsertChildren(parent xmltree.NodeID, pos int, frag *xmltree.Doc) (xmltree.NodeID, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
 	if pos < 0 {
 		pos = 0 // the tree layer treats negative positions as "insert first"
 	}
-	if err := ix.validateInsert(parent, pos, frag); err != nil {
+	s := ix.cur.Load()
+	if err := s.validateInsert(parent, pos, frag); err != nil {
 		return xmltree.InvalidNode, err
 	}
 	if ix.wal != nil {
@@ -441,13 +457,19 @@ func (ix *Indexes) InsertChildren(parent xmltree.NodeID, pos int, frag *xmltree.
 			return xmltree.InvalidNode, err
 		}
 	}
-	return ix.applyInsert(parent, pos, frag)
+	draft := s.cloneForStructure()
+	at, err := draft.applyInsert(parent, pos, frag)
+	if err != nil {
+		return xmltree.InvalidNode, err
+	}
+	ix.publish(draft)
+	return at, nil
 }
 
 // validateInsert mirrors the tree layer's insertion checks so the
 // operation can be logged before any mutation: a validated insert cannot
 // fail when applied.
-func (ix *Indexes) validateInsert(parent xmltree.NodeID, pos int, frag *xmltree.Doc) error {
+func (ix *Snapshot) validateInsert(parent xmltree.NodeID, pos int, frag *xmltree.Doc) error {
 	doc := ix.doc
 	if parent < 0 || int(parent) >= doc.NumNodes() {
 		return fmt.Errorf("core: node %d out of range", parent)
@@ -472,7 +494,7 @@ func (ix *Indexes) validateInsert(parent xmltree.NodeID, pos int, frag *xmltree.
 	return nil
 }
 
-func (ix *Indexes) applyInsert(parent xmltree.NodeID, pos int, frag *xmltree.Doc) (xmltree.NodeID, error) {
+func (ix *Snapshot) applyInsert(parent xmltree.NodeID, pos int, frag *xmltree.Doc) (xmltree.NodeID, error) {
 	doc := ix.doc
 	// Pre-capture ancestor keys: insertion can turn a wrapper element
 	// into a combined one, changing its tree membership.

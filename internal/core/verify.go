@@ -27,9 +27,7 @@ func castDouble(m *fsm.Machine, s string) (float64, bool) {
 // the fold, so this is the recovery contract's integrity check — O(total
 // character data), cheap enough to run at every OpenDurable, unlike the
 // full Verify.
-func (ix *Indexes) VerifyLeaves() error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) VerifyLeaves() error {
 	doc := ix.doc
 	for i := 0; i < doc.NumNodes(); i++ {
 		nd := xmltree.NodeID(i)
@@ -89,9 +87,7 @@ func (ix *Indexes) VerifyLeaves() error {
 // every typed index in the registry, the B+trees contain exactly the
 // expected postings, and the stable-id maps are mutually inverse. It is
 // O(document²·depth) in the worst case and meant for tests.
-func (ix *Indexes) Verify() error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+func (ix *Snapshot) Verify() error {
 	doc := ix.doc
 	n := doc.NumNodes()
 
@@ -216,7 +212,7 @@ func (ix *Indexes) Verify() error {
 	return nil
 }
 
-func (ix *Indexes) verifyTyped(n xmltree.NodeID, sv string) error {
+func (ix *Snapshot) verifyTyped(n xmltree.NodeID, sv string) error {
 	for _, ti := range ix.typed {
 		wantFrag, ok := ti.spec.Machine.ParseFragString(sv)
 		gotElem := ti.elems[n]
@@ -240,7 +236,7 @@ func (ix *Indexes) verifyTyped(n xmltree.NodeID, sv string) error {
 	return nil
 }
 
-func (ix *Indexes) verifyTypedAttr(a xmltree.AttrID, sv string) error {
+func (ix *Snapshot) verifyTypedAttr(a xmltree.AttrID, sv string) error {
 	for _, ti := range ix.typed {
 		wantFrag, ok := ti.spec.Machine.ParseFragString(sv)
 		gotElem := ti.attrElems[a]

@@ -187,7 +187,7 @@ func RunA3(cfg Config, dataset string) ([]A3Row, error) {
 			hits = len(res)
 
 			start = time.Now()
-			res2 := xpath.EvaluateIndexed(ix, parsed)
+			res2 := xpath.EvaluateIndexed(ix.Snapshot(), parsed)
 			idxNS += time.Since(start).Nanoseconds()
 			if len(res2) != hits {
 				return nil, fmt.Errorf("query %q: indexed %d hits, scan %d", q, len(res2), hits)

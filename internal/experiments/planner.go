@@ -57,14 +57,14 @@ func RunA6(cfg Config, dataset string, fracs []float64) ([]A6Row, error) {
 		// touch of navigation paths, allocator warm-up) stay out of the
 		// figures — the same policy warmMachines applies to the FSMs.
 		for _, m := range []plan.Mode{plan.ForceScan, plan.ForceIndex, plan.Auto} {
-			if _, _, err := plan.Run(ix, parsed, m); err != nil {
+			if _, _, err := plan.Run(ix.Snapshot(), parsed, m); err != nil {
 				return nil, err
 			}
 		}
 		var scanNS, idxNS, autoNS int64
 		for r := 0; r < cfg.repeat(); r++ {
 			start := time.Now()
-			res, _, err := plan.Run(ix, parsed, plan.ForceScan)
+			res, _, err := plan.Run(ix.Snapshot(), parsed, plan.ForceScan)
 			if err != nil {
 				return nil, err
 			}
@@ -72,7 +72,7 @@ func RunA6(cfg Config, dataset string, fracs []float64) ([]A6Row, error) {
 			row.Hits = len(res)
 
 			start = time.Now()
-			res2, _, err := plan.Run(ix, parsed, plan.ForceIndex)
+			res2, _, err := plan.Run(ix.Snapshot(), parsed, plan.ForceIndex)
 			if err != nil {
 				return nil, err
 			}
@@ -82,7 +82,7 @@ func RunA6(cfg Config, dataset string, fracs []float64) ([]A6Row, error) {
 			}
 
 			start = time.Now()
-			res3, pl, err := plan.Run(ix, parsed, plan.Auto)
+			res3, pl, err := plan.Run(ix.Snapshot(), parsed, plan.Auto)
 			if err != nil {
 				return nil, err
 			}
@@ -151,14 +151,14 @@ func RunA7(cfg Config, dataset string) ([]A7Row, error) {
 		row := A7Row{Dataset: dataset, Query: q}
 		// Warm-up (untimed), as in RunA6.
 		for _, m := range []plan.Mode{plan.Legacy, plan.Auto} {
-			if _, _, err := plan.Run(ix, parsed, m); err != nil {
+			if _, _, err := plan.Run(ix.Snapshot(), parsed, m); err != nil {
 				return nil, err
 			}
 		}
 		var legacyNS, plannerNS int64
 		for r := 0; r < cfg.repeat(); r++ {
 			start := time.Now()
-			res, _, err := plan.Run(ix, parsed, plan.Legacy)
+			res, _, err := plan.Run(ix.Snapshot(), parsed, plan.Legacy)
 			if err != nil {
 				return nil, err
 			}
@@ -166,7 +166,7 @@ func RunA7(cfg Config, dataset string) ([]A7Row, error) {
 			row.Hits = len(res)
 
 			start = time.Now()
-			res2, pl, err := plan.Run(ix, parsed, plan.Auto)
+			res2, pl, err := plan.Run(ix.Snapshot(), parsed, plan.Auto)
 			if err != nil {
 				return nil, err
 			}

@@ -25,7 +25,7 @@ const (
 // Prepare plans a query against the indexes under the given mode. It
 // fails with xpath.ErrUnsupportedPath (wrapped) for shapes the
 // evaluators cannot answer.
-func Prepare(ix *core.Indexes, path *xpath.Path, mode Mode) (*Plan, error) {
+func Prepare(ix *core.Snapshot, path *xpath.Path, mode Mode) (*Plan, error) {
 	if err := xpath.CheckSupported(path); err != nil {
 		return nil, err
 	}
@@ -57,7 +57,7 @@ func Prepare(ix *core.Indexes, path *xpath.Path, mode Mode) (*Plan, error) {
 
 // Run plans and executes in one call, returning the sorted postings and
 // the executed plan (actual cardinalities filled in).
-func Run(ix *core.Indexes, path *xpath.Path, mode Mode) ([]core.Posting, *Plan, error) {
+func Run(ix *core.Snapshot, path *xpath.Path, mode Mode) ([]core.Posting, *Plan, error) {
 	p, err := Prepare(ix, path, mode)
 	if err != nil {
 		return nil, nil, err

@@ -29,7 +29,7 @@ func FuzzQueryPlanned(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	ix := core.Build(doc, core.DefaultOptions())
+	ix := core.Build(doc, core.DefaultOptions()).Snapshot()
 	for _, seed := range []string{
 		`/site/people/person/name`,
 		`//person[age = 34.5]`,

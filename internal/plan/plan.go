@@ -151,7 +151,7 @@ type Plan struct {
 	// abstract work units (comparable across strategies for one query).
 	EstCost float64
 
-	ix   *core.Indexes
+	ix   *core.Snapshot
 	path *xpath.Path
 
 	// Physical choice: nil driver means scan (or legacy) execution.
@@ -204,7 +204,7 @@ type accessPath struct {
 }
 
 // open returns the streaming iterator for the access path.
-func (ap *accessPath) open(ix *core.Indexes) *core.PostingIter {
+func (ap *accessPath) open(ix *core.Snapshot) *core.PostingIter {
 	if ap.kind == pathHashEq {
 		return ix.StringEqIter(ap.value)
 	}

@@ -20,7 +20,7 @@ var allModes = []Mode{Auto, Legacy, ForceScan, ForceIndex}
 // corpusDoc is one indexed document of the shared shape corpus.
 type corpusDoc struct {
 	name string
-	ix   *core.Indexes
+	ix   *core.Snapshot
 }
 
 // queryCorpus returns the documents the equivalence property runs over:
@@ -35,7 +35,7 @@ func queryCorpus(t testing.TB) []corpusDoc {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		out = append(out, corpusDoc{name: name, ix: core.Build(doc, core.DefaultOptions())})
+		out = append(out, corpusDoc{name: name, ix: core.Build(doc, core.DefaultOptions()).Snapshot()})
 	}
 
 	xmark, err := datagen.Generate("xmark1", 0.05, 42)
@@ -159,7 +159,7 @@ func TestPlannedEquivalenceAfterUpdates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix := core.Build(doc, core.DefaultOptions())
+	idx := core.Build(doc, core.DefaultOptions())
 	// Rewrite a slice of text nodes so histograms churn.
 	var updates []core.TextUpdate
 	for i := 0; i < doc.NumNodes() && len(updates) < 500; i++ {
@@ -167,9 +167,10 @@ func TestPlannedEquivalenceAfterUpdates(t *testing.T) {
 			updates = append(updates, core.TextUpdate{Node: xmltree.NodeID(i), Value: fmt.Sprintf("%d", i%97)})
 		}
 	}
-	if err := ix.UpdateTexts(updates); err != nil {
+	if err := idx.UpdateTexts(updates); err != nil {
 		t.Fatal(err)
 	}
+	ix := idx.Snapshot() // plan against the post-update version
 	for _, q := range []string{
 		`//item[quantity = 7]`,
 		`//open_auction[initial > 4990]`,
@@ -199,7 +200,7 @@ func TestUnsupportedPathError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix := core.Build(doc, core.DefaultOptions())
+	ix := core.Build(doc, core.DefaultOptions()).Snapshot()
 	for _, q := range []string{`//@a/b`, `/r/@a/b[x = 1]`} {
 		path, err := xpath.Parse(q)
 		if err != nil {
@@ -229,7 +230,7 @@ func TestPlannerChoosesSelectiveDriver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix := core.Build(doc, core.DefaultOptions())
+	ix := core.Build(doc, core.DefaultOptions()).Snapshot()
 	path := xpath.MustParse(`//p[income > 0 and age = 1234]`)
 	pl, err := Prepare(ix, path, Auto)
 	if err != nil {
@@ -262,7 +263,7 @@ func TestPlannerIntersects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix := core.Build(doc, core.DefaultOptions())
+	ix := core.Build(doc, core.DefaultOptions()).Snapshot()
 	path := xpath.MustParse(`//p[x = 7 and y = 10]`)
 	pl, err := Prepare(ix, path, Auto)
 	if err != nil {
@@ -300,7 +301,7 @@ func TestExplainReportsCardinalities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix := core.Build(doc, core.DefaultOptions())
+	ix := core.Build(doc, core.DefaultOptions()).Snapshot()
 	path := xpath.MustParse(`//p[v >= 100 and v < 200]`)
 	pl, err := Prepare(ix, path, ForceIndex)
 	if err != nil {

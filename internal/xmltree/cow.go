@@ -1,0 +1,63 @@
+package xmltree
+
+// Copy-on-write document clones for the MVCC snapshot layer in
+// internal/core. A published Doc is treated as immutable; a writer that
+// wants to change it clones exactly the columns its operation writes and
+// shares the rest with the published version.
+//
+// The text heap makes this cheap without chunking: clones share the
+// underlying byte array but own their own textHeap header. The heap is
+// append-only, values published in version v live entirely below that
+// version's heap length, and writers are serialized by the caller, so a
+// later draft's appends land at offsets no published reader ever
+// dereferences (or on a freshly reallocated array when the append grows
+// the backing store). Compact, which rewrites references in place, must
+// never run on a Doc that has been published to concurrent readers.
+
+// CloneForText returns a copy of d that owns its value column and heap
+// header and shares every other column (structure, names, attributes)
+// with d. SetText on the clone leaves d unchanged.
+func (d *Doc) CloneForText() *Doc {
+	c := *d
+	c.value = append([]valueRef(nil), d.value...)
+	c.heap = &textHeap{data: d.heap.data}
+	return &c
+}
+
+// CloneForAttr returns a copy of d that owns its attrValue column and
+// heap header and shares every other column with d. SetAttrValue on the
+// clone leaves d unchanged.
+func (d *Doc) CloneForAttr() *Doc {
+	c := *d
+	c.attrValue = append([]valueRef(nil), d.attrValue...)
+	c.heap = &textHeap{data: d.heap.data}
+	return &c
+}
+
+// CloneForStructure returns a copy of d that owns every column, the name
+// dictionary, and the heap header. DeleteSubtree and InsertChildren
+// splice columns in place and intern new names, so structural edits need
+// the full copy.
+func (d *Doc) CloneForStructure() *Doc {
+	return &Doc{
+		kind:      append([]Kind(nil), d.kind...),
+		size:      append([]int32(nil), d.size...),
+		level:     append([]int32(nil), d.level...),
+		parent:    append([]NodeID(nil), d.parent...),
+		name:      append([]NameID(nil), d.name...),
+		value:     append([]valueRef(nil), d.value...),
+		attrStart: append([]int32(nil), d.attrStart...),
+		attrName:  append([]NameID(nil), d.attrName...),
+		attrValue: append([]valueRef(nil), d.attrValue...),
+		names:     d.names.clone(),
+		heap:      &textHeap{data: d.heap.data},
+	}
+}
+
+func (nd *nameDict) clone() *nameDict {
+	byName := make(map[string]NameID, len(nd.byName))
+	for k, v := range nd.byName {
+		byName[k] = v
+	}
+	return &nameDict{byName: byName, names: append([]string(nil), nd.names...)}
+}

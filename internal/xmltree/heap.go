@@ -82,6 +82,10 @@ func (d *nameDict) count() int { return len(d.names) }
 // Compact rewrites the text heap keeping only live ranges, releasing
 // garbage produced by value updates. References in the node and attribute
 // tables are rewritten in place. It returns the number of bytes reclaimed.
+//
+// Compact must not be called on a Doc published to concurrent readers
+// (see cow.go): it mutates value references other snapshot holders may
+// be reading. Compact only privately owned documents.
 func (d *Doc) Compact() int {
 	old := d.heap
 	fresh := newTextHeap()

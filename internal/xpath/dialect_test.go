@@ -17,7 +17,7 @@ func evalBoth(t *testing.T, xml, query string) ([]core.Posting, *xmltree.Doc) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix := core.Build(doc, core.DefaultOptions())
+	ix := core.Build(doc, core.DefaultOptions()).Snapshot()
 	q, err := Parse(query)
 	if err != nil {
 		t.Fatalf("parse %q: %v", query, err)

@@ -22,7 +22,7 @@ func Evaluate(doc *xmltree.Doc, path *Path) []core.Posting {
 // B+tree, candidates are mapped bottom-up to context nodes, and structure
 // plus remaining predicates are verified. Shapes with no indexable
 // condition fall back to Evaluate.
-func EvaluateIndexed(ix *core.Indexes, path *Path) []core.Posting {
+func EvaluateIndexed(ix *core.Snapshot, path *Path) []core.Posting {
 	ev := &evaluator{doc: ix.Doc(), ix: ix}
 	if res, ok := ev.runIndexed(path); ok {
 		return res
@@ -32,7 +32,7 @@ func EvaluateIndexed(ix *core.Indexes, path *Path) []core.Posting {
 
 type evaluator struct {
 	doc *xmltree.Doc
-	ix  *core.Indexes
+	ix  *core.Snapshot
 
 	// stepSeen and relSeen are reusable epoch-stamped visit sets
 	// replacing the per-step map[NodeID]bool and dedupe allocations on

@@ -47,7 +47,7 @@ type Exec struct {
 }
 
 // NewExec returns executor machinery over an indexed document.
-func NewExec(ix *core.Indexes) *Exec {
+func NewExec(ix *core.Snapshot) *Exec {
 	return &Exec{ev: evaluator{doc: ix.Doc(), ix: ix}}
 }
 

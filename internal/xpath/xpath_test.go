@@ -12,13 +12,13 @@ import (
 
 const personXML = `<person><name><first>Arthur</first><family>Dent</family></name><birthday>1966-09-26</birthday><age><decades>4</decades>2<years/></age><weight><kilos>78</kilos>.<grams>230</grams></weight></person>`
 
-func mustIndex(t testing.TB, xml string) *core.Indexes {
+func mustIndex(t testing.TB, xml string) *core.Snapshot {
 	t.Helper()
 	doc, err := xmlparse.ParseString(xml)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return core.Build(doc, core.DefaultOptions())
+	return core.Build(doc, core.DefaultOptions()).Snapshot()
 }
 
 func names(doc *xmltree.Doc, ps []core.Posting) []string {
@@ -210,7 +210,7 @@ func TestMissingIndexFallsBackToScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stringOnly := core.Build(doc, core.Options{String: true})
+	stringOnly := core.Build(doc, core.Options{String: true}).Snapshot()
 	cases := []string{
 		`//person[birthday < xs:date("1970-01-01")]`,
 		`//person[age > 40]`,
@@ -225,7 +225,7 @@ func TestMissingIndexFallsBackToScan(t *testing.T) {
 		assertSame(t, doc, scan, indexed)
 	}
 	// And string equality without the string index.
-	typedOnly := core.Build(doc, core.Options{Double: true, Date: true})
+	typedOnly := core.Build(doc, core.Options{Double: true, Date: true}).Snapshot()
 	q := MustParse(`//person[birthday = "1966-09-26"]`)
 	assertSame(t, doc, Evaluate(doc, q), EvaluateIndexed(typedOnly, q))
 }
@@ -353,7 +353,7 @@ func TestIndexedMatchesScanRandomized(t *testing.T) {
 	tags := []string{"a", "b", "c", "item", "price"}
 	for trial := 0; trial < 40; trial++ {
 		doc := randomDoc(rng, tags)
-		ix := core.Build(doc, core.DefaultOptions())
+		ix := core.Build(doc, core.DefaultOptions()).Snapshot()
 		for qi := 0; qi < 25; qi++ {
 			q := randomQuery(rng, tags)
 			parsed, err := Parse(q)
@@ -482,7 +482,7 @@ func BenchmarkScanVsIndexed(b *testing.B) {
 	}
 	bld.EndElement()
 	doc, _ := bld.Finish()
-	ix := core.Build(doc, core.DefaultOptions())
+	ix := core.Build(doc, core.DefaultOptions()).Snapshot()
 	q := MustParse(`//item[price = 42.42]`)
 	b.Run("scan", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

@@ -257,10 +257,13 @@ func (r Result) Path() string {
 	return path + suffix
 }
 
-func (d *Document) results(ps []core.Posting) []Result {
+// results binds postings to the document version they were computed
+// against, so a Result stays valid even when later commits publish new
+// versions.
+func (d *Document) results(ps []core.Posting, snap *core.Snapshot) []Result {
 	out := make([]Result, len(ps))
 	for i, p := range ps {
-		out[i] = Result{Node: p.Node, Attr: p.Attr, IsAttr: p.IsAttr, doc: d.ix.Doc()}
+		out[i] = Result{Node: p.Node, Attr: p.Attr, IsAttr: p.IsAttr, doc: snap.Doc()}
 	}
 	return out
 }
@@ -283,11 +286,14 @@ func (d *Document) Query(expr string) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ps, _, err := plan.Run(d.ix, p, d.planner)
+	// One snapshot pin per query: planning, execution, and result
+	// binding all observe the same index version, even mid-commit.
+	snap := d.ix.Snapshot()
+	ps, _, err := plan.Run(snap, p, d.planner)
 	if err != nil {
 		return nil, err
 	}
-	return d.results(ps), nil
+	return d.results(ps, snap), nil
 }
 
 // QueryScan evaluates an XPath expression without indices — the baseline
@@ -300,7 +306,8 @@ func (d *Document) QueryScan(expr string) ([]Result, error) {
 	if err := xpath.CheckSupported(p); err != nil {
 		return nil, err
 	}
-	return d.results(xpath.Evaluate(d.ix.Doc(), p)), nil
+	snap := d.ix.Snapshot()
+	return d.results(xpath.Evaluate(snap.Doc(), p), snap), nil
 }
 
 // Explain is the executed plan of one query: a printable operator tree
@@ -317,11 +324,12 @@ func (d *Document) Explain(expr string) ([]Result, *Explain, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	ps, pl, err := plan.Run(d.ix, p, d.planner)
+	snap := d.ix.Snapshot()
+	ps, pl, err := plan.Run(snap, p, d.planner)
 	if err != nil {
 		return nil, nil, err
 	}
-	return d.results(ps), pl, nil
+	return d.results(ps, snap), pl, nil
 }
 
 // SetPlanner switches the query planning mode (useful on documents
@@ -334,35 +342,41 @@ func (d *Document) Planner() PlannerMode { return d.planner }
 // LookupString returns every node whose string value equals value,
 // verified (hash candidates are checked against the document).
 func (d *Document) LookupString(value string) []Result {
-	return d.results(d.ix.LookupString(value))
+	snap := d.ix.Snapshot()
+	return d.results(snap.LookupString(value), snap)
 }
 
 // LookupDouble returns every node whose typed double value equals v —
 // "42", "42.0", " +4.2E1", and mixed content all match.
 func (d *Document) LookupDouble(v float64) []Result {
-	return d.results(d.ix.LookupDoubleEq(v))
+	snap := d.ix.Snapshot()
+	return d.results(snap.LookupDoubleEq(v), snap)
 }
 
 // RangeDouble returns nodes with double values in [lo, hi] (inclusive),
 // in ascending value order.
 func (d *Document) RangeDouble(lo, hi float64) []Result {
-	return d.results(d.ix.RangeDouble(lo, hi, true, true))
+	snap := d.ix.Snapshot()
+	return d.results(snap.RangeDouble(lo, hi, true, true), snap)
 }
 
 // RangeDoubleExclusive returns nodes with lo < value < hi.
 func (d *Document) RangeDoubleExclusive(lo, hi float64) []Result {
-	return d.results(d.ix.RangeDouble(lo, hi, false, false))
+	snap := d.ix.Snapshot()
+	return d.results(snap.RangeDouble(lo, hi, false, false), snap)
 }
 
 // RangeDateTime returns nodes whose xs:dateTime value lies in [from, to].
 func (d *Document) RangeDateTime(from, to time.Time) []Result {
-	return d.results(d.ix.RangeDateTime(from.UnixMilli(), to.UnixMilli()))
+	snap := d.ix.Snapshot()
+	return d.results(snap.RangeDateTime(from.UnixMilli(), to.UnixMilli()), snap)
 }
 
 // RangeDate returns nodes whose xs:date value lies in [from, to]. Only
 // the calendar date (UTC) of the bounds is considered.
 func (d *Document) RangeDate(from, to time.Time) []Result {
-	return d.results(d.ix.RangeDate(epochDays(from), epochDays(to)))
+	snap := d.ix.Snapshot()
+	return d.results(snap.RangeDate(epochDays(from), epochDays(to)), snap)
 }
 
 // epochDays converts a time to whole days since the Unix epoch in UTC,
@@ -593,8 +607,9 @@ func (d *Document) EnableSubstringIndex() { d.sub = substr.Build(d.ix) }
 // posting-list intersection and are verified; otherwise every value is
 // scanned.
 func (d *Document) Contains(pattern string) []Result {
+	snap := d.ix.Snapshot()
 	if d.sub != nil {
-		return d.results(d.sub.Contains(pattern))
+		return d.results(d.sub.Contains(pattern), snap)
 	}
-	return d.results(substr.Scan(d.ix, pattern))
+	return d.results(substr.Scan(d.ix, pattern), snap)
 }
