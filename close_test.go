@@ -1,0 +1,108 @@
+package xmlvi_test
+
+// Regression tests for Document.Close under concurrency: Close is
+// idempotent and safe while pinned readers are in flight — the server's
+// shutdown path drains queries and detaches the WAL concurrently.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	xmlvi "repro"
+)
+
+// TestCloseIdempotent closes repeatedly, with and without a WAL.
+func TestCloseIdempotent(t *testing.T) {
+	plain, err := xmlvi.ParseString(`<r><v>1</v></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := plain.Close(); err != nil {
+			t.Fatalf("close #%d of WAL-less document: %v", i+1, err)
+		}
+	}
+
+	dir := t.TempDir()
+	durable, err := xmlvi.ParseWithOptions([]byte(`<r><v>1</v></r>`),
+		xmlvi.Options{WAL: filepath.Join(dir, "d.wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.Save(filepath.Join(dir, "d.xvi")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := durable.Close(); err != nil {
+			t.Fatalf("close #%d of durable document: %v", i+1, err)
+		}
+	}
+}
+
+// TestCloseDuringQueries closes a durable document while pinned readers
+// keep querying: reads must neither fail nor observe torn state, and
+// every concurrent Close must succeed. Runs under -race in CI.
+func TestCloseDuringQueries(t *testing.T) {
+	dir := t.TempDir()
+	doc, err := xmlvi.ParseWithOptions(
+		[]byte(`<site><item><quantity>3</quantity></item><item><quantity>7</quantity></item></site>`),
+		xmlvi.Options{WAL: filepath.Join(dir, "site.wal"), StripWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Save(filepath.Join(dir, "site.xvi")); err != nil {
+		t.Fatal(err)
+	}
+	// A few logged commits so Close has a real WAL to sync and detach.
+	leaf := doc.Find("quantity")
+	for i := 0; i < 5; i++ {
+		if err := doc.UpdateText(doc.Children(leaf)[0], fmt.Sprint(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				p := doc.Pin()
+				hits, err := p.Query(`//quantity[. = 104]`)
+				if err != nil {
+					t.Errorf("pinned query during close: %v", err)
+					return
+				}
+				if len(hits) != 1 {
+					t.Errorf("pinned query during close: %d hits, want 1", len(hits))
+					return
+				}
+			}
+		}()
+	}
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := doc.Close(); err != nil {
+				t.Errorf("concurrent close: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	// The document stays usable in memory after Close; updates are
+	// simply no longer logged.
+	if err := doc.UpdateText(doc.Children(leaf)[0], "999"); err != nil {
+		t.Fatalf("update after close: %v", err)
+	}
+	if hits, err := doc.Query(`//quantity[. = 999]`); err != nil || len(hits) != 1 {
+		t.Fatalf("query after close: %d hits, err %v", len(hits), err)
+	}
+}

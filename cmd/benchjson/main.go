@@ -175,6 +175,16 @@ func writeSummary(w io.Writer, report *Report) {
 		fmt.Fprintf(w, "**Concurrent reads (8 readers + update storm):** RWMutex %.0f reads/s vs MVCC snapshots %.0f reads/s → **%.0fx speedup**\n",
 			rw, snap, snap/rw)
 	}
+	if qps := metricOf(report, "BenchmarkServeTraffic", "qps"); qps > 0 {
+		fmt.Fprintf(w, "**Served traffic (xviload vs xvid):** %.0f QPS — read p50 %.2fms / p99 %.2fms, patch p50 %.2fms / p99 %.2fms, %.0f watch events, %.0f errors\n",
+			qps,
+			metricOf(report, "BenchmarkServeTraffic", "read_p50_ms"),
+			metricOf(report, "BenchmarkServeTraffic", "read_p99_ms"),
+			metricOf(report, "BenchmarkServeTraffic", "patch_p50_ms"),
+			metricOf(report, "BenchmarkServeTraffic", "patch_p99_ms"),
+			metricOf(report, "BenchmarkServeTraffic", "watch_events"),
+			metricOf(report, "BenchmarkServeTraffic", "errors"))
+	}
 }
 
 // metricOf returns one named metric of one benchmark, or 0 when absent.

@@ -1,0 +1,160 @@
+// Command xvid serves one or more indexed XML documents over the
+// HTTP/JSON protocol in internal/server: POST /v1/query (XPath with
+// optional explain), POST /v1/patch (a transactional update batch that
+// commits as exactly one write-ahead-log record and returns the
+// published version token), GET /v1/watch (a resumable server-sent-event
+// stream of committed changes), GET /v1/stats, and GET /healthz.
+//
+// Each -doc flag serves one document under a name. The source after
+// `name=` selects how it is opened:
+//
+//	auction=auction.xvi+auction.wal   durable: OpenDurable (snapshot + WAL)
+//	auction=auction.xvi               snapshot only: Load (updates not logged)
+//	auction=auction.xml               parse the XML file, in memory
+//	auction=gen:xmark1:0.05           generate a dataset, in memory
+//
+// Usage:
+//
+//	xvid -listen :8080 -doc auction=auction.xvi+auction.wal
+//	xvid -doc a=gen:xmark1:0.02 -doc b=catalog.xml -planner auto
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	xmlvi "repro"
+	"repro/internal/datagen"
+	"repro/internal/server"
+)
+
+// docFlags collects repeated -doc name=source flags.
+type docFlags []string
+
+func (f *docFlags) String() string     { return strings.Join(*f, ", ") }
+func (f *docFlags) Set(s string) error { *f = append(*f, s); return nil }
+
+func main() {
+	var docs docFlags
+	flag.Var(&docs, "doc", "serve a document: name=snap.xvi+wal.log | name=snap.xvi | name=file.xml | name=gen:dataset:scale (repeatable)")
+	listen := flag.String("listen", "127.0.0.1:8080", "address to serve on")
+	planner := flag.String("planner", "auto", "query planning mode: auto, legacy, scan, index")
+	retention := flag.Int("watch-retention", server.DefaultWatchRetention, "committed changes buffered per document for WATCH resume")
+	flag.Parse()
+	if len(docs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: xvid -listen addr -doc name=source [-doc name=source ...]")
+		os.Exit(2)
+	}
+	mode, err := xmlvi.ParsePlannerMode(*planner)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := server.New(server.Config{WatchRetention: *retention})
+	for _, spec := range docs {
+		name, doc, err := openDoc(spec)
+		if err != nil {
+			fatal(err)
+		}
+		doc.SetPlanner(mode)
+		if err := srv.AddDocument(name, doc); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("xvid: serving %q (%d nodes, version %d, durable=%v)\n",
+			name, doc.NumNodes(), doc.Version(), doc.Durable())
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	fmt.Printf("xvid: listening on http://%s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "xvid: shutting down")
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx) //nolint:errcheck // best-effort drain
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// openDoc opens one -doc spec.
+func openDoc(spec string) (string, *xmlvi.Document, error) {
+	name, source, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || source == "" {
+		return "", nil, fmt.Errorf("xvid: -doc wants name=source, got %q", spec)
+	}
+	switch {
+	case strings.Contains(source, "+"):
+		snap, wal, _ := strings.Cut(source, "+")
+		doc, err := xmlvi.OpenDurable(snap, wal)
+		return name, doc, err
+	case strings.HasPrefix(source, "gen:"):
+		doc, err := generate(strings.TrimPrefix(source, "gen:"))
+		return name, doc, err
+	case strings.HasSuffix(source, ".xml"):
+		raw, err := os.ReadFile(source)
+		if err != nil {
+			return "", nil, err
+		}
+		doc, err := xmlvi.ParseWithOptions(raw, xmlvi.Options{StripWhitespace: true})
+		return name, doc, err
+	default:
+		doc, err := xmlvi.Load(source)
+		return name, doc, err
+	}
+}
+
+// generate builds an in-memory document from a dataset spec
+// "dataset[:scale[:seed]]", e.g. "xmark1:0.05".
+func generate(spec string) (*xmlvi.Document, error) {
+	parts := strings.Split(spec, ":")
+	scale, seed := 0.05, int64(42)
+	if len(parts) >= 2 {
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("xvid: bad gen scale %q: %w", parts[1], err)
+		}
+		scale = v
+	}
+	if len(parts) >= 3 {
+		v, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("xvid: bad gen seed %q: %w", parts[2], err)
+		}
+		seed = v
+	}
+	raw, err := datagen.Generate(parts[0], scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return xmlvi.ParseWithOptions(raw, xmlvi.Options{StripWhitespace: true})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xvid:", err)
+	os.Exit(1)
+}

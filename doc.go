@@ -227,6 +227,19 @@
 // an immutable table — so lookups during registration are lock-free
 // too.
 //
+// The network server (internal/server, cmd/xvid) is a direct projection
+// of this version-publish protocol onto a wire protocol. Version
+// numbers double as commit-sequence tokens — they are persisted in
+// snapshots, so a token survives Save/Load, checkpoints, and crash
+// recovery — and every served query runs on one Pin'd version. OnCommit
+// observes each publication synchronously under the commit mutex, after
+// the atomic swap, which is why the served WATCH stream carries every
+// committed change exactly once, in version order, with no gaps: the
+// stream is the write-ahead log viewed live (the hook payload is the
+// canonical WAL record encoding), and RecoveredChanges replays the
+// recovered log tail into it after a restart so subscribers resume
+// across crashes.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 package xmlvi

@@ -22,6 +22,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"sync"
 	"sync/atomic"
 
@@ -249,8 +250,11 @@ type Snapshot struct {
 	doc  *xmltree.Doc
 	opts Options
 
-	// version is the publication sequence number: Build/Load produce
-	// version 1 and every committed mutation increments it by one.
+	// version is the publication sequence number: Build produces
+	// version 1, Load restores the sequence number the snapshot was
+	// saved at (1 for snapshots predating version persistence), and
+	// every committed mutation increments it by one. It doubles as the
+	// commit-sequence token the network server hands to clients.
 	version uint64
 
 	// Stable node ids: postings in the B+trees survive structural updates.
@@ -327,7 +331,62 @@ type Indexes struct {
 	wal          *storage.WAL
 	walGen       atomic.Uint64
 	snapshotPath string
+
+	// onCommit, when set, observes every published commit (guarded by
+	// wmu; invoked under it, so notifications arrive in version order
+	// with no gaps). See SetCommitHook.
+	onCommit CommitHook
+
+	// recoveredTail holds the WAL records OpenDurable replayed, for
+	// consumers (the network server's watch hub) that re-publish the
+	// commit stream after a restart. Set once before the Indexes is
+	// shared; read-only afterwards.
+	recoveredTail []storage.Record
 }
+
+// CommitHook observes one published commit: the new version, the WAL
+// record kind and payload encoding the mutation (the canonical WAL
+// encoding, produced whether or not a log is attached), and the number
+// of logical operations the record carries (the batch size for text
+// batches, 1 otherwise). Hooks run synchronously under the writer mutex
+// — after the version is published, before the mutating call returns —
+// so they observe commits in exact version order and must not block or
+// re-enter the Indexes' mutating methods.
+type CommitHook func(version uint64, kind storage.RecordKind, ops int, payload []byte)
+
+// SetCommitHook installs fn as the commit observer (nil clears it).
+// Only one hook is supported; installing replaces the previous one.
+func (ix *Indexes) SetCommitHook(fn CommitHook) {
+	ix.wmu.Lock()
+	ix.onCommit = fn
+	ix.wmu.Unlock()
+}
+
+// notifyCommit runs the commit hook, if any. Callers hold wmu and have
+// already published version.
+func (ix *Indexes) notifyCommit(version uint64, kind storage.RecordKind, ops int, payload []byte) {
+	if ix.onCommit != nil {
+		ix.onCommit(version, kind, ops, payload)
+	}
+}
+
+// RecordOps reports the number of logical operations a WAL record
+// payload carries: the batch size for text batches, 1 for every other
+// mutation kind.
+func RecordOps(kind storage.RecordKind, payload []byte) int {
+	if kind == storage.RecTextBatch {
+		if n, k := binary.Uvarint(payload); k > 0 {
+			return int(n)
+		}
+	}
+	return 1
+}
+
+// RecoveredTail returns the write-ahead log records OpenDurable replayed
+// while recovering this index set, in replay order: record i produced
+// version base+1+i, where base is the loaded snapshot's version. Nil for
+// index sets that were not recovered, or whose log had no tail.
+func (ix *Indexes) RecoveredTail() []storage.Record { return ix.recoveredTail }
 
 // wrapSnapshot publishes s as version 1 of a fresh Indexes handle.
 func wrapSnapshot(s *Snapshot) *Indexes {
@@ -346,7 +405,8 @@ func wrapSnapshot(s *Snapshot) *Indexes {
 func (ix *Indexes) Snapshot() *Snapshot { return ix.cur.Load() }
 
 // Version reports the current publication sequence number (1 for a
-// freshly built or loaded Indexes, +1 per committed mutation).
+// freshly built Indexes, the persisted sequence for a loaded one, +1 per
+// committed mutation).
 func (ix *Indexes) Version() uint64 { return ix.cur.Load().version }
 
 // Version reports the snapshot's publication sequence number.

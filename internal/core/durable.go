@@ -232,6 +232,7 @@ func (ix *Indexes) ApplyLogRecord(rec storage.Record) error {
 	}
 	if draft != nil {
 		ix.publish(draft)
+		ix.notifyCommit(draft.version, rec.Kind, RecordOps(rec.Kind, rec.Payload), rec.Payload)
 	}
 	return nil
 }
@@ -378,6 +379,10 @@ func OpenDurable(snapshotPath, walPath string, syncEvery int) (*Indexes, error) 
 				return fail(err)
 			}
 		}
+		// Keep the replayed tail: it is the committed-change stream
+		// between the snapshot's version and the recovered one, which a
+		// watch hub replays to subscribers resuming across the restart.
+		ix.recoveredTail = tail
 		if len(records) == 0 {
 			// Brand-new (or fully torn-away) log: stamp it so future
 			// recoveries can check the pairing.

@@ -35,6 +35,14 @@ const (
 	// rebuilt from the trees instead.
 	SectionStats = "stats"
 
+	// SectionVersion holds the snapshot's publication sequence number
+	// (Snapshot.Version), so commit-sequence tokens handed to network
+	// clients stay valid across Save/Load and checkpoint/recovery: a
+	// reloaded document continues the version sequence instead of
+	// restarting at 1. Optional: absence (an older snapshot) means the
+	// loaded state starts over at version 1.
+	SectionVersion = "version"
+
 	// snapshotVersion is the overall snapshot format. Version 1 was the
 	// pre-registry layout (fixed double/datetime sections, unversioned
 	// 3-byte meta); version 2 stores a typed-index manifest in the meta
@@ -152,6 +160,19 @@ func (ix *Snapshot) save(w *storage.Writer, withWALGen bool, walGen uint64) erro
 		}
 	}
 	if err := ix.writeStats(w); err != nil {
+		return err
+	}
+	sec, err = w.Section(SectionVersion)
+	if err != nil {
+		return err
+	}
+	se = newSliceEncoder(sec)
+	if ix.version > 0 {
+		se.uv(ix.version)
+	} else {
+		se.uv(1) // a snapshot serialized before its first publication
+	}
+	if err := se.flush(); err != nil {
 		return err
 	}
 	if withWALGen {
@@ -293,6 +314,17 @@ func load(r *storage.Reader) (*Indexes, error) {
 		walGen = sd.uv()
 		if sd.err != nil {
 			return nil, fmt.Errorf("core: reading snapshot WAL generation: %w", sd.err)
+		}
+	}
+	if r.SectionLen(SectionVersion) >= 0 {
+		sec, err = r.Section(SectionVersion)
+		if err != nil {
+			return nil, err
+		}
+		sd = newSliceDecoder(sec)
+		ix.version = sd.uv()
+		if sd.err != nil {
+			return nil, fmt.Errorf("core: reading snapshot version: %w", sd.err)
 		}
 	}
 	ix.completeDerived()

@@ -167,9 +167,15 @@ func (ix *Indexes) UpdateTexts(updates []TextUpdate) error {
 		return err
 	}
 	// Write-ahead: the batch is logged (one record per UpdateTexts call,
-	// hence one per transaction commit) before any state changes.
+	// hence one per transaction commit) before any state changes. The
+	// same encoding feeds the commit hook, so watch subscribers see
+	// exactly the records a WAL replay would.
+	var payload []byte
+	if ix.wal != nil || ix.onCommit != nil {
+		payload = encodeTextBatch(updates)
+	}
 	if ix.wal != nil {
-		if err := ix.logRecord(storage.RecTextBatch, encodeTextBatch(updates)); err != nil {
+		if err := ix.logRecord(storage.RecTextBatch, payload); err != nil {
 			return err
 		}
 	}
@@ -178,6 +184,7 @@ func (ix *Indexes) UpdateTexts(updates []TextUpdate) error {
 		return err
 	}
 	ix.publish(draft)
+	ix.notifyCommit(draft.version, storage.RecTextBatch, len(updates), payload)
 	return nil
 }
 
@@ -267,14 +274,19 @@ func (ix *Indexes) UpdateAttr(a xmltree.AttrID, value string) error {
 	if err := s.validateAttr(a); err != nil {
 		return err
 	}
+	var payload []byte
+	if ix.wal != nil || ix.onCommit != nil {
+		payload = encodeAttrUpdate(a, value)
+	}
 	if ix.wal != nil {
-		if err := ix.logRecord(storage.RecAttrUpdate, encodeAttrUpdate(a, value)); err != nil {
+		if err := ix.logRecord(storage.RecAttrUpdate, payload); err != nil {
 			return err
 		}
 	}
 	draft := s.cloneForAttr()
 	draft.applyAttr(a, value)
 	ix.publish(draft)
+	ix.notifyCommit(draft.version, storage.RecAttrUpdate, 1, payload)
 	return nil
 }
 
@@ -328,8 +340,12 @@ func (ix *Indexes) DeleteSubtree(n xmltree.NodeID) error {
 	if err := s.validateDelete(n); err != nil {
 		return err
 	}
+	var payload []byte
+	if ix.wal != nil || ix.onCommit != nil {
+		payload = encodeDelete(n)
+	}
 	if ix.wal != nil {
-		if err := ix.logRecord(storage.RecDelete, encodeDelete(n)); err != nil {
+		if err := ix.logRecord(storage.RecDelete, payload); err != nil {
 			return err
 		}
 	}
@@ -338,6 +354,7 @@ func (ix *Indexes) DeleteSubtree(n xmltree.NodeID) error {
 		return err
 	}
 	ix.publish(draft)
+	ix.notifyCommit(draft.version, storage.RecDelete, 1, payload)
 	return nil
 }
 
@@ -448,11 +465,14 @@ func (ix *Indexes) InsertChildren(parent xmltree.NodeID, pos int, frag *xmltree.
 	if err := s.validateInsert(parent, pos, frag); err != nil {
 		return xmltree.InvalidNode, err
 	}
-	if ix.wal != nil {
-		payload, err := encodeInsert(parent, pos, frag)
-		if err != nil {
+	var payload []byte
+	if ix.wal != nil || ix.onCommit != nil {
+		var err error
+		if payload, err = encodeInsert(parent, pos, frag); err != nil {
 			return xmltree.InvalidNode, err
 		}
+	}
+	if ix.wal != nil {
 		if err := ix.logRecord(storage.RecInsert, payload); err != nil {
 			return xmltree.InvalidNode, err
 		}
@@ -463,6 +483,7 @@ func (ix *Indexes) InsertChildren(parent xmltree.NodeID, pos int, frag *xmltree.
 		return xmltree.InvalidNode, err
 	}
 	ix.publish(draft)
+	ix.notifyCommit(draft.version, storage.RecInsert, 1, payload)
 	return at, nil
 }
 

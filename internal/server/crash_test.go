@@ -1,0 +1,152 @@
+package server_test
+
+// Crash/restart integration: a durable document served and patched over
+// the wire, its on-disk state captured mid-traffic (snapshot + WAL cut
+// at byte boundaries, PR 4's crash-injection style), then reopened and
+// served again. The restarted server must sit exactly on a published
+// version boundary — the state of some committed version, never a torn
+// one — and a WATCH stream resumed from a pre-crash token must continue
+// the committed sequence with no duplicate or missing records.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	xmlvi "repro"
+	"repro/internal/server"
+)
+
+func TestCrashRestartServesVersionBoundary(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "site.xvi")
+	wal := filepath.Join(dir, "site.wal")
+
+	doc, err := xmlvi.ParseWithOptions([]byte(siteXML), xmlvi.Options{StripWhitespace: true, WAL: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{})
+	if err := srv.AddDocument("site", doc); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	// Served traffic: every patch rewrites the same leaf with a distinct
+	// value, so each published version has a unique observable state.
+	v0 := doc.Version()
+	leaf := query(t, ts, server.QueryRequest{Query: `//quantity[. = 3]`}).Results[0].Node
+	const commits = 12
+	valueAt := map[uint64]string{v0: "3"}
+	for i := 0; i < commits; i++ {
+		out := patch(t, ts, server.PatchRequest{Ops: []server.PatchOp{
+			{Op: "set_text", Node: &leaf, Value: fmt.Sprint(1000 + i)},
+		}})
+		valueAt[uint64(out.Version)] = fmt.Sprint(1000 + i)
+	}
+	vFinal := doc.Version()
+	if vFinal != v0+commits {
+		t.Fatalf("version after %d patches = %d, want %d", commits, vFinal, v0+commits)
+	}
+
+	// The crash: capture the on-disk state while the server still runs
+	// (the WAL is synced per record), then shut the original down.
+	snapBytes, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walBytes, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the WAL cut at descending byte boundaries: recovery
+	// must land on some published version — whose state matches that
+	// version exactly — and never regress as more of the log survives.
+	lastRecovered := uint64(0)
+	first := true
+	for cut := len(walBytes); cut >= 0; cut -= 17 {
+		recovered := restartAndCheck(t, snapBytes, walBytes[:cut], v0, vFinal, valueAt)
+		if !first && recovered > lastRecovered {
+			t.Fatalf("cut %d recovered version %d, longer log recovered %d (not monotone)",
+				cut, recovered, lastRecovered)
+		}
+		lastRecovered, first = recovered, false
+	}
+	if lastRecovered != v0 {
+		t.Fatalf("empty log recovered version %d, want the snapshot version %d", lastRecovered, v0)
+	}
+}
+
+// restartAndCheck opens the captured state in a fresh directory, serves
+// it, verifies the recovered version's state and WATCH resume, and
+// returns the recovered version.
+func restartAndCheck(t *testing.T, snapBytes, walBytes []byte, v0, vFinal uint64, valueAt map[uint64]string) uint64 {
+	t.Helper()
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "site.xvi")
+	wal := filepath.Join(dir, "site.wal")
+	if err := os.WriteFile(snap, snapBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, walBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	doc, err := xmlvi.OpenDurable(snap, wal)
+	if err != nil {
+		t.Fatalf("cut %d: recovery failed: %v", len(walBytes), err)
+	}
+	srv := server.New(server.Config{})
+	if err := srv.AddDocument("site", doc); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	v := doc.Version()
+	if v < v0 || v > vFinal {
+		t.Fatalf("cut %d: recovered version %d outside [%d, %d]", len(walBytes), v, v0, vFinal)
+	}
+	// Exactly the state of version v: the value written by commit v is
+	// present (each version wrote a distinct one, so a mixed or torn
+	// state cannot produce this count).
+	got := query(t, ts, server.QueryRequest{Query: fmt.Sprintf(`//quantity[. = %s]`, valueAt[v])})
+	if got.Count != 1 {
+		t.Fatalf("cut %d: version %d state check: //quantity[. = %s] count = %d, want 1",
+			len(walBytes), v, valueAt[v], got.Count)
+	}
+	if uint64(got.Version) != v {
+		t.Fatalf("cut %d: served version %v, document version %d", len(walBytes), got.Version, v)
+	}
+
+	// A pre-crash watcher resumes across the restart: the hub is seeded
+	// with the recovered WAL tail, so the stream continues v0+1..v with
+	// no duplicates and no holes.
+	if v > v0 {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		ch, resp := openWatch(ctx, t, ts, fmt.Sprintf("?from=%d", v0))
+		if ch == nil {
+			t.Fatalf("cut %d: resume from %d rejected: %d", len(walBytes), v0, resp.StatusCode)
+		}
+		wantConsecutive(t, collectChanges(t, ch, int(v-v0), 10*time.Second), v0, int(v-v0))
+	}
+	return v
+}

@@ -1,0 +1,173 @@
+package server
+
+// The watch hub: one per served document. It buffers the ordered stream
+// of committed change records (fed by the document's commit hook, which
+// fires under the writer mutex — so versions arrive consecutively, with
+// no gaps or reordering) and fans it out to any number of WATCH
+// subscribers. Subscribers read by version, at their own pace: a fast
+// watcher blocks on the wake channel until the next commit, a slow one
+// catches up from the buffer, and one that has fallen behind the
+// retention window is told so explicitly (errResumeGone) instead of
+// silently skipping records.
+//
+// On a durable restart the hub is seeded with the recovered WAL tail
+// (Document.RecoveredChanges), so a watcher resuming with a pre-crash
+// version token continues the exact committed sequence — no duplicates,
+// no holes — as long as its token is within the retained window.
+
+import (
+	"errors"
+
+	"sync"
+
+	xmlvi "repro"
+)
+
+// errResumeGone reports a resume token older than the hub's retention
+// window: the records between the token and the window were evicted, so
+// the stream cannot be continued without a gap.
+var errResumeGone = errors.New("server: resume token is older than the watch retention window")
+
+// errHubClosed reports a hub shut down by server Close.
+var errHubClosed = errors.New("server: watch hub is closed")
+
+type hub struct {
+	mu sync.Mutex
+
+	// entries hold consecutive versions: entries[i].Version == base+i.
+	// base is meaningful only when len(entries) > 0.
+	entries []xmlvi.Change
+	base    uint64
+	// next is the version the next appended change must carry — the
+	// current published version + 1.
+	next uint64
+
+	// wake is closed (and replaced) on every append and on close, waking
+	// all blocked subscribers.
+	wake chan struct{}
+
+	// limit bounds len(entries); older entries are evicted first.
+	limit int
+
+	closed   bool
+	watchers int // live subscriber count, for /v1/stats
+}
+
+// newHub starts a hub whose stream position is current (the document's
+// version at attach time), pre-seeded with the recovered change tail, if
+// any. seed versions must end exactly at current — RecoveredChanges
+// guarantees this.
+func newHub(current uint64, seed []xmlvi.Change, limit int) *hub {
+	if limit <= 0 {
+		limit = 4096
+	}
+	h := &hub{next: current + 1, wake: make(chan struct{}), limit: limit}
+	if len(seed) > 0 {
+		if len(seed) > limit {
+			seed = seed[len(seed)-limit:]
+		}
+		h.entries = append(h.entries, seed...)
+		h.base = h.entries[0].Version
+	}
+	return h
+}
+
+// append feeds one committed change into the hub. It runs inside the
+// document's commit hook, under the writer mutex, so calls arrive in
+// version order; a version gap (impossible through that path, but
+// defended against) resets the buffer rather than serving a torn
+// sequence.
+func (h *hub) append(c xmlvi.Change) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if c.Version != h.next || len(h.entries) == 0 {
+		if c.Version != h.next {
+			h.entries = h.entries[:0]
+		}
+		if len(h.entries) == 0 {
+			h.base = c.Version
+		}
+	}
+	h.entries = append(h.entries, c)
+	h.next = c.Version + 1
+	if over := len(h.entries) - h.limit; over > 0 {
+		h.entries = h.entries[over:]
+		h.base += uint64(over)
+	}
+	close(h.wake)
+	h.wake = make(chan struct{})
+}
+
+// get returns the change that published version, when buffered. When the
+// version has not been published yet it returns a nil error and a wake
+// channel: wait on it, then call get again. errResumeGone means the
+// version was published but already evicted; errHubClosed means the
+// server is shutting down.
+func (h *hub) get(version uint64) (xmlvi.Change, <-chan struct{}, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return xmlvi.Change{}, nil, errHubClosed
+	}
+	if version >= h.next {
+		return xmlvi.Change{}, h.wake, nil
+	}
+	if len(h.entries) == 0 || version < h.base {
+		return xmlvi.Change{}, nil, errResumeGone
+	}
+	return h.entries[version-h.base], nil, nil
+}
+
+// current reports the version of the last change the hub has seen (the
+// document's published version, as observed by the stream).
+func (h *hub) current() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.next - 1
+}
+
+// published reports whether version is at or below the stream position —
+// i.e. the commit that produced it has already happened — without caring
+// whether the record is still buffered.
+func (h *hub) published(version uint64) (bool, <-chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || version < h.next {
+		return true, nil
+	}
+	return false, h.wake
+}
+
+// close wakes every subscriber and marks the hub dead; subsequent get
+// calls fail with errHubClosed.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	close(h.wake)
+	h.wake = make(chan struct{})
+}
+
+func (h *hub) addWatcher() {
+	h.mu.Lock()
+	h.watchers++
+	h.mu.Unlock()
+}
+
+func (h *hub) removeWatcher() {
+	h.mu.Lock()
+	h.watchers--
+	h.mu.Unlock()
+}
+
+func (h *hub) watcherCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.watchers
+}

@@ -1,0 +1,178 @@
+// Package server implements the xvid HTTP/JSON protocol over one or
+// more xmlvi documents: POST /v1/query (XPath, optionally explained),
+// POST /v1/patch (a transactional update batch mapped onto exactly one
+// WAL commit), GET /v1/watch (a resumable server-sent-event stream of
+// committed change records), GET /v1/stats, and GET /healthz.
+//
+// The package is deliberately thin: documents do all the work, the
+// server only adds request plumbing. Three pieces matter:
+//
+//   - every query pins one MVCC snapshot (Document.Pin) for its whole
+//     lifetime, so planning, execution, and serialization observe a
+//     single published version while writers keep committing;
+//   - every patch is one commit: its version token is the MVCC
+//     publication sequence number, which the snapshot layer persists, so
+//     tokens stay valid across checkpoints, restarts, and crash
+//     recovery;
+//   - each document's commit hook feeds a watch hub, which fans the
+//     ordered change stream out to subscribers and is seeded with the
+//     recovered WAL tail on restart, so watchers resume across a crash
+//     without missing or duplicated records.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	xmlvi "repro"
+)
+
+// DefaultWatchRetention is the per-document number of committed changes
+// kept for WATCH resume when Config.WatchRetention is zero.
+const DefaultWatchRetention = 4096
+
+// DefaultMinVersionWait bounds how long a query with min_version waits
+// for that version to be published before answering 504.
+const DefaultMinVersionWait = 5 * time.Second
+
+// Config tunes a Server; the zero value is production-reasonable.
+type Config struct {
+	// WatchRetention is the number of committed changes buffered per
+	// document for WATCH resume (default DefaultWatchRetention). A
+	// watcher resuming from a token older than the window gets an
+	// explicit resume_gone error, never a silent gap.
+	WatchRetention int
+	// MinVersionWait bounds the read-your-writes wait (default
+	// DefaultMinVersionWait).
+	MinVersionWait time.Duration
+}
+
+// docState is one served document with its server-side plumbing.
+type docState struct {
+	name string
+	doc  *xmlvi.Document
+	hub  *hub
+
+	// writeMu serializes patches on this document: the if_version
+	// precondition check and the commit must be atomic with respect to
+	// other patches (reads never take it — they pin snapshots).
+	writeMu sync.Mutex
+
+	queries atomic.Uint64
+	patches atomic.Uint64
+	watches atomic.Uint64
+}
+
+// Server serves one or more documents over the xvid protocol. Create
+// with New, register documents with AddDocument, expose Handler on any
+// http.Server, and Close on shutdown.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu   sync.RWMutex
+	docs map[string]*docState
+}
+
+// New returns an empty server.
+func New(cfg Config) *Server {
+	if cfg.WatchRetention <= 0 {
+		cfg.WatchRetention = DefaultWatchRetention
+	}
+	if cfg.MinVersionWait <= 0 {
+		cfg.MinVersionWait = DefaultMinVersionWait
+	}
+	return &Server{cfg: cfg, start: time.Now(), docs: make(map[string]*docState)}
+}
+
+// AddDocument registers a document under name and starts streaming its
+// commits: the document's commit hook is claimed by the server (it is
+// the single OnCommit observer), and the watch hub is seeded with the
+// document's recovered WAL tail so pre-restart version tokens remain
+// resumable. The document must not be mutated except through the server
+// from this point on.
+func (s *Server) AddDocument(name string, d *xmlvi.Document) error {
+	if name == "" {
+		return fmt.Errorf("server: document name must not be empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.docs[name]; dup {
+		return fmt.Errorf("server: document %q already registered", name)
+	}
+	ds := &docState{
+		name: name,
+		doc:  d,
+		hub:  newHub(d.Version(), d.RecoveredChanges(), s.cfg.WatchRetention),
+	}
+	d.OnCommit(ds.hub.append)
+	s.docs[name] = ds
+	return nil
+}
+
+// resolve finds the document a request addresses: by name, or the only
+// registered document when the name is omitted. The returned status and
+// code describe the failure when ds is nil.
+func (s *Server) resolve(name string) (ds *docState, status int, code, msg string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.docs) == 1 {
+			for _, only := range s.docs {
+				return only, 0, "", ""
+			}
+		}
+		return nil, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("doc is required when serving %d documents", len(s.docs))
+	}
+	if d, ok := s.docs[name]; ok {
+		return d, 0, "", ""
+	}
+	return nil, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown document %q", name)
+}
+
+// docStates returns the registered documents, sorted by name.
+func (s *Server) docStates() []*docState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*docState, 0, len(s.docs))
+	for _, ds := range s.docs {
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Handler returns the protocol's http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/patch", s.handlePatch)
+	mux.HandleFunc("GET /v1/watch", s.handleWatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// Close detaches the commit hooks, terminates every WATCH stream, and
+// closes the documents (syncing and detaching their logs). In-flight
+// pinned readers are unaffected: snapshots outlive Close.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	docs := s.docs
+	s.docs = make(map[string]*docState)
+	s.mu.Unlock()
+	var first error
+	for _, ds := range docs {
+		ds.doc.OnCommit(nil)
+		ds.hub.close()
+		if err := ds.doc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,501 @@
+package server_test
+
+// Integration tests of the xvid protocol over a loopback listener:
+// query/explain golden behavior, every patch shape, the typed error
+// paths, version-token read-your-writes, and the WATCH stream's hello /
+// change / resume / retention-window semantics.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	xmlvi "repro"
+	"repro/internal/server"
+)
+
+const siteXML = `<site>
+  <item id="i1"><location>Amsterdam</location><quantity>3</quantity></item>
+  <item id="i2"><location>Oslo</location><quantity>7</quantity></item>
+  <item id="i3"><location>Amsterdam</location><quantity>5</quantity></item>
+</site>`
+
+// newTestServer serves the given named documents over a loopback
+// listener and tears everything down with the test.
+func newTestServer(t *testing.T, cfg server.Config, docs map[string]string) (*httptest.Server, map[string]*xmlvi.Document) {
+	t.Helper()
+	srv := server.New(cfg)
+	parsed := make(map[string]*xmlvi.Document)
+	for name, xml := range docs {
+		d, err := xmlvi.ParseWithOptions([]byte(xml), xmlvi.Options{StripWhitespace: true})
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		if err := srv.AddDocument(name, d); err != nil {
+			t.Fatal(err)
+		}
+		parsed[name] = d
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	return ts, parsed
+}
+
+// call posts a JSON request and decodes the response body into out,
+// returning the status code.
+func call(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func query(t *testing.T, ts *httptest.Server, req server.QueryRequest) server.QueryResponse {
+	t.Helper()
+	var out server.QueryResponse
+	if code := call(t, ts.URL+"/v1/query", req, &out); code != http.StatusOK {
+		t.Fatalf("query %+v: status %d", req, code)
+	}
+	return out
+}
+
+func patch(t *testing.T, ts *httptest.Server, req server.PatchRequest) server.PatchResponse {
+	t.Helper()
+	var out server.PatchResponse
+	if code := call(t, ts.URL+"/v1/patch", req, &out); code != http.StatusOK {
+		t.Fatalf("patch %+v: status %d", req, code)
+	}
+	return out
+}
+
+func p32(v int32) *int32 { return &v }
+
+func TestQueryBasics(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{}, map[string]string{"site": siteXML})
+
+	out := query(t, ts, server.QueryRequest{Query: `//item[location = "Amsterdam"]`})
+	if out.Doc != "site" || out.Count != 2 || len(out.Results) != 2 {
+		t.Fatalf("got %+v, want 2 Amsterdam items", out)
+	}
+	if out.Version != 1 {
+		t.Errorf("fresh document version = %v, want 1", out.Version)
+	}
+	for _, r := range out.Results {
+		if r.Name != "item" || !strings.HasPrefix(r.Path, "/site/item") {
+			t.Errorf("unexpected hit %+v", r)
+		}
+	}
+
+	// The limit truncates results but not the count.
+	out = query(t, ts, server.QueryRequest{Query: `//item[location = "Amsterdam"]`, Limit: 1})
+	if out.Count != 2 || len(out.Results) != 1 || !out.Truncated {
+		t.Fatalf("limited query: got count=%d results=%d truncated=%v", out.Count, len(out.Results), out.Truncated)
+	}
+
+	// Attribute hits report the attribute id and name.
+	out = query(t, ts, server.QueryRequest{Query: `//item[@id = "i2"]/@id`})
+	if out.Count != 1 || !out.Results[0].IsAttr || out.Results[0].Name != "id" || out.Results[0].Value != "i2" {
+		t.Fatalf("attribute query: got %+v", out)
+	}
+}
+
+func TestQueryExplain(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{}, map[string]string{"site": siteXML})
+	out := query(t, ts, server.QueryRequest{Query: `//quantity[. = 7]`, Explain: true})
+	if out.Explain == nil {
+		t.Fatal("explain query returned no plan")
+	}
+	if out.Explain.Plan == "" || !strings.Contains(out.Explain.Plan, "est") {
+		t.Errorf("plan tree %q does not carry estimates", out.Explain.Plan)
+	}
+	if out.Count != 1 {
+		t.Errorf("count = %d, want 1", out.Count)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{}, map[string]string{"site": siteXML})
+	cases := []struct {
+		name   string
+		req    server.QueryRequest
+		status int
+		code   string
+	}{
+		{"malformed xpath", server.QueryRequest{Query: `//[bad`}, http.StatusBadRequest, server.CodeXPathParse},
+		{"unsupported path", server.QueryRequest{Query: `//@id/income`}, http.StatusUnprocessableEntity, server.CodeUnsupportedPath},
+		{"unknown doc", server.QueryRequest{Doc: "nope", Query: `//item`}, http.StatusNotFound, server.CodeNotFound},
+		{"empty query", server.QueryRequest{}, http.StatusBadRequest, server.CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out server.ErrorBody
+			if code := call(t, ts.URL+"/v1/query", tc.req, &out); code != tc.status {
+				t.Fatalf("status = %d, want %d", code, tc.status)
+			}
+			if out.Error.Code != tc.code {
+				t.Errorf("error code = %q, want %q", out.Error.Code, tc.code)
+			}
+		})
+	}
+}
+
+func TestPatchSetTextBatchIsOneCommit(t *testing.T) {
+	ts, docs := newTestServer(t, server.Config{}, map[string]string{"site": siteXML})
+	before := docs["site"].Version()
+
+	// Address the elements (single-text-child resolution), not the text
+	// nodes — the common client shape.
+	hits := query(t, ts, server.QueryRequest{Query: `//quantity[. = 3]`})
+	if hits.Count != 1 {
+		t.Fatalf("setup: %d quantity=3 leaves", hits.Count)
+	}
+	more := query(t, ts, server.QueryRequest{Query: `//quantity[. = 5]`})
+	out := patch(t, ts, server.PatchRequest{Ops: []server.PatchOp{
+		{Op: "set_text", Node: &hits.Results[0].Node, Value: "11"},
+		{Op: "set_text", Node: &more.Results[0].Node, Value: "12"},
+	}})
+	if uint64(out.Version) != before+1 {
+		t.Fatalf("batch of 2 set_text bumped version %d → %d, want exactly one commit", before, out.Version)
+	}
+	if out.Ops != 2 {
+		t.Errorf("ops = %d, want 2", out.Ops)
+	}
+	// Read-your-writes: querying at the returned token sees both writes.
+	res := query(t, ts, server.QueryRequest{Query: `//quantity[. = 11]`, MinVersion: out.Version})
+	if res.Count != 1 || res.Version < out.Version {
+		t.Fatalf("post-patch query: count=%d version=%v", res.Count, res.Version)
+	}
+	if query(t, ts, server.QueryRequest{Query: `//quantity[. = 12]`}).Count != 1 {
+		t.Error("second batched write not visible")
+	}
+}
+
+func TestPatchStructuralAndAttr(t *testing.T) {
+	ts, docs := newTestServer(t, server.Config{}, map[string]string{"site": siteXML})
+	d := docs["site"]
+
+	item := query(t, ts, server.QueryRequest{Query: `//item[@id = "i2"]`})
+	if item.Count != 1 {
+		t.Fatal("setup: item i2 not found")
+	}
+	node := item.Results[0].Node
+
+	v1 := patch(t, ts, server.PatchRequest{Ops: []server.PatchOp{
+		{Op: "set_attr", Node: &node, Name: "id", Value: "renamed"},
+	}})
+	if got := query(t, ts, server.QueryRequest{Query: `//item[@id = "renamed"]`, MinVersion: v1.Version}); got.Count != 1 {
+		t.Fatalf("attribute update not visible: %+v", got)
+	}
+
+	v2 := patch(t, ts, server.PatchRequest{Ops: []server.PatchOp{{Op: "delete", Node: &node}}})
+	if uint64(v2.Version) != uint64(v1.Version)+1 {
+		t.Fatalf("delete version = %v, want %d", v2.Version, uint64(v1.Version)+1)
+	}
+	if got := query(t, ts, server.QueryRequest{Query: `//item`, MinVersion: v2.Version}); got.Count != 2 {
+		t.Fatalf("after delete: %d items, want 2", got.Count)
+	}
+
+	root := query(t, ts, server.QueryRequest{Query: `//site`})
+	v3 := patch(t, ts, server.PatchRequest{Ops: []server.PatchOp{{
+		Op: "insert", Node: &root.Results[0].Node, Pos: 0,
+		XML: `<item id="i4"><location>Berlin</location><quantity>9</quantity></item>`,
+	}}})
+	if got := query(t, ts, server.QueryRequest{Query: `//item`, MinVersion: v3.Version}); got.Count != 3 {
+		t.Fatalf("after insert: %d items, want 3", got.Count)
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatalf("index consistency after served patches: %v", err)
+	}
+}
+
+func TestPatchErrors(t *testing.T) {
+	ts, docs := newTestServer(t, server.Config{}, map[string]string{"site": siteXML})
+	item := query(t, ts, server.QueryRequest{Query: `//item[@id = "i1"]`}).Results[0].Node
+
+	cases := []struct {
+		name   string
+		req    server.PatchRequest
+		status int
+		code   string
+	}{
+		{"empty ops", server.PatchRequest{}, http.StatusBadRequest, server.CodeBadRequest},
+		{"unknown op", server.PatchRequest{Ops: []server.PatchOp{{Op: "zap", Node: p32(1)}}},
+			http.StatusBadRequest, server.CodeBadRequest},
+		{"mixed batch", server.PatchRequest{Ops: []server.PatchOp{
+			{Op: "set_text", Node: p32(1), Value: "x"}, {Op: "delete", Node: p32(2)},
+		}}, http.StatusBadRequest, server.CodeBadRequest},
+		{"set_text on multi-child element", server.PatchRequest{Ops: []server.PatchOp{
+			{Op: "set_text", Node: &item, Value: "x"},
+		}}, http.StatusBadRequest, server.CodeBadTarget},
+		{"set_text out of range", server.PatchRequest{Ops: []server.PatchOp{
+			{Op: "set_text", Node: p32(99999), Value: "x"},
+		}}, http.StatusBadRequest, server.CodeBadTarget},
+		{"set_attr missing attribute", server.PatchRequest{Ops: []server.PatchOp{
+			{Op: "set_attr", Node: &item, Name: "nope", Value: "x"},
+		}}, http.StatusBadRequest, server.CodeBadTarget},
+		{"unknown doc", server.PatchRequest{Doc: "nope", Ops: []server.PatchOp{
+			{Op: "set_text", Node: p32(1), Value: "x"},
+		}}, http.StatusNotFound, server.CodeNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out server.ErrorBody
+			if code := call(t, ts.URL+"/v1/patch", tc.req, &out); code != tc.status {
+				t.Fatalf("status = %d, want %d", code, tc.status)
+			}
+			if out.Error.Code != tc.code {
+				t.Errorf("error code = %q, want %q", out.Error.Code, tc.code)
+			}
+		})
+	}
+	if got := docs["site"].Version(); got != 1 {
+		t.Fatalf("rejected patches left version %d, want 1 (no partial commits)", got)
+	}
+}
+
+func TestPatchIfVersionConflict(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{}, map[string]string{"site": siteXML})
+	leaf := query(t, ts, server.QueryRequest{Query: `//quantity[. = 3]`}).Results[0].Node
+
+	stale := server.Token(1)
+	ok := patch(t, ts, server.PatchRequest{IfVersion: &stale, Ops: []server.PatchOp{
+		{Op: "set_text", Node: &leaf, Value: "30"},
+	}})
+	if uint64(ok.Version) != 2 {
+		t.Fatalf("first conditional patch: version %v, want 2", ok.Version)
+	}
+
+	// The same precondition now conflicts, and reports where we are.
+	var errOut server.ErrorBody
+	code := call(t, ts.URL+"/v1/patch", server.PatchRequest{IfVersion: &stale, Ops: []server.PatchOp{
+		{Op: "set_text", Node: &leaf, Value: "31"},
+	}}, &errOut)
+	if code != http.StatusConflict || errOut.Error.Code != server.CodeConflict {
+		t.Fatalf("stale if_version: status %d code %q", code, errOut.Error.Code)
+	}
+	if errOut.Error.CurrentVersion == nil || *errOut.Error.CurrentVersion != ok.Version {
+		t.Fatalf("conflict current_version = %v, want %v", errOut.Error.CurrentVersion, ok.Version)
+	}
+}
+
+func TestMultiDocResolution(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{}, map[string]string{
+		"a": siteXML,
+		"b": `<site><item id="x1"><location>Paris</location><quantity>1</quantity></item></site>`,
+	})
+	if got := query(t, ts, server.QueryRequest{Doc: "b", Query: `//item`}); got.Count != 1 {
+		t.Fatalf("doc b: %d items, want 1", got.Count)
+	}
+	var errOut server.ErrorBody
+	if code := call(t, ts.URL+"/v1/query", server.QueryRequest{Query: `//item`}, &errOut); code != http.StatusBadRequest {
+		t.Fatalf("nameless query with two docs: status %d, want 400", code)
+	}
+}
+
+func TestMinVersionTimeout(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{MinVersionWait: 50 * time.Millisecond},
+		map[string]string{"site": siteXML})
+	var errOut server.ErrorBody
+	code := call(t, ts.URL+"/v1/query",
+		server.QueryRequest{Query: `//item`, MinVersion: 99}, &errOut)
+	if code != http.StatusGatewayTimeout || errOut.Error.Code != server.CodeTimeout {
+		t.Fatalf("future min_version: status %d code %q, want 504 timeout", code, errOut.Error.Code)
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{}, map[string]string{"site": siteXML})
+	query(t, ts, server.QueryRequest{Query: `//item`})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	var stats server.StatsResponse
+	r2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if err := json.NewDecoder(r2.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	ds, ok := stats.Docs["site"]
+	if !ok {
+		t.Fatalf("stats lacks doc: %+v", stats)
+	}
+	if ds.Queries != 1 || ds.Version != 1 || ds.Nodes == 0 || ds.Index.Nodes == 0 {
+		t.Errorf("unexpected doc stats %+v", ds)
+	}
+}
+
+// --- WATCH ---
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	event string
+	data  string
+}
+
+// openWatch connects a WATCH stream and returns a channel of its parsed
+// events; cancel the context to disconnect.
+func openWatch(ctx context.Context, t *testing.T, ts *httptest.Server, params string) (<-chan sseEvent, *http.Response) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/watch"+params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp
+	}
+	ch := make(chan sseEvent, 256)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		ev := sseEvent{}
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				ev.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				ev.data = strings.TrimPrefix(line, "data: ")
+			case line == "" && ev.event != "":
+				ch <- ev
+				ev = sseEvent{}
+			}
+		}
+	}()
+	return ch, resp
+}
+
+// collectChanges reads change events until n have arrived or the
+// timeout hits, returning their versions in arrival order.
+func collectChanges(t *testing.T, ch <-chan sseEvent, n int, timeout time.Duration) []uint64 {
+	t.Helper()
+	var got []uint64
+	deadline := time.After(timeout)
+	for len(got) < n {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatalf("stream closed after %d/%d changes", len(got), n)
+			}
+			switch ev.event {
+			case "hello":
+			case "change":
+				var e server.WatchEvent
+				if err := json.Unmarshal([]byte(ev.data), &e); err != nil {
+					t.Fatalf("bad change payload %q: %v", ev.data, err)
+				}
+				got = append(got, uint64(e.Version))
+			case "error":
+				t.Fatalf("stream error after %d/%d changes: %s", len(got), n, ev.data)
+			}
+		case <-deadline:
+			t.Fatalf("timed out after %d/%d changes", len(got), n)
+		}
+	}
+	return got
+}
+
+func wantConsecutive(t *testing.T, got []uint64, from uint64, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("got %d changes, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != from+uint64(i)+1 {
+			t.Fatalf("change[%d] version = %d, want %d (sequence %v)", i, v, from+uint64(i)+1, got)
+		}
+	}
+}
+
+func TestWatchStreamAndResume(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{}, map[string]string{"site": siteXML})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ch, _ := openWatch(ctx, t, ts, "")
+	leaf := query(t, ts, server.QueryRequest{Query: `//quantity[. = 3]`}).Results[0].Node
+	const commits = 5
+	for i := 0; i < commits; i++ {
+		patch(t, ts, server.PatchRequest{Ops: []server.PatchOp{
+			{Op: "set_text", Node: &leaf, Value: fmt.Sprint(100 + i)},
+		}})
+	}
+	wantConsecutive(t, collectChanges(t, ch, commits, 5*time.Second), 1, commits)
+
+	// A late subscriber resuming from the beginning replays the history.
+	late, _ := openWatch(ctx, t, ts, "?from=1")
+	wantConsecutive(t, collectChanges(t, late, commits, 5*time.Second), 1, commits)
+}
+
+func TestWatchResumeGone(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{WatchRetention: 2}, map[string]string{"site": siteXML})
+	leaf := query(t, ts, server.QueryRequest{Query: `//quantity[. = 3]`}).Results[0].Node
+	for i := 0; i < 6; i++ {
+		patch(t, ts, server.PatchRequest{Ops: []server.PatchOp{
+			{Op: "set_text", Node: &leaf, Value: fmt.Sprint(200 + i)},
+		}})
+	}
+	// Versions 2..7 published, only 6..7 retained: resuming from 1 must
+	// be an explicit 410, not a gapped stream.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, resp := openWatch(ctx, t, ts, "?from=1")
+	if ch != nil {
+		t.Fatal("evicted resume token accepted")
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("status = %d, want 410", resp.StatusCode)
+	}
+	var errOut server.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&errOut); err != nil || errOut.Error.Code != server.CodeResumeGone {
+		t.Fatalf("error body %+v (%v), want resume_gone", errOut, err)
+	}
+
+	// Resuming inside the window still works.
+	ch2, _ := openWatch(ctx, t, ts, "?from=5")
+	wantConsecutive(t, collectChanges(t, ch2, 2, 5*time.Second), 5, 2)
+}

@@ -1,0 +1,338 @@
+package xmlvi_test
+
+// Black-box tests of the served HTTP/JSON protocol: a loopback xvid
+// server over an XMark document and the pathological shape corpus,
+// checked against a shadow document queried through the library API.
+// The WATCH ordering property — every subscriber sees the exact
+// committed version sequence, gap-free and in order, even connecting
+// mid-storm from an old token — runs here so the race job covers it.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	xmlvi "repro"
+	"repro/internal/datagen"
+	"repro/internal/server"
+)
+
+// serveDoc exposes one parsed document over a loopback server.
+func serveDoc(t *testing.T, name string, doc *xmlvi.Document) *httptest.Server {
+	t.Helper()
+	srv := server.New(server.Config{})
+	if err := srv.AddDocument(name, doc); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	return ts
+}
+
+// postJSON round-trips one protocol request.
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func httpQuery(t *testing.T, ts *httptest.Server, req server.QueryRequest) server.QueryResponse {
+	t.Helper()
+	var out server.QueryResponse
+	if code := postJSON(t, ts.URL+"/v1/query", req, &out); code != http.StatusOK {
+		t.Fatalf("query %+v: status %d", req, code)
+	}
+	return out
+}
+
+func httpPatch(t *testing.T, ts *httptest.Server, req server.PatchRequest) server.PatchResponse {
+	t.Helper()
+	var out server.PatchResponse
+	if code := postJSON(t, ts.URL+"/v1/patch", req, &out); code != http.StatusOK {
+		t.Fatalf("patch: status %d", code)
+	}
+	return out
+}
+
+// TestServeXMarkBlackBox compares the served protocol against a shadow
+// copy of the same XMark document queried through the library API:
+// identical counts for the golden queries, agreeing explain verdicts,
+// and read-your-writes through the returned version token.
+func TestServeXMarkBlackBox(t *testing.T) {
+	raw, err := datagen.Generate("xmark1", 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmlvi.ParseWithOptions(raw, xmlvi.Options{StripWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, err := xmlvi.ParseWithOptions(raw, xmlvi.Options{StripWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := serveDoc(t, "auction", doc)
+
+	golden := []string{
+		`//item[location = "Amsterdam"]`,
+		`//open_auction[initial > 4950]`,
+		`//quantity[. = 3]`,
+		`//item[quantity = 7]`,
+	}
+	for _, q := range golden {
+		want, err := shadow.Query(q)
+		if err != nil {
+			t.Fatalf("shadow %q: %v", q, err)
+		}
+		got := httpQuery(t, ts, server.QueryRequest{Query: q, Limit: len(want) + 1})
+		if got.Count != len(want) {
+			t.Errorf("served %q count = %d, library = %d", q, got.Count, len(want))
+		}
+
+		_, plan, err := shadow.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := httpQuery(t, ts, server.QueryRequest{Query: q, Explain: true})
+		if ex.Explain == nil || ex.Explain.UsesIndex != plan.UsesIndex() {
+			t.Errorf("served explain of %q disagrees with library: %+v vs uses_index=%v",
+				q, ex.Explain, plan.UsesIndex())
+		}
+	}
+
+	// Patch through the wire, mirror on the shadow, and re-compare at the
+	// committed token: the served write is immediately readable.
+	leaves := httpQuery(t, ts, server.QueryRequest{Query: `//quantity[. = 3]`, Limit: 1})
+	if leaves.Count == 0 {
+		t.Fatal("no quantity=3 leaves in generated XMark")
+	}
+	res := httpPatch(t, ts, server.PatchRequest{Ops: []server.PatchOp{
+		{Op: "set_text", Node: &leaves.Results[0].Node, Value: "424242"},
+	}})
+	after := httpQuery(t, ts, server.QueryRequest{Query: `//quantity[. = 424242]`, MinVersion: res.Version})
+	if after.Count != 1 {
+		t.Fatalf("read-your-writes: count = %d at version %v", after.Count, res.Version)
+	}
+	if after.Version < res.Version {
+		t.Fatalf("query pinned version %v below patch token %v", after.Version, res.Version)
+	}
+}
+
+// TestServeShapeCorpus serves the pathological document shapes and
+// checks the protocol agrees with the library on each.
+func TestServeShapeCorpus(t *testing.T) {
+	var giant strings.Builder
+	giant.WriteString("<r>")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&giant, "<d%d>", i%7)
+	}
+	giant.WriteString("42.5")
+	for i := 199; i >= 0; i-- {
+		fmt.Fprintf(&giant, "</d%d>", i%7)
+	}
+	giant.WriteString("</r>")
+
+	var deep strings.Builder
+	deep.WriteString("<r>")
+	for i := 0; i < 120; i++ {
+		fmt.Fprintf(&deep, "<lvl><n>%d.5</n>", i)
+	}
+	deep.WriteString("bottom")
+	deep.WriteString(strings.Repeat("</lvl>", 120))
+	deep.WriteString("</r>")
+
+	var attrs strings.Builder
+	attrs.WriteString("<r>")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&attrs, `<e a="%d" b="%d.%02d"/>`, i, i, i%100)
+	}
+	attrs.WriteString("</r>")
+
+	cases := []struct {
+		name  string
+		xml   string
+		query string
+	}{
+		{"giant-subtree", giant.String(), `//d1[. = 42.5]`},
+		{"deep-chain", deep.String(), `//n[. = 7.5]`},
+		{"all-attribute", attrs.String(), `//e[@a = 123]`},
+		{"empty", `<r/>`, `//missing[. = 1]`},
+		{"mixed-content", `<r>7<w><v>5</v></w>8<!--note--><?pi data?></r>`, `//v[. = 5]`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc, err := xmlvi.ParseString(tc.xml)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shadow, err := xmlvi.ParseString(tc.xml)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := serveDoc(t, tc.name, doc)
+			want, err := shadow.Query(tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := httpQuery(t, ts, server.QueryRequest{Query: tc.query})
+			if got.Count != len(want) {
+				t.Fatalf("served %q count = %d, library = %d", tc.query, got.Count, len(want))
+			}
+		})
+	}
+}
+
+// --- WATCH ordering under a concurrent update storm ---
+
+// watchVersions subscribes at from and returns the first n change
+// versions in arrival order (failing the test on stream errors).
+func watchVersions(ctx context.Context, t *testing.T, ts *httptest.Server, from uint64, n int) []uint64 {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/watch?from=%d", ts.URL, from), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch connect: status %d", resp.StatusCode)
+	}
+	var got []uint64
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for len(got) < n && sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "change":
+				var ev server.WatchEvent
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					t.Errorf("bad change payload %q: %v", data, err)
+					return got
+				}
+				got = append(got, uint64(ev.Version))
+			case "error":
+				t.Errorf("stream error after %d/%d: %s", len(got), n, data)
+				return got
+			}
+		}
+	}
+	return got
+}
+
+// TestWatchOrderingUnderStorm runs 8 watchers against a patch storm and
+// asserts every one of them observes the exact committed version
+// sequence — no gaps, no duplicates, no torn batches — including
+// watchers that connect mid-storm and resume from the oldest token.
+func TestWatchOrderingUnderStorm(t *testing.T) {
+	doc, err := xmlvi.ParseString(`<site>
+		<item id="i1"><location>Amsterdam</location><quantity>3</quantity></item>
+		<item id="i2"><location>Oslo</location><quantity>7</quantity></item>
+	</site>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := serveDoc(t, "site", doc)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const (
+		earlyWatchers = 8
+		lateWatchers  = 4
+		commits       = 60
+	)
+	v0 := doc.Version()
+	leaf := httpQuery(t, ts, server.QueryRequest{Query: `//quantity[. = 3]`}).Results[0].Node
+
+	var wg sync.WaitGroup
+	sequences := make([][]uint64, earlyWatchers+lateWatchers)
+	for i := 0; i < earlyWatchers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sequences[i] = watchVersions(ctx, t, ts, v0, commits)
+		}(i)
+	}
+
+	// The storm: every patch is one commit; versions advance by exactly
+	// one per patch, whatever the interleaving with watcher connects.
+	storm := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < commits; i++ {
+			httpPatch(t, ts, server.PatchRequest{Ops: []server.PatchOp{
+				{Op: "set_text", Node: &leaf, Value: fmt.Sprint(1000 + i)},
+			}})
+			if i == commits/3 {
+				close(storm) // let the late watchers connect mid-storm
+			}
+		}
+	}()
+
+	<-storm
+	for i := 0; i < lateWatchers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Resuming from the pre-storm token mid-storm must replay the
+			// missed prefix before going live — same exact sequence.
+			sequences[earlyWatchers+i] = watchVersions(ctx, t, ts, v0, commits)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, seq := range sequences {
+		if len(seq) != commits {
+			t.Fatalf("watcher %d saw %d/%d changes", i, len(seq), commits)
+		}
+		for j, v := range seq {
+			if v != v0+uint64(j)+1 {
+				t.Fatalf("watcher %d change[%d] = version %d, want %d (gap or duplicate)",
+					i, j, v, v0+uint64(j)+1)
+			}
+		}
+	}
+	if got := doc.Version(); got != v0+commits {
+		t.Fatalf("final version = %d, want %d (each patch exactly one commit)", got, v0+commits)
+	}
+}

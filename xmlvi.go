@@ -190,6 +190,12 @@ func (d *Document) SyncWAL() error { return d.ix.SyncWAL() }
 
 // Close syncs and detaches the write-ahead log, if any. The document
 // remains usable in memory; subsequent updates are no longer logged.
+//
+// Close is idempotent — closing twice (or a document that never had a
+// WAL) returns nil — and safe to call while reads are in flight: pinned
+// snapshots (Pin, Query, the lookups) never touch the log, so a server
+// can drain readers and Close concurrently during shutdown. Only the
+// first Close performs the sync; it reports any final fsync error.
 func (d *Document) Close() error { return d.ix.CloseWAL() }
 
 // XML serialises the document back to XML.
@@ -261,11 +267,7 @@ func (r Result) Path() string {
 // against, so a Result stays valid even when later commits publish new
 // versions.
 func (d *Document) results(ps []core.Posting, snap *core.Snapshot) []Result {
-	out := make([]Result, len(ps))
-	for i, p := range ps {
-		out[i] = Result{Node: p.Node, Attr: p.Attr, IsAttr: p.IsAttr, doc: snap.Doc()}
-	}
-	return out
+	return pinnedResults(ps, snap)
 }
 
 // ErrUnsupportedPath is returned by Query, QueryScan, and Explain for
@@ -417,6 +419,22 @@ func (d *Document) FindAll(tag string) []Node {
 	return out
 }
 
+// NodeKind distinguishes document, element, text, comment, and
+// processing-instruction nodes.
+type NodeKind = xmltree.Kind
+
+// The node kinds, re-exported for callers inspecting tree structure.
+const (
+	KindDocument = xmltree.Document
+	KindElement  = xmltree.Element
+	KindText     = xmltree.Text
+	KindComment  = xmltree.Comment
+	KindPI       = xmltree.PI
+)
+
+// Kind reports a node's kind.
+func (d *Document) Kind(n Node) NodeKind { return d.ix.Doc().Kind(n) }
+
 // StringValue returns a node's XDM string value.
 func (d *Document) StringValue(n Node) string { return d.ix.Doc().StringValue(n) }
 
@@ -460,6 +478,13 @@ func (d *Document) NumNodes() int { return d.ix.Doc().NumNodes() }
 
 // Stats exposes index statistics (population counts, size estimates).
 func (d *Document) Stats() core.IndexStats { return d.ix.Stats() }
+
+// Durable reports whether a write-ahead log is currently attached.
+func (d *Document) Durable() bool { return d.ix.HasWAL() }
+
+// WALGeneration reports the attached log's checkpoint generation (0
+// before the first checkpoint or without a log).
+func (d *Document) WALGeneration() uint64 { return d.ix.WALGeneration() }
 
 // --- updates ---
 
