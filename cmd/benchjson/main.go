@@ -4,10 +4,15 @@
 // digest for the CI job summary, including the serial-vs-parallel build
 // comparison when both BenchmarkBuild sub-benchmarks are present.
 //
+// With -compare, the summary additionally diffs the run against a
+// committed baseline artifact (a previous PR's BENCH_*.json) and posts a
+// regression table flagging benchmarks that slowed down by more than 20%.
+//
 // Usage:
 //
 //	go test -bench . -benchtime 1x | benchjson > BENCH_PR.json
 //	benchjson -summary < bench.txt >> "$GITHUB_STEP_SUMMARY"
+//	benchjson -summary -compare BENCH_PR7.json < bench.txt >> "$GITHUB_STEP_SUMMARY"
 package main
 
 import (
@@ -43,7 +48,12 @@ type Report struct {
 
 func main() {
 	summary := flag.Bool("summary", false, "emit a Markdown summary instead of JSON")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to diff the run against (requires -summary)")
 	flag.Parse()
+	if *compare != "" && !*summary {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare requires -summary")
+		os.Exit(2)
+	}
 
 	report, err := parse(os.Stdin)
 	if err != nil {
@@ -56,6 +66,14 @@ func main() {
 	}
 	if *summary {
 		writeSummary(os.Stdout, report)
+		if *compare != "" {
+			baseline, err := loadReport(*compare)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			writeComparison(os.Stdout, report, baseline, *compare)
+		}
 		return
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -184,6 +202,81 @@ func writeSummary(w io.Writer, report *Report) {
 			metricOf(report, "BenchmarkServeTraffic", "patch_p99_ms"),
 			metricOf(report, "BenchmarkServeTraffic", "watch_events"),
 			metricOf(report, "BenchmarkServeTraffic", "errors"))
+	}
+	if qps := metricOf(report, "BenchmarkReplicaTraffic", "qps"); qps > 0 {
+		fmt.Fprintf(w, "**Replicated traffic (leader + follower):** %.0f QPS — replica lag p50 %.2fms / p99 %.2fms (patch on leader → visible on follower), read p50 %.2fms / p99 %.2fms, %.0f watch events, %.0f errors\n",
+			qps,
+			metricOf(report, "BenchmarkReplicaTraffic", "lag_p50_ms"),
+			metricOf(report, "BenchmarkReplicaTraffic", "lag_p99_ms"),
+			metricOf(report, "BenchmarkReplicaTraffic", "read_p50_ms"),
+			metricOf(report, "BenchmarkReplicaTraffic", "read_p99_ms"),
+			metricOf(report, "BenchmarkReplicaTraffic", "watch_events"),
+			metricOf(report, "BenchmarkReplicaTraffic", "errors"))
+	}
+}
+
+// loadReport reads a previously archived BENCH_*.json artifact.
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// regressionThreshold is the ns/op slowdown ratio a benchmark may drift
+// before the comparison flags it. Benchmarks in CI runners are noisy;
+// 20% separates drift from damage.
+const regressionThreshold = 1.20
+
+// writeComparison appends a delta table of the run against a baseline
+// artifact, flagging every benchmark whose ns/op regressed beyond the
+// threshold. Benchmarks present on only one side are listed but not
+// flagged (new or retired, not regressed).
+func writeComparison(w io.Writer, cur, base *Report, baseName string) {
+	baseNS := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseNS[b.Name] = b.Metrics["ns/op"]
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "### vs baseline %s\n", baseName)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| benchmark | baseline ns/op | current ns/op | delta |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|")
+	flagged := 0
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		seen[b.Name] = true
+		curNS := b.Metrics["ns/op"]
+		prev, ok := baseNS[b.Name]
+		if !ok || prev <= 0 || curNS <= 0 {
+			fmt.Fprintf(w, "| %s | — | %.0f | new |\n", b.Name, curNS)
+			continue
+		}
+		delta := (curNS - prev) / prev * 100
+		mark := ""
+		if curNS > prev*regressionThreshold {
+			mark = " ⚠️ regression"
+			flagged++
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%%%s |\n", b.Name, prev, curNS, delta, mark)
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "| %s | %.0f | — | retired |\n", b.Name, b.Metrics["ns/op"])
+		}
+	}
+	fmt.Fprintln(w)
+	if flagged > 0 {
+		fmt.Fprintf(w, "**⚠️ %d benchmark(s) slowed down by more than %.0f%% against the baseline.**\n",
+			flagged, (regressionThreshold-1)*100)
+	} else {
+		fmt.Fprintf(w, "No benchmark slowed down by more than %.0f%% against the baseline.\n",
+			(regressionThreshold-1)*100)
 	}
 }
 

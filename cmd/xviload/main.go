@@ -36,6 +36,7 @@ import (
 
 type config struct {
 	addr     string
+	follower string
 	doc      string
 	duration time.Duration
 	readers  int
@@ -47,13 +48,28 @@ type config struct {
 	bench    string
 }
 
+// readAddr is where reads, watches, and the lag probe go: the follower
+// when one is configured, the (leader) addr otherwise. Writes and
+// write-target discovery always go to the leader.
+func (c config) readAddr() string {
+	if c.follower != "" {
+		return c.follower
+	}
+	return c.addr
+}
+
 // collector accumulates latencies and errors across workers.
 type collector struct {
 	mu          sync.Mutex
 	readNS      []float64
 	patchNS     []float64
+	lagNS       []float64
 	errs        []string
 	watchEvents int
+	// violations counts ordering-contract breaches observed by watchers
+	// (gap, duplicate, or reordering) — tracked apart from errs so a
+	// violation can never be masked, and reported with its own exit code.
+	violations int
 }
 
 func (c *collector) read(d time.Duration) {
@@ -68,6 +84,19 @@ func (c *collector) patch(d time.Duration) {
 }
 func (c *collector) event() { c.mu.Lock(); c.watchEvents++; c.mu.Unlock() }
 
+func (c *collector) lag(d time.Duration) {
+	c.mu.Lock()
+	c.lagNS = append(c.lagNS, float64(d))
+	c.mu.Unlock()
+}
+
+func (c *collector) violation(format string, args ...any) {
+	c.mu.Lock()
+	c.violations++
+	c.mu.Unlock()
+	c.errorf(format, args...)
+}
+
 func (c *collector) errorf(format string, args ...any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -81,7 +110,8 @@ func (c *collector) errorf(format string, args ...any) {
 func main() {
 	cfg := config{}
 	var queries string
-	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "xvid base URL")
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "xvid base URL (the leader: all patches go here)")
+	flag.StringVar(&cfg.follower, "follower", "", "follower replica base URL: reads and watches go here, and a lag probe measures patch-to-follower-visible latency")
 	flag.StringVar(&cfg.doc, "doc", "", "document name (optional with a single served document)")
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to drive traffic")
 	flag.IntVar(&cfg.readers, "readers", 8, "concurrent query workers")
@@ -104,6 +134,12 @@ func main() {
 	if err := waitHealthy(client, cfg.addr, 5*time.Second); err != nil {
 		fmt.Fprintln(os.Stderr, "xviload:", err)
 		os.Exit(2)
+	}
+	if cfg.follower != "" {
+		if err := waitHealthy(client, cfg.follower, 5*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "xviload:", err)
+			os.Exit(2)
+		}
 	}
 	targets, err := discoverTargets(client, cfg)
 	if err != nil {
@@ -131,6 +167,10 @@ func main() {
 		wg.Add(1)
 		go func(id int) { defer wg.Done(); writeWorker(ctx, client, cfg, col, targets, id) }(i)
 	}
+	if cfg.follower != "" && len(targets) > 0 {
+		wg.Add(1)
+		go func() { defer wg.Done(); lagProbe(ctx, client, cfg, col, targets) }()
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
@@ -141,15 +181,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xviload: no operations completed")
 		os.Exit(1)
 	}
-	fmt.Printf("%s \t%8d\t%12.0f ns/op\t%10.1f qps\t%8.3f read_p50_ms\t%8.3f read_p99_ms\t%8.3f patch_p50_ms\t%8.3f patch_p99_ms\t%6d watch_events\t%4d errors\n",
+	line := fmt.Sprintf("%s \t%8d\t%12.0f ns/op\t%10.1f qps\t%8.3f read_p50_ms\t%8.3f read_p99_ms\t%8.3f patch_p50_ms\t%8.3f patch_p99_ms",
 		cfg.bench, ops,
 		float64(elapsed)/float64(ops),
 		float64(ops)/elapsed.Seconds(),
 		percentile(col.readNS, 50)/1e6, percentile(col.readNS, 99)/1e6,
-		percentile(col.patchNS, 50)/1e6, percentile(col.patchNS, 99)/1e6,
-		col.watchEvents, len(col.errs))
+		percentile(col.patchNS, 50)/1e6, percentile(col.patchNS, 99)/1e6)
+	if len(col.lagNS) > 0 {
+		line += fmt.Sprintf("\t%8.3f lag_p50_ms\t%8.3f lag_p99_ms",
+			percentile(col.lagNS, 50)/1e6, percentile(col.lagNS, 99)/1e6)
+	}
+	fmt.Printf("%s\t%6d watch_events\t%4d errors\n", line, col.watchEvents, len(col.errs))
 	for _, e := range col.errs {
 		fmt.Fprintln(os.Stderr, "xviload: error:", e)
+	}
+	// A watcher-observed ordering violation is the worst outcome a run
+	// can produce — it means the committed-change stream broke its
+	// contract — and gets its own exit code so wrappers can tell it from
+	// ordinary request errors.
+	if col.violations > 0 {
+		fmt.Fprintf(os.Stderr, "xviload: %d ordering violation(s) observed\n", col.violations)
+		os.Exit(3)
 	}
 	if len(col.errs) > 0 {
 		os.Exit(1)
@@ -180,9 +232,10 @@ func waitHealthy(client *http.Client, addr string, patience time.Duration) error
 // wire types, mirroring internal/server (kept local: xviload speaks the
 // public protocol, not the server's internals).
 type queryReq struct {
-	Doc   string `json:"doc,omitempty"`
-	Query string `json:"query"`
-	Limit int    `json:"limit,omitempty"`
+	Doc        string `json:"doc,omitempty"`
+	Query      string `json:"query"`
+	Limit      int    `json:"limit,omitempty"`
+	MinVersion uint64 `json:"min_version,omitempty"`
 }
 type resultItem struct {
 	Node int32 `json:"node"`
@@ -200,6 +253,9 @@ type patchOp struct {
 type patchReq struct {
 	Doc string    `json:"doc,omitempty"`
 	Ops []patchOp `json:"ops"`
+}
+type patchResp struct {
+	Version string `json:"version"`
 }
 
 func post(ctx context.Context, client *http.Client, url string, body, out any) (int, error) {
@@ -255,7 +311,7 @@ func readWorker(ctx context.Context, client *http.Client, cfg config, col *colle
 		q := cfg.queries[i%len(cfg.queries)]
 		start := time.Now()
 		var out queryResp
-		status, err := post(ctx, client, cfg.addr+"/v1/query", queryReq{Doc: cfg.doc, Query: q, Limit: 1}, &out)
+		status, err := post(ctx, client, cfg.readAddr()+"/v1/query", queryReq{Doc: cfg.doc, Query: q, Limit: 1}, &out)
 		if ctx.Err() != nil {
 			return
 		}
@@ -292,6 +348,47 @@ func writeWorker(ctx context.Context, client *http.Client, cfg config, col *coll
 	}
 }
 
+// lagProbe measures end-to-end replication lag: patch the leader, then
+// query the follower with min_version set to the patch's token — the
+// elapsed time until the follower answers is how long the commit took to
+// become visible on the replica (read-your-writes across the pair).
+func lagProbe(ctx context.Context, client *http.Client, cfg config, col *collector, targets []int32) {
+	value := lastLiteral(cfg.writeQ)
+	n := targets[len(targets)-1]
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for ctx.Err() == nil {
+		start := time.Now()
+		var pr patchResp
+		status, err := post(ctx, client, cfg.addr+"/v1/patch",
+			patchReq{Doc: cfg.doc, Ops: []patchOp{{Op: "set_text", Node: &n, Value: value}}}, &pr)
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			col.errorf("lag probe: patch: status %d: %v", status, err)
+			return
+		}
+		var v uint64
+		fmt.Sscanf(pr.Version, "%d", &v) //nolint:errcheck
+		status, err = post(ctx, client, cfg.follower+"/v1/query",
+			queryReq{Doc: cfg.doc, Query: cfg.queries[0], Limit: 1, MinVersion: v}, nil)
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			col.errorf("lag probe: follower query (min_version %d): status %d: %v", v, status, err)
+			return
+		}
+		col.lag(time.Since(start))
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
 // lastLiteral pulls the comparison literal out of the write query (the
 // value to write back), defaulting to "3".
 func lastLiteral(q string) string {
@@ -307,7 +404,7 @@ func lastLiteral(q string) string {
 // watchWorker tails the change stream and verifies the ordering
 // contract: consecutive versions, no duplicates, no gaps.
 func watchWorker(ctx context.Context, client *http.Client, cfg config, col *collector) {
-	url := cfg.addr + "/v1/watch"
+	url := cfg.readAddr() + "/v1/watch"
 	if cfg.doc != "" {
 		url += "?doc=" + cfg.doc
 	}
@@ -358,7 +455,7 @@ func watchWorker(ctx context.Context, client *http.Client, cfg config, col *coll
 				var v uint64
 				fmt.Sscanf(ev.Version, "%d", &v) //nolint:errcheck
 				if haveLast && v != last+1 {
-					col.errorf("watcher: ordering violation: version %d after %d", v, last)
+					col.violation("watcher: ordering violation: version %d after %d", v, last)
 					return
 				}
 				last, haveLast = v, true

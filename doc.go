@@ -240,6 +240,22 @@
 // recovered log tail into it after a restart so subscribers resume
 // across crashes.
 //
+// Replication (internal/replica, xvid -follow) is the same protocol run
+// in reverse: a follower subscribes to the leader's WATCH stream with
+// shipped payloads and feeds each record to ApplyChange, which replays
+// it through the identical copy-on-write commit path a local write
+// takes — draft, apply, append to the follower's own log, one atomic
+// publish — but only at the exactly matching version boundary (record
+// N+1 on top of version N; anything else is a rejected gap, never a
+// partial apply). Because version numbers, record encodings, and the
+// apply algorithm are all shared, the follower's published version N is
+// byte-identical to the leader's version N, its readers get the same
+// lock-free pinned-snapshot guarantees, and a leader version token
+// passed as a min_version bound on a follower read yields
+// read-your-writes across the pair. The same machinery opens history:
+// OpenAt(snapshot, wal, n) replays a durable pair's log tail to any
+// retained version and hands back that state as a detached document.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 package xmlvi

@@ -50,6 +50,22 @@ var ErrNoWAL = errors.New("core: no write-ahead log attached")
 // against a newer snapshot than the one on disk.
 var ErrStaleSnapshot = errors.New("core: snapshot is older than the write-ahead log expects")
 
+// ErrVersionBeforeSnapshot is returned by OpenAt when the requested
+// version predates the snapshot: the records that produced it were
+// compacted away by a checkpoint, so that state can no longer be
+// reconstructed from this snapshot/log pair.
+var ErrVersionBeforeSnapshot = errors.New("core: requested version predates the snapshot (compacted by a checkpoint)")
+
+// ErrVersionInFuture is returned by OpenAt when the requested version is
+// newer than the durable log's last record.
+var ErrVersionInFuture = errors.New("core: requested version is newer than the durable log")
+
+// ErrVersionGap is returned by ApplyShippedRecord when a shipped record
+// does not extend the current version by exactly one: the follower has
+// missed or duplicated a record and must resynchronise instead of
+// applying out of order.
+var ErrVersionGap = errors.New("core: shipped record does not extend the current version")
+
 // --- record payload codecs ---
 
 // recDecoder is a cursor over a record payload. All fields are uvarints
@@ -237,6 +253,39 @@ func (ix *Indexes) ApplyLogRecord(rec storage.Record) error {
 	return nil
 }
 
+// ApplyShippedRecord applies one log-shipped commit record at an exact
+// version boundary: the record must publish version next, which must be
+// the current version + 1 (checked under the writer mutex, so concurrent
+// appliers cannot interleave between check and publish). Unlike
+// ApplyLogRecord — whose records are already in the local log — a
+// shipped record arrives from elsewhere (a leader's WATCH stream or WAL
+// file), so it is appended to the attached write-ahead log, if any,
+// before the draft is published: a follower's own snapshot/log pair then
+// recovers to exactly the prefix of the leader's history it durably
+// applied, and its commit hook re-publishes the stream for downstream
+// subscribers.
+func (ix *Indexes) ApplyShippedRecord(next uint64, rec storage.Record) error {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	cur := ix.cur.Load()
+	if next != cur.version+1 {
+		return fmt.Errorf("%w: at version %d, shipped record publishes %d", ErrVersionGap, cur.version, next)
+	}
+	draft, err := cur.replayRecord(rec)
+	if err != nil {
+		return err
+	}
+	if draft == nil {
+		return fmt.Errorf("core: shipped record kind %v is not a commit", rec.Kind)
+	}
+	if err := ix.logRecord(rec.Kind, rec.Payload); err != nil {
+		return err
+	}
+	ix.publish(draft)
+	ix.notifyCommit(draft.version, rec.Kind, RecordOps(rec.Kind, rec.Payload), rec.Payload)
+	return nil
+}
+
 // replayRecord validates and applies one record against a draft cloned
 // from s, returning the draft (nil for marker records).
 func (s *Snapshot) replayRecord(rec storage.Record) (*Snapshot, error) {
@@ -346,18 +395,9 @@ func OpenDurable(snapshotPath, walPath string, syncEvery int) (*Indexes, error) 
 
 	// Locate the last checkpoint marker; records before it (and the
 	// marker itself) are contained in some snapshot already.
-	logGen := uint64(0)
-	tail := records
-	for i := len(records) - 1; i >= 0; i-- {
-		if records[i].Kind == storage.RecCheckpoint {
-			gen, err := decodeCheckpoint(records[i].Payload)
-			if err != nil {
-				return fail(fmt.Errorf("core: reading checkpoint marker: %w", err))
-			}
-			logGen = gen
-			tail = records[i+1:]
-			break
-		}
+	logGen, tail, err := splitAtCheckpoint(records)
+	if err != nil {
+		return fail(err)
 	}
 
 	switch {
@@ -399,6 +439,82 @@ func OpenDurable(snapshotPath, walPath string, syncEvery int) (*Indexes, error) 
 	ix.wal = w
 	ix.snapshotPath = snapshotPath
 	ix.wmu.Unlock()
+	return ix, nil
+}
+
+// splitAtCheckpoint locates the last checkpoint marker in records and
+// returns its generation (0 when no marker is present) together with the
+// records after it — the log tail not yet contained in any snapshot.
+func splitAtCheckpoint(records []storage.Record) (uint64, []storage.Record, error) {
+	for i := len(records) - 1; i >= 0; i-- {
+		if records[i].Kind == storage.RecCheckpoint {
+			gen, err := decodeCheckpoint(records[i].Payload)
+			if err != nil {
+				return 0, nil, fmt.Errorf("core: reading checkpoint marker: %w", err)
+			}
+			return gen, records[i+1:], nil
+		}
+	}
+	return 0, records, nil
+}
+
+// OpenAt reconstructs the state as of an exact version — point-in-time
+// open. It loads the snapshot and replays the write-ahead log's tail
+// only up to the commit that published version, yielding the same bytes
+// a document that stopped committing there would have. The log is read,
+// never written: the returned index set is a detached in-memory replica
+// of one historical state, safe to open while a live writer keeps
+// appending to the same log (records at or below an already-published
+// version are fully framed on disk).
+//
+// version must lie inside the durable window: at or after the snapshot
+// (ErrVersionBeforeSnapshot — older states were compacted away by a
+// checkpoint) and at or before the last durably logged commit
+// (ErrVersionInFuture).
+func OpenAt(snapshotPath, walPath string, version uint64) (*Indexes, error) {
+	ix, err := Load(snapshotPath)
+	if err != nil {
+		return nil, err
+	}
+	if version < ix.Version() {
+		return nil, fmt.Errorf("%w: snapshot is at version %d, requested %d",
+			ErrVersionBeforeSnapshot, ix.Version(), version)
+	}
+	var records []storage.Record
+	if err := storage.ReplayWAL(walPath, func(rec storage.Record) error {
+		records = append(records, rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	logGen, tail, err := splitAtCheckpoint(records)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case logGen > ix.walGen.Load():
+		return nil, fmt.Errorf("%w: snapshot generation %d, log generation %d",
+			ErrStaleSnapshot, ix.walGen.Load(), logGen)
+	case logGen < ix.walGen.Load():
+		// Stale log (crash between a checkpoint's snapshot rename and its
+		// log reset): every record is already in the snapshot.
+		tail = nil
+	}
+	for _, rec := range tail {
+		if ix.Version() >= version {
+			break
+		}
+		if err := ix.ApplyLogRecord(rec); err != nil {
+			return nil, err
+		}
+	}
+	if ix.Version() != version {
+		return nil, fmt.Errorf("%w: durable history ends at version %d, requested %d",
+			ErrVersionInFuture, ix.Version(), version)
+	}
+	if err := ix.VerifyLeaves(); err != nil {
+		return nil, fmt.Errorf("core: state at version %d failed verification: %w", version, err)
+	}
 	return ix, nil
 }
 

@@ -5,10 +5,13 @@ package server
 // the hub over server-sent events.
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"time"
 
@@ -52,9 +55,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Point-in-time: ?version=N answers against the historical state as
+	// of version N (xmlvi.OpenAt over the document's durable pair),
+	// pinned like any other query. min_version is meaningless against a
+	// fixed historical version and is ignored.
+	if v := r.URL.Query().Get("version"); v != "" {
+		at, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || at == 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid version: "+v)
+			return
+		}
+		hist, status, code, msg := ds.openAt(at)
+		if hist == nil {
+			writeError(w, status, code, msg)
+			return
+		}
+		resp, ok := execQuery(w, ds, hist.Pin(), req)
+		if !ok {
+			return
+		}
+		resp.AsOf = Token(at)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
 	// Read-your-writes: wait (bounded) until the client's token is
 	// published, then pin. The hub observes versions after publication,
-	// so a snapshot pinned after the wait is at least the token.
+	// so a snapshot pinned after the wait is at least the token. On a
+	// follower the hub observes applied leader commits, so min_version
+	// with a leader patch token waits for replication to catch up —
+	// read-your-writes across the pair.
 	if req.MinVersion > 0 {
 		deadline := time.NewTimer(s.cfg.MinVersionWait)
 		defer deadline.Stop()
@@ -76,7 +106,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	pinned := ds.doc.Pin()
+	pinned := ds.document().Pin()
+	resp, ok := execQuery(w, ds, pinned, req)
+	if !ok {
+		return
+	}
+	if ds.follower != nil {
+		leader := ds.follower.LeaderSeen()
+		lag := uint64(0)
+		if pv := pinned.Version(); leader > pv {
+			lag = leader - pv
+		}
+		resp.Replica = &ReplicaInfo{LeaderVersion: Token(leader), Lag: lag}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execQuery plans, executes, and serializes one query against a pinned
+// version, writing the error response itself on failure (ok=false).
+func execQuery(w http.ResponseWriter, ds *docState, pinned *xmlvi.Pinned, req QueryRequest) (*QueryResponse, bool) {
 	var (
 		results []xmlvi.Result
 		info    *ExplainInfo
@@ -97,14 +145,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		} else {
 			writeError(w, http.StatusBadRequest, CodeXPathParse, err.Error())
 		}
-		return
+		return nil, false
 	}
 
 	limit := req.Limit
 	if limit <= 0 {
 		limit = defaultResultLimit
 	}
-	resp := QueryResponse{
+	resp := &QueryResponse{
 		Doc:     ds.name,
 		Version: Token(pinned.Version()),
 		Count:   len(results),
@@ -129,7 +177,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, item)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, true
+}
+
+// pitCacheLimit bounds the per-document cache of point-in-time opens; a
+// full cache is simply dropped (opens are reconstructible).
+const pitCacheLimit = 4
+
+// openAt returns the document's state as of version, from the cache or
+// by replaying the durable pair's log tail. The returned status/code/msg
+// describe the failure when the document is nil.
+func (ds *docState) openAt(version uint64) (doc *xmlvi.Document, status int, code, msg string) {
+	if ds.opts.SnapshotPath == "" || ds.opts.WALPath == "" {
+		return nil, http.StatusUnprocessableEntity, CodeNoHistory,
+			"point-in-time queries need a document served from a durable snapshot+WAL pair"
+	}
+	ds.pitMu.Lock()
+	defer ds.pitMu.Unlock()
+	if d, ok := ds.pitCache[version]; ok {
+		return d, 0, "", ""
+	}
+	d, err := xmlvi.OpenAt(ds.opts.SnapshotPath, ds.opts.WALPath, version)
+	if err != nil {
+		switch {
+		case errors.Is(err, xmlvi.ErrVersionBeforeSnapshot):
+			return nil, http.StatusGone, CodeVersionGone, err.Error()
+		case errors.Is(err, xmlvi.ErrVersionInFuture):
+			return nil, http.StatusNotFound, CodeVersionFuture, err.Error()
+		default:
+			return nil, http.StatusInternalServerError, CodeInternal, err.Error()
+		}
+	}
+	if len(ds.pitCache) >= pitCacheLimit {
+		ds.pitCache = nil
+	}
+	if ds.pitCache == nil {
+		ds.pitCache = make(map[uint64]*xmlvi.Document)
+	}
+	ds.pitCache[version] = d
+	return d, 0, "", ""
 }
 
 // --- patch ---
@@ -145,6 +231,11 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ds.patches.Add(1)
+	if ds.follower != nil {
+		writeError(w, http.StatusForbidden, CodeReadOnly,
+			"document is a follower replica: patch the leader (its commit replicates here)")
+		return
+	}
 	if len(req.Ops) == 0 {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "ops must not be empty")
 		return
@@ -318,6 +409,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, CodeInternal, "streaming unsupported")
 		return
 	}
+	withPayload := r.URL.Query().Get("payload") == "1"
 	from := ds.hub.current()
 	if f := r.URL.Query().Get("from"); f != "" {
 		v, err := strconv.ParseUint(f, 10, 64)
@@ -345,7 +437,9 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
-	writeEvent(w, "hello", 0, WatchHello{Doc: ds.name, Version: Token(from)})
+	writeEvent(w, "hello", 0, WatchHello{
+		Doc: ds.name, Version: Token(from), Current: Token(ds.hub.current()),
+	})
 	flusher.Flush()
 
 	heartbeat := time.NewTicker(watchHeartbeat)
@@ -372,11 +466,15 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		writeEvent(w, "change", c.Version, WatchEvent{
+		ev := WatchEvent{
 			Version: Token(c.Version),
 			Kind:    c.Kind.String(),
 			Ops:     c.Ops,
-		})
+		}
+		if withPayload {
+			ev.Payload = base64.StdEncoding.EncodeToString(c.Payload)
+		}
+		writeEvent(w, "change", c.Version, ev)
 		flusher.Flush()
 		next = c.Version + 1
 	}
@@ -395,6 +493,49 @@ func writeEvent(w http.ResponseWriter, event string, id uint64, data any) {
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
 }
 
+// --- snapshot ---
+
+// handleSnapshot streams a generation-0 snapshot of the document's
+// current version (GET /v1/snapshot?doc=NAME). The version is pinned for
+// the whole transfer and reported in X-Xvid-Version; a follower seeding
+// itself loads the body with xmlvi.LoadWithOptions and subscribes to
+// /v1/watch?from=<that version> — together they hand over the full state
+// plus the live log with no gap.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	ds, status, code, msg := s.resolve(r.URL.Query().Get("doc"))
+	if ds == nil {
+		writeError(w, status, code, msg)
+		return
+	}
+	pinned := ds.document().Pin()
+
+	// Serialize through a temp file: Pinned.Save wants a path, and the
+	// file gives us a Content-Length up front.
+	tmp, err := os.CreateTemp("", "xvid-seed-*.xvi")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	defer os.Remove(tmp.Name())
+	defer tmp.Close()
+	if err := pinned.Save(tmp.Name()); err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	fi, err := tmp.Stat()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
+	h.Set("X-Xvid-Version", strconv.FormatUint(pinned.Version(), 10))
+	w.WriteHeader(http.StatusOK)
+	io.Copy(w, tmp) //nolint:errcheck // the connection owns delivery
+}
+
 // --- stats, health ---
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -403,17 +544,29 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Docs:          make(map[string]DocStats),
 	}
 	for _, ds := range s.docStates() {
-		resp.Docs[ds.name] = DocStats{
-			Version:       Token(ds.doc.Version()),
-			Nodes:         ds.doc.NumNodes(),
+		doc := ds.document()
+		st := DocStats{
+			Version:       Token(doc.Version()),
+			Nodes:         doc.NumNodes(),
 			Watchers:      ds.hub.watcherCount(),
 			Queries:       ds.queries.Load(),
 			Patches:       ds.patches.Load(),
 			Watches:       ds.watches.Load(),
-			Durable:       ds.doc.Durable(),
-			WALGeneration: ds.doc.WALGeneration(),
-			Index:         ds.doc.Stats(),
+			Durable:       doc.Durable(),
+			WALGeneration: doc.WALGeneration(),
+			Role:          "leader",
+			Index:         doc.Stats(),
 		}
+		if ds.follower != nil {
+			st.Role = "follower"
+			leader := ds.follower.LeaderSeen()
+			lag := uint64(0)
+			if v := uint64(st.Version); leader > v {
+				lag = leader - v
+			}
+			st.Replica = &ReplicaInfo{LeaderVersion: Token(leader), Lag: lag}
+		}
+		resp.Docs[ds.name] = st
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -51,20 +51,70 @@ type Config struct {
 	MinVersionWait time.Duration
 }
 
+// FollowerSource is a follower replica served read-only (see
+// internal/replica, which implements it). The server reads the document
+// through Document on every request — a follower may swap its document
+// wholesale when a retention gap forces a full re-seed — and rewires the
+// commit stream through OnCommit so the follower's applies feed the
+// served WATCH hub and min_version waits.
+type FollowerSource interface {
+	// Document returns the follower's current document.
+	Document() *xmlvi.Document
+	// LeaderSeen reports the highest leader version the follower has
+	// observed on its subscription (applied or not) — the minuend of the
+	// replica lag the server reports on queries.
+	LeaderSeen() uint64
+	// OnCommit installs fn as the commit observer of the current document
+	// and of every document a re-seed swaps in (nil clears it).
+	OnCommit(fn func(xmlvi.Change))
+}
+
+// DocOptions carry optional per-document serving configuration.
+type DocOptions struct {
+	// SnapshotPath and WALPath name the document's durable pair. When
+	// set, the server answers point-in-time queries (?version=N on
+	// /v1/query) by replaying the log's tail up to the cut version
+	// (xmlvi.OpenAt). Without them such queries fail with no_history.
+	SnapshotPath string
+	WALPath      string
+}
+
 // docState is one served document with its server-side plumbing.
 type docState struct {
 	name string
 	doc  *xmlvi.Document
 	hub  *hub
+	opts DocOptions
+
+	// follower, when non-nil, marks this as a read-only replica: the
+	// document is read through it (re-seeds swap documents), patches are
+	// rejected, and queries report replica lag.
+	follower FollowerSource
 
 	// writeMu serializes patches on this document: the if_version
 	// precondition check and the commit must be atomic with respect to
 	// other patches (reads never take it — they pin snapshots).
 	writeMu sync.Mutex
 
+	// pitMu guards pitCache, a small cache of point-in-time opens keyed
+	// by version (an OpenAt replays the WAL tail — far too expensive per
+	// query).
+	pitMu    sync.Mutex
+	pitCache map[uint64]*xmlvi.Document
+
 	queries atomic.Uint64
 	patches atomic.Uint64
 	watches atomic.Uint64
+}
+
+// document returns the document a request should read: the follower's
+// current one for replicas (re-seeds swap it), the registered one
+// otherwise.
+func (ds *docState) document() *xmlvi.Document {
+	if ds.follower != nil {
+		return ds.follower.Document()
+	}
+	return ds.doc
 }
 
 // Server serves one or more documents over the xvid protocol. Create
@@ -96,6 +146,12 @@ func New(cfg Config) *Server {
 // resumable. The document must not be mutated except through the server
 // from this point on.
 func (s *Server) AddDocument(name string, d *xmlvi.Document) error {
+	return s.AddDocumentWithOptions(name, d, DocOptions{})
+}
+
+// AddDocumentWithOptions is AddDocument with per-document serving
+// options (see DocOptions).
+func (s *Server) AddDocumentWithOptions(name string, d *xmlvi.Document, opts DocOptions) error {
 	if name == "" {
 		return fmt.Errorf("server: document name must not be empty")
 	}
@@ -107,9 +163,38 @@ func (s *Server) AddDocument(name string, d *xmlvi.Document) error {
 	ds := &docState{
 		name: name,
 		doc:  d,
+		opts: opts,
 		hub:  newHub(d.Version(), d.RecoveredChanges(), s.cfg.WatchRetention),
 	}
 	d.OnCommit(ds.hub.append)
+	s.docs[name] = ds
+	return nil
+}
+
+// AddFollower registers a follower replica under name and serves it
+// read-only: queries run against the follower's current document (and
+// report replica lag), patches are rejected with read_only, and the
+// WATCH hub is fed by the follower's applies — so watchers of a follower
+// see the leader's committed stream re-published, and min_version waits
+// give read-your-writes across the leader/follower pair. The follower's
+// lifecycle (subscription, re-seeds, closing its document) stays with
+// the caller; Close only detaches the commit stream.
+func (s *Server) AddFollower(name string, f FollowerSource) error {
+	if name == "" {
+		return fmt.Errorf("server: document name must not be empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.docs[name]; dup {
+		return fmt.Errorf("server: document %q already registered", name)
+	}
+	d := f.Document()
+	ds := &docState{
+		name:     name,
+		follower: f,
+		hub:      newHub(d.Version(), d.RecoveredChanges(), s.cfg.WatchRetention),
+	}
+	f.OnCommit(ds.hub.append)
 	s.docs[name] = ds
 	return nil
 }
@@ -153,14 +238,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/patch", s.handlePatch)
 	mux.HandleFunc("GET /v1/watch", s.handleWatch)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
 // Close detaches the commit hooks, terminates every WATCH stream, and
-// closes the documents (syncing and detaching their logs). In-flight
-// pinned readers are unaffected: snapshots outlive Close.
+// closes the documents (syncing and detaching their logs). Follower
+// documents are not closed — their lifecycle belongs to the follower
+// loop that owns them — only unhooked. In-flight pinned readers are
+// unaffected: snapshots outlive Close.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	docs := s.docs
@@ -168,8 +256,12 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	var first error
 	for _, ds := range docs {
-		ds.doc.OnCommit(nil)
 		ds.hub.close()
+		if ds.follower != nil {
+			ds.follower.OnCommit(nil)
+			continue
+		}
+		ds.doc.OnCommit(nil)
 		if err := ds.doc.Close(); err != nil && first == nil {
 			first = err
 		}

@@ -83,6 +83,19 @@ type ExplainInfo struct {
 	EstCost   float64 `json:"est_cost"`
 }
 
+// ReplicaInfo reports a follower's replication position alongside a
+// query answered by it.
+type ReplicaInfo struct {
+	// LeaderVersion is the highest leader version the follower has
+	// observed on its subscription (applied or still in flight).
+	LeaderVersion Token `json:"leader_version"`
+	// Lag is LeaderVersion minus the pinned version the query ran
+	// against: how many committed leader versions the answer is behind.
+	// 0 means the answer is current as of everything the follower has
+	// heard from the leader.
+	Lag uint64 `json:"lag"`
+}
+
 // QueryResponse is the body of a successful query.
 type QueryResponse struct {
 	Doc string `json:"doc"`
@@ -94,6 +107,12 @@ type QueryResponse struct {
 	Results   []ResultItem `json:"results"`
 	Truncated bool         `json:"truncated,omitempty"`
 	Explain   *ExplainInfo `json:"explain,omitempty"`
+	// Replica is set when a follower answered: its replication position
+	// and how far behind the leader this answer is.
+	Replica *ReplicaInfo `json:"replica,omitempty"`
+	// AsOf is set on point-in-time queries (?version=N): the historical
+	// version the answer was reconstructed at (equals Version).
+	AsOf Token `json:"as_of,omitempty"`
 }
 
 // PatchOp is one operation of a patch. Exactly one shape applies per op:
@@ -143,27 +162,41 @@ type WatchEvent struct {
 	Version Token  `json:"version"`
 	Kind    string `json:"kind"`
 	Ops     int    `json:"ops"`
+	// Payload is the canonical write-ahead-log record encoding of the
+	// commit, base64 (standard encoding) — present only on streams opened
+	// with ?payload=1. A subscriber applying these through
+	// xmlvi.Document.ApplyChange in version order reconstructs every
+	// published state: the stream is the log, shipped live.
+	Payload string `json:"payload,omitempty"`
 }
 
 // WatchHello is the data payload of the stream-opening hello event:
 // Version is the stream position the watcher resumes after (its ?from=
-// token, or the current version when absent).
+// token, or the current version when absent); Current is the document's
+// version at stream open, so a resuming subscriber knows how far behind
+// it starts (Current - Version changes are already queued).
 type WatchHello struct {
 	Doc     string `json:"doc"`
 	Version Token  `json:"version"`
+	Current Token  `json:"current"`
 }
 
 // DocStats is one served document's /v1/stats entry.
 type DocStats struct {
-	Version       Token           `json:"version"`
-	Nodes         int             `json:"nodes"`
-	Watchers      int             `json:"watchers"`
-	Queries       uint64          `json:"queries"`
-	Patches       uint64          `json:"patches"`
-	Watches       uint64          `json:"watches"`
-	Durable       bool            `json:"durable"`
-	WALGeneration uint64          `json:"wal_generation,omitempty"`
-	Index         core.IndexStats `json:"index"`
+	Version       Token  `json:"version"`
+	Nodes         int    `json:"nodes"`
+	Watchers      int    `json:"watchers"`
+	Queries       uint64 `json:"queries"`
+	Patches       uint64 `json:"patches"`
+	Watches       uint64 `json:"watches"`
+	Durable       bool   `json:"durable"`
+	WALGeneration uint64 `json:"wal_generation,omitempty"`
+	// Role is "leader" for locally written documents, "follower" for
+	// replicas applying a leader's shipped log.
+	Role string `json:"role"`
+	// Replica reports a follower's position and lag (followers only).
+	Replica *ReplicaInfo    `json:"replica,omitempty"`
+	Index   core.IndexStats `json:"index"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -182,6 +215,10 @@ const (
 	CodeConflict        = "conflict"         // if_version mismatch or write-write transaction conflict
 	CodeResumeGone      = "resume_gone"      // watch resume token older than the retention window
 	CodeTimeout         = "timeout"          // min_version not reached in time
+	CodeReadOnly        = "read_only"        // patch against a follower replica
+	CodeNoHistory       = "no_history"       // ?version=N on a document served without a durable snapshot/WAL pair
+	CodeVersionGone     = "version_gone"     // ?version=N older than the snapshot (compacted by a checkpoint)
+	CodeVersionFuture   = "version_future"   // ?version=N newer than the durable log
 	CodeInternal        = "internal"
 )
 

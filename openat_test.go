@@ -1,0 +1,178 @@
+package xmlvi_test
+
+// Property test for point-in-time opens: across a mixed commit history
+// (text batches, attribute updates, insertions, deletions, and a
+// mid-history checkpoint), OpenAt(N) must be byte-identical to the
+// document as it stood when version N was published — and versions
+// outside the durable window must fail with the typed errors.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	xmlvi "repro"
+)
+
+const openAtXML = `<site>
+  <items>
+    <item id="i1"><name>alpha</name><quantity>3</quantity></item>
+    <item id="i2"><name>beta</name><quantity>7</quantity></item>
+    <item id="i3"><name>gamma</name><quantity>5</quantity></item>
+  </items>
+</site>`
+
+// snapshotBytes serialises the pinned version's plain snapshot encoding.
+func snapshotBytes(t *testing.T, dir string, p *xmlvi.Pinned, tag string) []byte {
+	t.Helper()
+	path := filepath.Join(dir, tag+".xvi")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(path)
+	return b
+}
+
+func TestOpenAtMatchesHistory(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "doc.xvi")
+	wal := filepath.Join(dir, "doc.wal")
+	doc, err := xmlvi.ParseWithOptions([]byte(openAtXML), xmlvi.Options{StripWhitespace: true, WAL: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the oracle: after every commit, record the exact bytes the
+	// just-published version serialises to. A mid-history checkpoint
+	// compacts the log, shrinking the durable window's left edge.
+	const commits = 30
+	const checkpointAfter = 12
+	oracle := map[uint64][]byte{doc.Version(): snapshotBytes(t, dir, doc.Pin(), "v1")}
+	for i := 0; i < commits; i++ {
+		switch i % 5 {
+		case 0, 3:
+			var ups []xmlvi.TextUpdate
+			for j, q := range doc.FindAll("quantity") {
+				if j == 2 {
+					break
+				}
+				ups = append(ups, xmlvi.TextUpdate{Node: doc.Children(q)[0], Value: fmt.Sprintf("%d", 20+i+j)})
+			}
+			if err := doc.UpdateTexts(ups); err != nil {
+				t.Fatalf("commit %d: texts: %v", i, err)
+			}
+		case 1:
+			it := doc.Find("item")
+			if err := doc.UpdateAttr(doc.FindAttr(it, "id"), fmt.Sprintf("id-%d", i)); err != nil {
+				t.Fatalf("commit %d: attr: %v", i, err)
+			}
+		case 2:
+			frag := fmt.Sprintf(`<item id="x%d"><name>extra%d</name><quantity>9</quantity></item>`, i, i)
+			if _, err := doc.InsertXML(doc.Find("items"), 0, frag); err != nil {
+				t.Fatalf("commit %d: insert: %v", i, err)
+			}
+		case 4:
+			if err := doc.Delete(doc.Find("item")); err != nil {
+				t.Fatalf("commit %d: delete: %v", i, err)
+			}
+		}
+		v := doc.Version()
+		oracle[v] = snapshotBytes(t, dir, doc.Pin(), fmt.Sprintf("v%d", v))
+		if i == checkpointAfter {
+			if err := doc.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+		}
+	}
+	last := doc.Version()
+	windowStart := uint64(2 + checkpointAfter) // the version the checkpoint compacted to
+	if err := doc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Random versions across (and beyond) the history, deterministic seed.
+	rng := rand.New(rand.NewSource(7))
+	probes := map[uint64]bool{windowStart: true, last: true, 1: true, last + 3: true}
+	for len(probes) < 16 {
+		probes[1+uint64(rng.Intn(int(last)+4))] = true
+	}
+	for v := range probes {
+		hist, err := xmlvi.OpenAt(snap, wal, v)
+		switch {
+		case v < windowStart:
+			if !errors.Is(err, xmlvi.ErrVersionBeforeSnapshot) {
+				t.Errorf("OpenAt(%d) before the window: err = %v, want ErrVersionBeforeSnapshot", v, err)
+			}
+			continue
+		case v > last:
+			if !errors.Is(err, xmlvi.ErrVersionInFuture) {
+				t.Errorf("OpenAt(%d) after the window: err = %v, want ErrVersionInFuture", v, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("OpenAt(%d): %v", v, err)
+		}
+		if got := hist.Version(); got != v {
+			t.Fatalf("OpenAt(%d) opened version %d", v, got)
+		}
+		b := snapshotBytes(t, dir, hist.Pin(), fmt.Sprintf("at%d", v))
+		if !bytes.Equal(b, oracle[v]) {
+			t.Errorf("OpenAt(%d): %d bytes differ from the %d-byte oracle snapshot", v, len(b), len(oracle[v]))
+		}
+	}
+}
+
+// TestOpenAtIsDetached pins down that a point-in-time open is a replica:
+// mutating it must not touch the durable pair it was opened from.
+func TestOpenAtIsDetached(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "doc.xvi")
+	wal := filepath.Join(dir, "doc.wal")
+	doc, err := xmlvi.ParseWithOptions([]byte(openAtXML), xmlvi.Options{StripWhitespace: true, WAL: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.UpdateAttr(doc.FindAttr(doc.Find("item"), "id"), "changed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hist, err := xmlvi.OpenAt(snap, wal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Durable() {
+		t.Fatal("point-in-time open has a log attached")
+	}
+	if err := hist.Delete(hist.Find("item")); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("mutating a point-in-time open wrote to the source WAL")
+	}
+}
