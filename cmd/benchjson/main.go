@@ -188,6 +188,10 @@ func writeSummary(w io.Writer, report *Report) {
 		}
 		fmt.Fprintln(w)
 	}
+	if speedup := metricOf(report, "BenchmarkSubstring/indexed", "speedup_x"); speedup > 0 {
+		fmt.Fprintf(w, "**Substring vs scan:** contains() through the q-gram index vs full document scan → **%.1fx speedup**\n",
+			speedup)
+	}
 	if rw, snap := metricOf(report, "BenchmarkConcurrentQPS", "rwmutex_qps"),
 		metricOf(report, "BenchmarkConcurrentQPS", "snapshot_qps"); rw > 0 && snap > 0 {
 		fmt.Fprintf(w, "**Concurrent reads (8 readers + update storm):** RWMutex %.0f reads/s vs MVCC snapshots %.0f reads/s → **%.0fx speedup**\n",

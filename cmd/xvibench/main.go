@@ -20,7 +20,7 @@ import (
 	"repro/internal/experiments"
 )
 
-var allExperiments = []string{"table1", "fig9", "fig10", "fig11", "a1", "a2", "a3", "a4", "a5", "a6", "a7"}
+var allExperiments = []string{"table1", "fig9", "fig10", "fig11", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8"}
 
 // expAliases are the per-panel selectors that map onto a whole figure.
 var expAliases = []string{"fig9a", "fig9b", "fig9c", "fig9d", "fig10a", "fig10b"}
@@ -167,6 +167,13 @@ func main() {
 			fatal(err)
 		}
 		experiments.ReportA7(out, rows)
+	}
+	if selected["a8"] {
+		rows, err := experiments.RunA8(cfg, plannerDataset(cfg))
+		if err != nil {
+			fatal(err)
+		}
+		experiments.ReportA8(out, rows)
 	}
 	fmt.Fprintln(out)
 }

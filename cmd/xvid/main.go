@@ -65,6 +65,7 @@ func main() {
 	flag.Var(&docs, "doc", "serve a document: name=snap.xvi+wal.log | name=snap.xvi | name=file.xml | name=gen:dataset:scale (repeatable); with -follow, names a leader document to follow")
 	listen := flag.String("listen", "127.0.0.1:8080", "address to serve on")
 	planner := flag.String("planner", "auto", "query planning mode: auto, legacy, scan, index")
+	substring := flag.Bool("substring", false, "enable the q-gram substring index on served documents (contains()/starts-with() answer through the planner)")
 	retention := flag.Int("watch-retention", server.DefaultWatchRetention, "committed changes buffered per document for WATCH resume")
 	follow := flag.String("follow", "", "follow a leader server at this base URL (serve read-only replicas of its documents)")
 	stateDir := flag.String("state", "", "with -follow: directory for durable follower state (one snapshot+WAL pair per document)")
@@ -95,6 +96,9 @@ func main() {
 				fatal(err)
 			}
 			doc.SetPlanner(mode)
+			if *substring {
+				doc.EnableSubstringIndex()
+			}
 			if err := srv.AddDocumentWithOptions(name, doc, opts); err != nil {
 				fatal(err)
 			}

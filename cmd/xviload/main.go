@@ -117,7 +117,7 @@ func main() {
 	flag.IntVar(&cfg.readers, "readers", 8, "concurrent query workers")
 	flag.IntVar(&cfg.writers, "writers", 1, "concurrent patch workers")
 	flag.IntVar(&cfg.watchers, "watchers", 2, "concurrent WATCH streams")
-	flag.StringVar(&queries, "queries", `//item[quantity = 7];//open_auction[initial > 4950];//quantity[. = 3]`, "read queries, ';'-separated")
+	flag.StringVar(&queries, "queries", `//item[quantity = 7];//open_auction[initial > 4950];//quantity[. = 3];//person[contains(emailaddress/text(), "mailto:a")];//person[starts-with(@id, "person12")]`, "read queries, ';'-separated (text predicates answer through the substring index when the server enables it)")
 	flag.StringVar(&cfg.writeQ, "write-query", `//quantity[. = 3]`, "query discovering set_text targets (elements with one text child)")
 	flag.IntVar(&cfg.batch, "batch", 8, "set_text ops per patch (one commit each)")
 	flag.StringVar(&cfg.bench, "bench", "BenchmarkServeTraffic", "benchmark name to report as")

@@ -8,6 +8,7 @@
 //	xviquery -db doc.xvi -scan -t '//item[price > 100]'
 //	xviquery -db doc.xvi -explain '//item[quantity = 7 and location = "Oslo"]'
 //	xviquery -db doc.xvi -planner legacy -t '//item[quantity = 7]'
+//	xviquery -db doc.xvi -substring -explain '//person[contains(name/text(), "rthu")]'
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	db := flag.String("db", "", "snapshot file from xvishred (required)")
 	scan := flag.Bool("scan", false, "evaluate without indices (baseline)")
 	contains := flag.Bool("contains", false, "treat the argument as a substring pattern (q-gram index)")
+	substring := flag.Bool("substring", false, "enable the q-gram substring index so contains()/starts-with() predicates answer through it")
 	explain := flag.Bool("explain", false, "print the executed plan tree (estimated vs actual cardinalities)")
 	planner := flag.String("planner", "auto", "query planning mode: auto, legacy, scan, index")
 	timing := flag.Bool("t", false, "print evaluation time")
@@ -44,6 +46,9 @@ func main() {
 		fatal(err)
 	}
 	doc.SetPlanner(mode)
+	if *substring {
+		doc.EnableSubstringIndex()
+	}
 	start := time.Now()
 	var results []xmlvi.Result
 	var plan *xmlvi.Explain

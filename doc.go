@@ -134,6 +134,36 @@
 // Unsupported path shapes (attribute steps in the middle of a path)
 // fail with ErrUnsupportedPath instead of silently returning nothing.
 //
+// # Substring search
+//
+// EnableSubstringIndex adds a positional q-gram index (q = 3 byte
+// grams) over every text node and attribute value. It answers
+// Document.Contains and Document.StartsWith, and it backs the XPath
+// dialect's text predicates
+//
+//	//person[contains(emailaddress/text(), "mailto:w")]
+//	//person[starts-with(@id, "person1")]
+//
+// which the planner costs as a substring access path — candidate
+// postings from gram posting-list intersection, estimated through the
+// same statistics layer as the value indexes, every candidate verified
+// against the actual value — against the document scan. Only
+// text()/attribute leaf operands are indexable: an element operand
+// compares against the concatenated string value, which a single
+// node's grams cannot witness, so those (and patterns shorter than q,
+// and documents without the index) fall back to the scan, and the
+// EXPLAIN plan carries a note saying which fallback fired and why.
+// Results are identical either way.
+//
+// The index lives inside the MVCC Snapshot like every other index:
+// each commit maintains it copy-on-write, Contains pins one published
+// version, and the index rides snapshot persistence — Save/Load,
+// checkpoints, crash recovery, point-in-time OpenAt, and follower
+// replication all preserve it. Enabling does not publish a new version
+// (followers apply shipped records at strict version boundaries), and
+// is idempotent. xviquery -substring and xvid -substring enable it at
+// the tools layer; xvibench -exp a8 is the text-predicate experiment.
+//
 // # Durability
 //
 // By default persistence is snapshot-only: updates live in memory until

@@ -276,6 +276,13 @@ type Snapshot struct {
 	// mixes estimates from one version with postings from another.
 	strStats *keyStats
 
+	// Substring index (see substr.go): the q-gram B+tree over text-node
+	// and attribute values plus its planner statistics. Nil until
+	// EnableSubstring; once set, every commit path maintains both
+	// copy-on-write like the other indices.
+	subTree  *btree.Tree
+	subStats *keyStats
+
 	// typed holds one index per enabled registry entry, in registry
 	// order. All per-type control flow in this package is iteration over
 	// this slice.

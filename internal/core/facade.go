@@ -34,6 +34,41 @@ func (ix *Indexes) HasTyped(id TypeID) bool { return ix.cur.Load().HasTyped(id) 
 // HasString reports whether the string equality index was built.
 func (ix *Indexes) HasString() bool { return ix.cur.Load().HasString() }
 
+// HasSubstring reports whether the q-gram substring index is enabled.
+func (ix *Indexes) HasSubstring() bool { return ix.cur.Load().HasSubstring() }
+
+// Contains returns the text and attribute nodes whose value contains
+// pattern in the current version, verified, in document order.
+func (ix *Indexes) Contains(pattern string) []Posting {
+	return ix.cur.Load().Contains(pattern)
+}
+
+// StartsWith returns the text and attribute nodes whose value starts
+// with pattern in the current version.
+func (ix *Indexes) StartsWith(pattern string) []Posting {
+	return ix.cur.Load().StartsWith(pattern)
+}
+
+// ScanContains is the index-free baseline for Contains.
+func (ix *Indexes) ScanContains(pattern string) []Posting {
+	return ix.cur.Load().ScanContains(pattern)
+}
+
+// ScanStartsWith is the index-free baseline for StartsWith.
+func (ix *Indexes) ScanStartsWith(pattern string) []Posting {
+	return ix.cur.Load().ScanStartsWith(pattern)
+}
+
+// EstimateSubstr estimates the substring access path's candidate count.
+func (ix *Indexes) EstimateSubstr(pattern string) float64 {
+	return ix.cur.Load().EstimateSubstr(pattern)
+}
+
+// SubstringPlannerStats reports the substring index's planner statistics.
+func (ix *Indexes) SubstringPlannerStats() (PlannerStats, bool) {
+	return ix.cur.Load().SubstringPlannerStats()
+}
+
 // TypedElem returns node n's SCT element under typed index id.
 func (ix *Indexes) TypedElem(id TypeID, n xmltree.NodeID) fsm.Elem {
 	return ix.cur.Load().TypedElem(id, n)

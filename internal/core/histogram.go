@@ -175,6 +175,9 @@ func (ix *Snapshot) rebuildStats() {
 	if ix.strTree != nil {
 		ix.strStats = buildKeyStats(ix.strTree)
 	}
+	if ix.subTree != nil {
+		ix.subStats = buildKeyStats(ix.subTree)
+	}
 	ix.eachTyped(func(ti *typedIndex) { ti.stats = buildKeyStats(ti.tree) })
 }
 
@@ -185,6 +188,9 @@ func (ix *Snapshot) rebuildStats() {
 func (ix *Snapshot) maintainStats() {
 	if ix.strStats != nil && ix.strStats.stale() {
 		ix.strStats = buildKeyStats(ix.strTree)
+	}
+	if ix.subStats != nil && ix.subStats.stale() {
+		ix.subStats = buildKeyStats(ix.subTree)
 	}
 	for _, ti := range ix.typed {
 		if ti.stats != nil && ti.stats.stale() {

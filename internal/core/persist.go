@@ -35,6 +35,12 @@ const (
 	// rebuilt from the trees instead.
 	SectionStats = "stats"
 
+	// SectionSubstr holds the q-gram substring index tree (see substr.go).
+	// Optional: presence means the index was enabled when the snapshot
+	// was written, and loading restores it enabled; absence loads with
+	// the index off. Its statistics are derived data, rebuilt on load.
+	SectionSubstr = "substr"
+
 	// SectionVersion holds the snapshot's publication sequence number
 	// (Snapshot.Version), so commit-sequence tokens handed to network
 	// clients stay valid across Save/Load and checkpoint/recovery: a
@@ -156,6 +162,15 @@ func (ix *Snapshot) save(w *storage.Writer, withWALGen bool, walGen uint64) erro
 			return err
 		}
 		if err := ix.writeTyped(sec, ti); err != nil {
+			return err
+		}
+	}
+	if ix.subTree != nil {
+		sec, err = w.Section(SectionSubstr)
+		if err != nil {
+			return err
+		}
+		if err := writeTree(sec, ix.subTree); err != nil {
 			return err
 		}
 	}
@@ -304,6 +319,15 @@ func load(r *storage.Reader) (*Indexes, error) {
 		}
 		ix.typed = append(ix.typed, ti)
 	}
+	if r.SectionLen(SectionSubstr) >= 0 {
+		sec, err = r.Section(SectionSubstr)
+		if err != nil {
+			return nil, err
+		}
+		if ix.subTree, err = readTree(sec); err != nil {
+			return nil, err
+		}
+	}
 	var walGen uint64
 	if r.SectionLen(SectionWALGen) >= 0 {
 		sec, err = r.Section(SectionWALGen)
@@ -427,6 +451,12 @@ func (ix *Snapshot) loadStats(r *storage.Reader) {
 	ix.strStats = strStats
 	for i, ti := range ix.typed {
 		ti.stats = typedStats[i]
+	}
+	// Substring statistics are never persisted (derived data); rebuild
+	// from the loaded gram tree. The fallback paths above already covered
+	// this through rebuildStats.
+	if ix.subTree != nil {
+		ix.subStats = buildKeyStats(ix.subTree)
 	}
 }
 

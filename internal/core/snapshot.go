@@ -29,6 +29,12 @@ func (s *Snapshot) cloneShared() Snapshot {
 		d.strTree = s.strTree.Clone()
 	}
 	d.strStats = s.strStats.clone()
+	// The substring index stores postings for text nodes and attributes,
+	// so all three write shapes can touch it.
+	if s.subTree != nil {
+		d.subTree = s.subTree.Clone()
+	}
+	d.subStats = s.subStats.clone()
 	return d
 }
 

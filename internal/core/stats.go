@@ -30,6 +30,10 @@ type IndexStats struct {
 	StringEntries int // postings in the hash B+tree
 	StringBytes   int // persisted size estimate: 4 bytes hash + 4 bytes posting per entry
 
+	// Substring index (zero when not enabled).
+	SubstringEntries int // (gram, posting) entries in the q-gram B+tree
+	SubstringBytes   int // persisted size estimate: 4 bytes gram + 4 bytes posting per entry
+
 	// Typed holds one entry per built typed index, in registry order.
 	Typed []TypedStats
 
@@ -82,6 +86,10 @@ func (ix *Snapshot) Stats() IndexStats {
 	if ix.strTree != nil {
 		s.StringEntries = ix.strTree.Len()
 		s.StringBytes = s.StringEntries * 8
+	}
+	if ix.subTree != nil {
+		s.SubstringEntries = ix.subTree.Len()
+		s.SubstringBytes = s.SubstringEntries * 8
 	}
 	for _, ti := range ix.typed {
 		ts := ix.typedStats(ti)

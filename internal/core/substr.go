@@ -1,0 +1,469 @@
+package core
+
+// The q-gram substring index — the extension the paper names as future
+// work in its conclusions ("indices capable of answering queries that
+// involve substring matching"). It follows the same design constraints
+// as the value indices:
+//
+//   - generic: covers every text-node and attribute value, no configured
+//     paths (element string values concatenate descendant text, so only
+//     leaf operands are index targets);
+//   - compact: stores 32-bit gram hashes and packed postings, never text;
+//   - candidate-based: lookups intersect the pattern's gram posting
+//     lists and verify every candidate against the document, so gram
+//     collisions cost time, never correctness.
+//
+// The index is part of the Snapshot: enabling it installs a gram B+tree
+// on the current version, and every commit path (text batches, attribute
+// updates, structural deletes/inserts — and therefore WAL replay and
+// shipped-record application too) maintains it copy-on-write alongside
+// the hash and typed trees. Readers pin one version for candidate
+// retrieval and verification, exactly like the other indices.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/btree"
+	"repro/internal/xmltree"
+)
+
+// SubstrQ is the gram length. Three balances selectivity against index
+// size for the evaluation corpora (mostly ASCII text). Grams are byte
+// windows, so multi-byte UTF-8 runes span grams rather than forming
+// their own; patterns shorter than SubstrQ bytes cannot use the index.
+const SubstrQ = 3
+
+// substrGramHash hashes one q-gram into the B+tree key space. FNV-style
+// mixing keeps distinct grams distinct with high probability; collisions
+// only add verification work.
+func substrGramHash(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}
+
+// substrGrams returns the sorted, deduplicated gram-hash set of a value;
+// nil for values shorter than SubstrQ bytes.
+func substrGrams(b []byte) []uint32 {
+	if len(b) < SubstrQ {
+		return nil
+	}
+	out := make([]uint32, 0, len(b)-SubstrQ+1)
+	for i := 0; i+SubstrQ <= len(b); i++ {
+		out = append(out, substrGramHash(b[i:i+SubstrQ]))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	uniq := out[:1]
+	for _, g := range out[1:] {
+		if g != uniq[len(uniq)-1] {
+			uniq = append(uniq, g)
+		}
+	}
+	return uniq
+}
+
+// EnableSubstring builds the q-gram substring index over the current
+// version and republishes it. Idempotent. The version number is NOT
+// bumped: enabling an index is a local, deterministic enrichment of the
+// same document state, not a replicated mutation, so followers applying
+// shipped records (which insist on version+1 continuity) can enable it
+// independently of the leader. Once enabled, every subsequent commit
+// maintains the index copy-on-write, and Save/Checkpoint persist it.
+func (ix *Indexes) EnableSubstring() {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	s := ix.cur.Load()
+	if s.subTree != nil {
+		return
+	}
+	d := *s
+	d.buildSubstr()
+	ix.publish(&d)
+}
+
+// buildSubstr bulk-loads the gram tree from the document: one entry per
+// (gram, posting) over text-node values and attribute values.
+func (ix *Snapshot) buildSubstr() {
+	doc := ix.doc
+	var entries []btree.Entry
+	for i := 0; i < doc.NumNodes(); i++ {
+		n := xmltree.NodeID(i)
+		if doc.Kind(n) != xmltree.Text {
+			continue
+		}
+		posting := packPosting(ix.stableOf[i], false)
+		for _, g := range substrGrams(doc.ValueBytes(n)) {
+			entries = append(entries, btree.Entry{Key: uint64(g), Val: posting})
+		}
+	}
+	for a := 0; a < doc.NumAttrs(); a++ {
+		posting := packPosting(ix.attrStableOf[a], true)
+		for _, g := range substrGrams(doc.AttrValueBytes(xmltree.AttrID(a))) {
+			entries = append(entries, btree.Entry{Key: uint64(g), Val: posting})
+		}
+	}
+	btree.SortEntries(entries)
+	ix.subTree = btree.NewFromSorted(entries)
+	ix.subStats = buildKeyStats(ix.subTree)
+}
+
+// HasSubstring reports whether the substring index is enabled on this
+// version.
+func (ix *Snapshot) HasSubstring() bool { return ix.subTree != nil }
+
+// Contains returns the text and attribute nodes of this version whose
+// value contains pattern, verified against the document, in document
+// order (text nodes first, then attributes — the same order as
+// ScanContains, so index and scan answers are byte-identical). Patterns
+// shorter than SubstrQ bytes, and snapshots without the index, fall back
+// to a scan.
+func (ix *Snapshot) Contains(pattern string) []Posting {
+	if ix.subTree == nil || len(pattern) < SubstrQ {
+		return ix.ScanContains(pattern)
+	}
+	return ix.substrLookup(pattern, false)
+}
+
+// StartsWith is Contains for prefix matching: values starting with
+// pattern. A prefix match implies a substring match, so the gram
+// intersection yields a candidate superset and verification tightens it.
+func (ix *Snapshot) StartsWith(pattern string) []Posting {
+	if ix.subTree == nil || len(pattern) < SubstrQ {
+		return ix.ScanStartsWith(pattern)
+	}
+	return ix.substrLookup(pattern, true)
+}
+
+// substrLookup intersects the pattern's gram posting lists (rarest
+// first), verifies every surviving candidate against the pinned
+// document, and returns the hits in scan order.
+func (ix *Snapshot) substrLookup(pattern string, prefix bool) []Posting {
+	cand := ix.substrCandidates(pattern)
+	var nodes, attrs []Posting
+	for _, packed := range cand {
+		p, ok := ix.resolve(packed)
+		if !ok {
+			continue
+		}
+		if !ix.substrMatch(p, pattern, prefix) {
+			continue
+		}
+		if p.IsAttr {
+			attrs = append(attrs, p)
+		} else {
+			nodes = append(nodes, p)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Node < nodes[j].Node })
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Attr < attrs[j].Attr })
+	return append(nodes, attrs...)
+}
+
+// substrCandidates returns the packed postings surviving the gram
+// intersection, unverified, in ascending packed order. Callers must have
+// checked len(pattern) >= SubstrQ and subTree != nil.
+func (ix *Snapshot) substrCandidates(pattern string) []uint32 {
+	grams := substrGrams([]byte(pattern))
+	lists := make([][]uint32, 0, len(grams))
+	for _, g := range grams {
+		var list []uint32
+		ix.subTree.ScanEq(uint64(g), func(v uint32) bool {
+			list = append(list, v)
+			return true
+		})
+		if len(list) == 0 {
+			return nil
+		}
+		lists = append(lists, list)
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	cand := lists[0]
+	for _, l := range lists[1:] {
+		cand = intersectPacked(cand, l)
+		if len(cand) == 0 {
+			return nil
+		}
+	}
+	return cand
+}
+
+func intersectPacked(a, b []uint32) []uint32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// substrMatch verifies one candidate's indexed value (a text node's own
+// value or an attribute value) against the pattern.
+func (ix *Snapshot) substrMatch(p Posting, pattern string, prefix bool) bool {
+	var v string
+	if p.IsAttr {
+		v = ix.doc.AttrValue(p.Attr)
+	} else {
+		v = ix.doc.Value(p.Node)
+	}
+	if prefix {
+		return strings.HasPrefix(v, pattern)
+	}
+	return strings.Contains(v, pattern)
+}
+
+// ScanContains is the index-less substring baseline: check every text
+// and attribute value of this version. Tests use it as ground truth.
+func (ix *Snapshot) ScanContains(pattern string) []Posting {
+	return ix.scanSubstr(pattern, false)
+}
+
+// ScanStartsWith is the index-less prefix baseline.
+func (ix *Snapshot) ScanStartsWith(pattern string) []Posting {
+	return ix.scanSubstr(pattern, true)
+}
+
+func (ix *Snapshot) scanSubstr(pattern string, prefix bool) []Posting {
+	doc := ix.doc
+	match := func(v string) bool {
+		if prefix {
+			return strings.HasPrefix(v, pattern)
+		}
+		return strings.Contains(v, pattern)
+	}
+	var out []Posting
+	for i := 0; i < doc.NumNodes(); i++ {
+		n := xmltree.NodeID(i)
+		if doc.Kind(n) == xmltree.Text && match(doc.Value(n)) {
+			out = append(out, NodePosting(n))
+		}
+	}
+	for a := 0; a < doc.NumAttrs(); a++ {
+		if match(doc.AttrValue(xmltree.AttrID(a))) {
+			out = append(out, AttrPosting(xmltree.AttrID(a)))
+		}
+	}
+	return out
+}
+
+// SubstrIter streams the verified substring (or prefix) hits as a
+// posting iterator for the planner's executor, ascending. The hits are
+// materialised up front — the gram intersection needs all lists anyway —
+// and drained through the iterator's pending queue.
+func (ix *Snapshot) SubstrIter(pattern string, prefix bool) *PostingIter {
+	var hits []Posting
+	if ix.subTree != nil && len(pattern) >= SubstrQ {
+		hits = ix.substrLookup(pattern, prefix)
+	} else if prefix {
+		hits = ix.ScanStartsWith(pattern)
+	} else {
+		hits = ix.ScanContains(pattern)
+	}
+	// pending drains LIFO, so queue in reverse to emit in order.
+	for i, j := 0, len(hits)-1; i < j; i, j = i+1, j-1 {
+		hits[i], hits[j] = hits[j], hits[i]
+	}
+	return &PostingIter{ix: ix, pending: hits}
+}
+
+// EstimateSubstr estimates the candidate postings a substring access
+// path must verify: the minimum per-gram estimate across the pattern's
+// grams (the intersection can only shrink the rarest list). Zero when
+// the pattern is too short or the index is absent.
+func (ix *Snapshot) EstimateSubstr(pattern string) float64 {
+	if ix.subStats == nil || len(pattern) < SubstrQ {
+		return 0
+	}
+	est := math.MaxFloat64
+	for _, g := range substrGrams([]byte(pattern)) {
+		if e := ix.subStats.estimateEq(uint64(g)); e < est {
+			est = e
+		}
+	}
+	if est == math.MaxFloat64 {
+		return 0
+	}
+	return est
+}
+
+// SubstringPlannerStats reports the substring index statistics; ok is
+// false when the index is not enabled.
+func (ix *Snapshot) SubstringPlannerStats() (PlannerStats, bool) {
+	if ix.subStats == nil {
+		return PlannerStats{}, false
+	}
+	return PlannerStats{Total: ix.subStats.total, Distinct: ix.subStats.distinct, Buckets: len(ix.subStats.counts)}, true
+}
+
+// --- copy-on-write maintenance (called from the apply paths) ---
+
+// subTreeInsert / subTreeDelete funnel gram-tree mutations past the
+// statistics layer, like strTreeInsert/strTreeDelete.
+func (ix *Snapshot) subTreeInsert(g uint32, posting uint32) {
+	if ix.subTree.Insert(uint64(g), posting) && ix.subStats != nil {
+		ix.subStats.noteInsert(uint64(g))
+	}
+}
+
+func (ix *Snapshot) subTreeDelete(g uint32, posting uint32) {
+	if ix.subTree.Delete(uint64(g), posting) && ix.subStats != nil {
+		ix.subStats.noteDelete(uint64(g))
+	}
+}
+
+// substrNodeGrams captures the gram set of node n's current value, for
+// diffing after a text mutation. Nil when the index is disabled or n is
+// not a text node (the only tree-node kind the gram tree stores).
+func (ix *Snapshot) substrNodeGrams(n xmltree.NodeID) []uint32 {
+	if ix.subTree == nil || ix.doc.Kind(n) != xmltree.Text {
+		return nil
+	}
+	return substrGrams(ix.doc.ValueBytes(n))
+}
+
+// substrAttrGrams captures the gram set of attribute a's current value.
+func (ix *Snapshot) substrAttrGrams(a xmltree.AttrID) []uint32 {
+	if ix.subTree == nil {
+		return nil
+	}
+	return substrGrams(ix.doc.AttrValueBytes(a))
+}
+
+// substrReindexNode diffs node n's grams against the set captured before
+// the mutation and repairs the gram tree.
+func (ix *Snapshot) substrReindexNode(n xmltree.NodeID, oldGrams []uint32) {
+	if ix.subTree == nil || ix.doc.Kind(n) != xmltree.Text {
+		return
+	}
+	posting := packPosting(ix.stableOf[n], false)
+	ix.substrDiff(posting, oldGrams, substrGrams(ix.doc.ValueBytes(n)))
+}
+
+// substrReindexAttr is substrReindexNode for attribute values.
+func (ix *Snapshot) substrReindexAttr(a xmltree.AttrID, oldGrams []uint32) {
+	if ix.subTree == nil {
+		return
+	}
+	posting := packPosting(ix.attrStableOf[a], true)
+	ix.substrDiff(posting, oldGrams, substrGrams(ix.doc.AttrValueBytes(a)))
+}
+
+// substrDiff merges two sorted gram sets, deleting grams only the old
+// value had and inserting grams only the new value has.
+func (ix *Snapshot) substrDiff(posting uint32, old, new []uint32) {
+	i, j := 0, 0
+	for i < len(old) || j < len(new) {
+		switch {
+		case j >= len(new) || (i < len(old) && old[i] < new[j]):
+			ix.subTreeDelete(old[i], posting)
+			i++
+		case i >= len(old) || new[j] < old[i]:
+			ix.subTreeInsert(new[j], posting)
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+}
+
+// substrRemoveNode / substrRemoveAttr drop a doomed posting's grams
+// (structural deletes; called before the document splices).
+func (ix *Snapshot) substrRemoveNode(n xmltree.NodeID, stable uint32) {
+	if ix.subTree == nil || ix.doc.Kind(n) != xmltree.Text {
+		return
+	}
+	posting := packPosting(stable, false)
+	for _, g := range substrGrams(ix.doc.ValueBytes(n)) {
+		ix.subTreeDelete(g, posting)
+	}
+}
+
+func (ix *Snapshot) substrRemoveAttr(a xmltree.AttrID, stable uint32) {
+	if ix.subTree == nil {
+		return
+	}
+	posting := packPosting(stable, true)
+	for _, g := range substrGrams(ix.doc.AttrValueBytes(a)) {
+		ix.subTreeDelete(g, posting)
+	}
+}
+
+// substrAddNode / substrAddAttr index a freshly inserted posting's grams
+// (structural inserts; called after the scoped build pass).
+func (ix *Snapshot) substrAddNode(n xmltree.NodeID, stable uint32) {
+	if ix.subTree == nil || ix.doc.Kind(n) != xmltree.Text {
+		return
+	}
+	posting := packPosting(stable, false)
+	for _, g := range substrGrams(ix.doc.ValueBytes(n)) {
+		ix.subTreeInsert(g, posting)
+	}
+}
+
+func (ix *Snapshot) substrAddAttr(a xmltree.AttrID, stable uint32) {
+	if ix.subTree == nil {
+		return
+	}
+	posting := packPosting(stable, true)
+	for _, g := range substrGrams(ix.doc.AttrValueBytes(a)) {
+		ix.subTreeInsert(g, posting)
+	}
+}
+
+// verifySubstr cross-checks the gram tree against ground truth recomputed
+// from the document: exactly the expected (gram, posting) entries, and a
+// histogram population matching the tree. Part of Verify.
+func (ix *Snapshot) verifySubstr() error {
+	if ix.subTree == nil {
+		return nil
+	}
+	doc := ix.doc
+	want := 0
+	check := func(val []byte, posting uint32, what string, id int) error {
+		gs := substrGrams(val)
+		want += len(gs)
+		for _, g := range gs {
+			if !ix.subTree.Contains(uint64(g), posting) {
+				return fmt.Errorf("core: substring tree missing gram of %s %d", what, id)
+			}
+		}
+		return nil
+	}
+	for i := 0; i < doc.NumNodes(); i++ {
+		n := xmltree.NodeID(i)
+		if doc.Kind(n) != xmltree.Text {
+			continue
+		}
+		if err := check(doc.ValueBytes(n), packPosting(ix.stableOf[i], false), "node", i); err != nil {
+			return err
+		}
+	}
+	for a := 0; a < doc.NumAttrs(); a++ {
+		if err := check(doc.AttrValueBytes(xmltree.AttrID(a)), packPosting(ix.attrStableOf[a], true), "attr", a); err != nil {
+			return err
+		}
+	}
+	if ix.subTree.Len() != want {
+		return fmt.Errorf("core: substring tree has %d entries, want %d", ix.subTree.Len(), want)
+	}
+	if ix.subStats != nil {
+		if got := ix.subStats.sum(); got != ix.subTree.Len() {
+			return fmt.Errorf("core: substring histogram population %d, tree has %d", got, ix.subTree.Len())
+		}
+	}
+	return nil
+}

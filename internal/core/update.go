@@ -211,11 +211,13 @@ func (ix *Snapshot) applyTexts(updates []TextUpdate) error {
 	affected := make(map[xmltree.NodeID]struct{})
 	for _, u := range updates {
 		old := ix.captureNodeScratch(u.Node)
+		oldGrams := ix.substrNodeGrams(u.Node)
 		if err := doc.SetText(u.Node, u.Value); err != nil {
 			return err
 		}
 		ix.recomputeLeaf(u.Node)
 		ix.reindexNode(u.Node, old)
+		ix.substrReindexNode(u.Node, oldGrams)
 		if xmltree.ContributesToParent(doc.Kind(u.Node)) {
 			for p := doc.Parent(u.Node); p != xmltree.InvalidNode; p = doc.Parent(p) {
 				if _, seen := affected[p]; seen {
@@ -311,6 +313,7 @@ func (ix *Snapshot) applyAttr(a xmltree.AttrID, value string) {
 		oldTyped = append(oldTyped, keyState{key: key, ok: ok})
 	}
 	ix.scratchKeys = oldTyped
+	oldGrams := ix.substrAttrGrams(a)
 
 	doc.SetAttrValue(a, value)
 	val := doc.AttrValueBytes(a)
@@ -327,6 +330,7 @@ func (ix *Snapshot) applyAttr(a xmltree.AttrID, value string) {
 		key, ok := ti.attrKey(a, stable)
 		diffTyped(ti, posting, oldTyped[t].key, oldTyped[t].ok, key, ok)
 	}
+	ix.substrReindexAttr(a, oldGrams)
 	ix.maintainStats()
 }
 
@@ -395,6 +399,7 @@ func (ix *Snapshot) applyDelete(n xmltree.NodeID) error {
 				}
 			})
 		}
+		ix.substrRemoveNode(i, stable)
 		ix.eachTyped(func(ti *typedIndex) { delete(ti.items, stable) })
 		ix.preOf[stable] = -1
 	}
@@ -406,6 +411,7 @@ func (ix *Snapshot) applyDelete(n xmltree.NodeID) error {
 		if ix.strTree != nil {
 			ix.strTreeDelete(ix.attrHash[a], posting)
 		}
+		ix.substrRemoveAttr(a, stable)
 		ix.eachTyped(func(ti *typedIndex) {
 			if key, ok := ti.attrKey(a, stable); ok {
 				ti.treeDelete(key, posting)
@@ -589,6 +595,7 @@ func (ix *Snapshot) applyInsert(parent xmltree.NodeID, pos int, frag *xmltree.Do
 				ti.treeInsert(key, posting)
 			}
 		})
+		ix.substrAddNode(i, stable)
 	}
 	for a := alo; a < ahi; a++ {
 		stable := ix.attrStableOf[a]
@@ -601,6 +608,7 @@ func (ix *Snapshot) applyInsert(parent xmltree.NodeID, pos int, frag *xmltree.Do
 				ti.treeInsert(key, posting)
 			}
 		})
+		ix.substrAddAttr(a, stable)
 	}
 
 	// Refold the chain from the insertion parent upwards against the

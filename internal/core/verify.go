@@ -209,7 +209,7 @@ func (ix *Snapshot) Verify() error {
 			return fmt.Errorf("core: %s stats total %d, tree has %d", ti.spec.Name, ti.stats.total, ti.tree.Len())
 		}
 	}
-	return nil
+	return ix.verifySubstr()
 }
 
 func (ix *Snapshot) verifyTyped(n xmltree.NodeID, sv string) error {

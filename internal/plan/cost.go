@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/btree"
 	"repro/internal/core"
@@ -36,6 +37,7 @@ func Prepare(ix *core.Snapshot, path *xpath.Path, mode Mode) (*Plan, error) {
 		p.EstCost = -1
 		return p, nil
 	case ForceScan:
+		p.enumerate() // for the side effect: fallback notes on text predicates
 		p.planScan()
 		return p, nil
 	}
@@ -74,7 +76,11 @@ func (p *Plan) scanCost() float64 {
 
 func (p *Plan) planScan() {
 	p.EstCost = p.scanCost()
-	p.Root = newNode("scan", "document scan + navigation", -1)
+	detail := "document scan + navigation"
+	if len(p.Notes) > 0 {
+		detail += "; " + strings.Join(p.Notes, "; ")
+	}
+	p.Root = newNode("scan", detail, -1)
 	p.Root.Children = nil
 }
 
@@ -110,6 +116,12 @@ func (p *Plan) enumerate() []*accessPath {
 func (p *Plan) accessPathFor(c xpath.Cond) *accessPath {
 	ix := p.ix
 	switch {
+	// Text predicates first: a contains()/starts-with() condition carries
+	// a string literal and the zero-value comparison operator, so letting
+	// it reach the OpEq case below would wrongly plan a hash-equality
+	// probe for it.
+	case c.Fn != xpath.FnNone:
+		return p.substrPathFor(c)
 	case c.Lit.IsDate:
 		if !ix.HasTyped(core.TypeDate) {
 			return nil
@@ -166,6 +178,54 @@ func (p *Plan) accessPathFor(c xpath.Cond) *accessPath {
 		return ap
 	}
 	return nil
+}
+
+// substrPathFor maps a contains()/starts-with() condition to a q-gram
+// index access path. The substring index stores only text-node and
+// attribute values, so the condition is indexable only when its operand
+// is such a leaf — an element string-value concatenates descendant text
+// and a pattern spanning two text nodes would never surface a candidate.
+// Every rejection is recorded as a plan note so the scan fallback is
+// visible in EXPLAIN output.
+func (p *Plan) substrPathFor(c xpath.Cond) *accessPath {
+	ix := p.ix
+	fn := fmt.Sprintf("%s(%s, %q)", c.Fn, condOperand(c), c.Lit.Str)
+	if !p.substrLeafOperand(c) {
+		p.Notes = append(p.Notes,
+			fn+": operand is not a text()/attribute leaf — answered by scan")
+		return nil
+	}
+	if !ix.HasSubstring() {
+		p.Notes = append(p.Notes,
+			fn+": substring index not enabled — answered by scan")
+		return nil
+	}
+	if len(c.Lit.Str) < core.SubstrQ {
+		p.Notes = append(p.Notes, fmt.Sprintf(
+			"%s: pattern shorter than q=%d — answered by scan", fn, core.SubstrQ))
+		return nil
+	}
+	ap := &accessPath{cond: c, kind: pathSubstr, value: c.Lit.Str}
+	ap.est = ix.EstimateSubstr(c.Lit.Str)
+	return ap
+}
+
+// substrLeafOperand reports whether the condition's operand resolves to
+// text-node or attribute values — the only values the substring index
+// holds postings for.
+func (p *Plan) substrLeafOperand(c xpath.Cond) bool {
+	if c.Dot {
+		if p.attrStep {
+			return true // the attribute's own value
+		}
+		last := p.path.Steps[len(p.path.Steps)-1]
+		return last.Kind == xpath.TestText
+	}
+	if len(c.Rel) == 0 {
+		return false
+	}
+	lastRel := c.Rel[len(c.Rel)-1]
+	return lastRel.Kind == xpath.TestText || lastRel.Kind == xpath.TestAttr
 }
 
 // chooseIndexStrategy picks the cheapest driver and greedily adds
@@ -253,8 +313,11 @@ func (p *Plan) buildIndexTree() {
 }
 
 func opName(ap *accessPath) string {
-	if ap.kind == pathHashEq {
+	switch ap.kind {
+	case pathHashEq:
 		return "hash-eq"
+	case pathSubstr:
+		return "substr"
 	}
 	return fmt.Sprintf("range(%s)", ap.typeName)
 }

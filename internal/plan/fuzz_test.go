@@ -29,7 +29,9 @@ func FuzzQueryPlanned(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	ix := core.Build(doc, core.DefaultOptions()).Snapshot()
+	idx := core.Build(doc, core.DefaultOptions())
+	idx.EnableSubstring() // fuzz the substring access path too
+	ix := idx.Snapshot()
 	for _, seed := range []string{
 		`/site/people/person/name`,
 		`//person[age = 34.5]`,
@@ -46,6 +48,14 @@ func FuzzQueryPlanned(f *testing.F) {
 		`//@id/name`,
 		`]]][[[`,
 		`//a[. = 1e309]`,
+		`//person[contains(name/text(), "nn")]`,
+		`//person[starts-with(@id, "p1")]`,
+		`//name/text()[contains(., "Ann")]`,
+		`//person[contains(., "Ann")]`,
+		`//person[contains(name/text(), "Ann") and age = 34.5]`,
+		`//name/text()[contains(., "")]`,
+		`//person[starts-with(name/text(), "Cy")]`,
+		`//person[contains(name, "o")]`,
 	} {
 		f.Add(seed)
 	}

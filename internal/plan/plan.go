@@ -150,6 +150,12 @@ type Plan struct {
 	// EstCost is the planner's cost for the chosen strategy, in
 	// abstract work units (comparable across strategies for one query).
 	EstCost float64
+	// Notes explains access paths the planner had to reject — a
+	// contains()/starts-with() pattern shorter than the q-gram width, a
+	// substring index that is not enabled, an operand that is not a
+	// text()/attribute leaf. They surface in the EXPLAIN output so a
+	// query silently running as a scan is observable.
+	Notes []string
 
 	ix   *core.Snapshot
 	path *xpath.Path
@@ -168,7 +174,11 @@ func (p *Plan) String() string {
 	if p.EstCost >= 0 {
 		cost = fmt.Sprintf("%.0f", p.EstCost)
 	}
-	return fmt.Sprintf("plan(%s, cost %s) %s\n%s", p.Mode, cost, p.Expr, p.Root.String())
+	s := fmt.Sprintf("plan(%s, cost %s) %s\n%s", p.Mode, cost, p.Expr, p.Root.String())
+	for _, n := range p.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
 }
 
 // UsesIndex reports whether the plan drives an index access path (as
@@ -179,12 +189,13 @@ func (p *Plan) UsesIndex() bool { return p.driver != nil }
 // into a bitmap beside the driver.
 func (p *Plan) Intersects() bool { return len(p.extras) > 0 }
 
-// pathKind distinguishes the two index access-path families.
+// pathKind distinguishes the index access-path families.
 type pathKind uint8
 
 const (
 	pathHashEq pathKind = iota
 	pathRange
+	pathSubstr
 )
 
 // accessPath is one enumerated index access path: a condition of the
@@ -205,15 +216,21 @@ type accessPath struct {
 
 // open returns the streaming iterator for the access path.
 func (ap *accessPath) open(ix *core.Snapshot) *core.PostingIter {
-	if ap.kind == pathHashEq {
+	switch ap.kind {
+	case pathHashEq:
 		return ix.StringEqIter(ap.value)
+	case pathSubstr:
+		return ix.SubstrIter(ap.value, ap.cond.Fn == xpath.FnStartsWith)
 	}
 	return ix.TypedRangeIter(ap.typeID, ap.lo, ap.hi, ap.incLo, ap.incHi)
 }
 
 func (ap *accessPath) describe() string {
-	if ap.kind == pathHashEq {
+	switch ap.kind {
+	case pathHashEq:
 		return fmt.Sprintf("%s = %q", condOperand(ap.cond), ap.value)
+	case pathSubstr:
+		return fmt.Sprintf("%s(%s, %q)", ap.cond.Fn, condOperand(ap.cond), ap.value)
 	}
 	lo, hi := "[", "]"
 	if !ap.incLo {

@@ -1,0 +1,274 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/xmlparse"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// substrCorpus returns the equivalence corpus with the q-gram substring
+// index enabled, so the planner can enumerate the substring access path.
+func substrCorpus(t testing.TB) []corpusDoc {
+	t.Helper()
+	var out []corpusDoc
+	add := func(name string, xml []byte) {
+		doc, err := xmlparse.Parse(xml)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ix := core.Build(doc, core.DefaultOptions())
+		ix.EnableSubstring()
+		out = append(out, corpusDoc{name: name, ix: ix.Snapshot()})
+	}
+	xmark, err := datagen.Generate("xmark1", 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("xmark", xmark)
+
+	var mixed strings.Builder
+	mixed.WriteString(`<r>seven`)
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&mixed, `<w note="tag-%d banana">word%d filler</w>`, i, i%40)
+	}
+	mixed.WriteString(`eight<!--note--><?pi data?></r>`)
+	add("mixed-text", []byte(mixed.String()))
+	return out
+}
+
+// substrCorpusQueries exercises every substring-path shape and every
+// fallback: indexable text() and attribute leaves (dot and relative
+// operands), non-leaf element operands, short and empty patterns,
+// conjunctions with value predicates, and patterns with zero hits.
+var substrCorpusQueries = []string{
+	`//person[contains(emailaddress/text(), "mailto")]`,
+	`//person[contains(emailaddress/text(), "mailto:w")]`,
+	`//person[starts-with(@id, "person1")]`,
+	`//item[contains(name/text(), "bidder")]`,
+	`//name/text()[contains(., "the")]`,
+	`//name/text()[starts-with(., "Arthur")]`,
+	`//person/@id[starts-with(., "person")]`,
+	`//person[contains(., "mailto")]`,
+	`//item[contains(name, "bidder")]`,
+	`//name/text()[contains(., "a")]`,
+	`//name/text()[contains(., "")]`,
+	`//person[contains(emailaddress/text(), "mailto:w") and starts-with(@id, "person")]`,
+	`//item[contains(name/text(), "bidder") and quantity = 7]`,
+	`//w[contains(., "zz-absent")]`,
+	`//w[starts-with(@note, "tag-7")]`,
+	`//w[contains(@note, "banana")]`,
+	`//w/text()[contains(., "word7")]`,
+}
+
+// TestSubstringPlannedEquivalence is the planner-vs-scan property for
+// text predicates: for every corpus document, query, and planning mode
+// the planned execution is identical to the scan oracle — whether the
+// substring drive, a value-index drive, or the scan answered.
+func TestSubstringPlannedEquivalence(t *testing.T) {
+	for _, cd := range substrCorpus(t) {
+		for _, q := range substrCorpusQueries {
+			path, err := xpath.Parse(q)
+			if err != nil {
+				t.Fatalf("parse %q: %v", q, err)
+			}
+			oracle := xpath.Evaluate(cd.ix.Doc(), path)
+			for _, mode := range allModes {
+				got, pl, err := Run(cd.ix, path, mode)
+				if err != nil {
+					t.Fatalf("%s %q mode=%s: %v", cd.name, q, mode, err)
+				}
+				if !postingsEqual(got, oracle) {
+					t.Errorf("%s %q mode=%s: got %d hits, oracle %d\nplan:\n%s",
+						cd.name, q, mode, len(got), len(oracle), pl)
+				}
+			}
+		}
+	}
+}
+
+// TestSubstringPlannedEquivalenceAfterUpdates re-runs the property on a
+// mutated index: commits rewrite text under the planner's feet, and the
+// maintained q-gram postings must keep answering exactly like the scan.
+func TestSubstringPlannedEquivalenceAfterUpdates(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&b, `<p tag="id-%d"><t>needle %d haystack</t></p>`, i, i)
+	}
+	b.WriteString("</r>")
+	doc, err := xmlparse.ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := core.Build(doc, core.DefaultOptions())
+	idx.EnableSubstring()
+
+	queries := []string{
+		`//p[contains(t/text(), "needle 7")]`,
+		`//p[starts-with(@tag, "id-3")]`,
+		`//t/text()[contains(., "rewritten")]`,
+	}
+	for round := 0; round < 3; round++ {
+		ix := idx.Snapshot()
+		for _, q := range queries {
+			path := xpath.MustParse(q)
+			oracle := xpath.Evaluate(ix.Doc(), path)
+			for _, mode := range allModes {
+				got, pl, err := Run(ix, path, mode)
+				if err != nil {
+					t.Fatalf("round %d %q mode=%s: %v", round, q, mode, err)
+				}
+				if !postingsEqual(got, oracle) {
+					t.Errorf("round %d %q mode=%s: got %d hits, oracle %d\nplan:\n%s",
+						round, q, mode, len(got), len(oracle), pl)
+				}
+			}
+		}
+		// Mutate between rounds: rewrite a stripe of text nodes and
+		// churn the structure.
+		d := idx.Doc()
+		var ups []core.TextUpdate
+		for i := 0; i < d.NumNodes() && len(ups) < 60; i++ {
+			n := xmltree.NodeID(i)
+			if d.Kind(n) == xmltree.Text && strings.Contains(d.Value(n), "needle") {
+				ups = append(ups, core.TextUpdate{Node: n, Value: fmt.Sprintf("rewritten %d-%d", round, i)})
+			}
+		}
+		if err := idx.UpdateTexts(ups); err != nil {
+			t.Fatal(err)
+		}
+		frag, err := xmlparse.ParseString(fmt.Sprintf(`<p tag="id-ins%d"><t>needle inserted</t></p>`, round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := idx.InsertChildren(idx.Doc().Root(), 0, frag); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSubstringPlanDrivesIndex pins the access path itself: on a
+// selective text predicate the planner drives the q-gram index, says so
+// in the plan tree, and reports it through UsesIndex.
+func TestSubstringPlanDrivesIndex(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 3000; i++ {
+		fmt.Fprintf(&b, "<p><t>filler text %d</t></p>", i)
+	}
+	b.WriteString(`<p><t>the rare needle here</t></p></r>`)
+	doc, err := xmlparse.ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := core.Build(doc, core.DefaultOptions())
+	idx.EnableSubstring()
+	ix := idx.Snapshot()
+
+	path := xpath.MustParse(`//p[contains(t/text(), "rare needle")]`)
+	for _, mode := range []Mode{Auto, ForceIndex} {
+		pl, err := Prepare(ix, path, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.driver == nil || pl.driver.kind != pathSubstr {
+			t.Fatalf("mode=%s did not drive the substring index:\n%s", mode, pl)
+		}
+		res := pl.Execute()
+		if len(res) != 1 {
+			t.Fatalf("mode=%s: %d hits, want 1", mode, len(res))
+		}
+		if !pl.UsesIndex() {
+			t.Errorf("mode=%s: UsesIndex() = false for a substring drive", mode)
+		}
+		s := pl.String()
+		if !strings.Contains(s, "substr") || !strings.Contains(s, "contains") {
+			t.Errorf("mode=%s: plan tree does not describe the substring drive:\n%s", mode, s)
+		}
+	}
+}
+
+// TestSubstringFallbackNotes pins the observability contract: every
+// reason the planner declines the substring path — pattern shorter than
+// q, index not enabled, operand not a text()/attribute leaf — appears
+// as a note in the printable plan, in scan mode too (so EXPLAIN always
+// says why a text predicate fell back).
+func TestSubstringFallbackNotes(t *testing.T) {
+	doc, err := xmlparse.ParseString(`<r><p tag="abc"><t>some text</t></p></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enabled := core.Build(doc, core.DefaultOptions())
+	enabled.EnableSubstring()
+	plain := core.Build(doc, core.DefaultOptions()).Snapshot()
+
+	cases := []struct {
+		name string
+		ix   *core.Snapshot
+		q    string
+		note string
+	}{
+		{"short pattern", enabled.Snapshot(), `//t/text()[contains(., "ab")]`, "pattern shorter than q=3"},
+		{"not enabled", plain, `//t/text()[contains(., "some")]`, "substring index not enabled"},
+		{"non-leaf operand", enabled.Snapshot(), `//p[contains(., "some")]`, "not a text()/attribute leaf"},
+		{"element rel operand", enabled.Snapshot(), `//r[contains(p, "some")]`, "not a text()/attribute leaf"},
+	}
+	for _, tc := range cases {
+		for _, mode := range []Mode{Auto, ForceScan} {
+			t.Run(tc.name+"/"+mode.String(), func(t *testing.T) {
+				path := xpath.MustParse(tc.q)
+				got, pl, err := Run(tc.ix, path, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if oracle := xpath.Evaluate(tc.ix.Doc(), path); !postingsEqual(got, oracle) {
+					t.Fatalf("fallback changed results: %d hits, oracle %d", len(got), len(oracle))
+				}
+				if s := pl.String(); !strings.Contains(s, tc.note) {
+					t.Errorf("plan does not explain the fallback (want %q):\n%s", tc.note, s)
+				}
+			})
+		}
+	}
+}
+
+// TestSubstringEstimateOrdersDrivers: with both a substring path and an
+// unselective value path available, the planner must not pick the
+// broader driver — the q-gram estimate has to participate in the same
+// cost comparison as the value-index estimates.
+func TestSubstringEstimateOrdersDrivers(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 2000; i++ {
+		// income=7 matches everything; the needle is nearly unique.
+		fmt.Fprintf(&b, "<p><income>7</income><t>common filler %d</t></p>", i)
+	}
+	b.WriteString("<p><income>7</income><t>unique-needle payload</t></p></r>")
+	doc, err := xmlparse.ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := core.Build(doc, core.DefaultOptions())
+	idx.EnableSubstring()
+	ix := idx.Snapshot()
+
+	path := xpath.MustParse(`//p[income = 7 and contains(t/text(), "unique-needle")]`)
+	pl, err := Prepare(ix, path, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.driver == nil || pl.driver.kind != pathSubstr {
+		t.Fatalf("planner drove the unselective path:\n%s", pl)
+	}
+	got := pl.Execute()
+	oracle := xpath.Evaluate(doc, path)
+	if !postingsEqual(got, oracle) {
+		t.Fatalf("driver-choice plan wrong: %d hits, oracle %d", len(got), len(oracle))
+	}
+}

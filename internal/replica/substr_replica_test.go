@@ -1,0 +1,82 @@
+package replica_test
+
+// Follower-side test of the versioned substring index: the q-gram index
+// rides the seed snapshot to the follower, every shipped WAL record
+// maintains it at the matching version boundary, and the follower
+// answers contains() queries exactly like the leader at the same
+// version — never from a stale build.
+
+import (
+	"fmt"
+	"testing"
+
+	xmlvi "repro"
+	"repro/internal/server"
+)
+
+func TestFollowerSubstringStaysFresh(t *testing.T) {
+	ts, doc, _, _ := newLeader(t, server.Config{})
+	// Enable the index before the follower seeds: /v1/snapshot
+	// serializes the live version, substring section included.
+	doc.EnableSubstringIndex()
+	f, _ := startFollower(t, ts.URL, t.TempDir())
+
+	fdoc := f.Document()
+	if !fdoc.HasSubstringIndex() {
+		t.Fatal("follower did not inherit the substring index from the seed snapshot")
+	}
+	sameAnswers := func(pattern string) {
+		t.Helper()
+		leader := doc.Contains(pattern)
+		follower := fdoc.Contains(pattern)
+		if len(leader) != len(follower) {
+			t.Fatalf("Contains(%q): leader %d hits, follower %d", pattern, len(leader), len(follower))
+		}
+	}
+	sameAnswers("alpha")
+	sameAnswers("beta")
+
+	// Leader commits ride the shipped WAL records into the follower's
+	// substring index — text updates, inserts, and deletes alike.
+	items := doc.FindAll("name")
+	if err := doc.UpdateTexts([]xmlvi.TextUpdate{
+		{Node: doc.Children(items[0])[0], Value: "replaced-one"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.InsertXML(doc.Find("items"), 0,
+		`<item id="x1"><name>shipped-fresh</name><quantity>2</quantity></item>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Delete(doc.Find("item")); err != nil {
+		t.Fatal(err)
+	}
+	waitVersion(t, f, doc.Version())
+
+	if hits := fdoc.Contains("alpha"); len(hits) != 0 {
+		t.Fatalf("follower substring index is stale: still finds %q (%d hits)", "alpha", len(hits))
+	}
+	for _, pattern := range []string{"replaced-one", "beta", "shipped-fresh", "gamma"} {
+		sameAnswers(pattern)
+	}
+
+	// And the planner drives it on the follower too: contains() through
+	// the follower's query path matches the leader's answers.
+	for i := 0; i < 3; i++ {
+		q := fmt.Sprintf(`//item[contains(name/text(), "%s")]`, []string{"replaced", "beta", "shipped"}[i])
+		lres, err := doc.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fres, err := fdoc.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lres) != len(fres) {
+			t.Fatalf("%s: leader %d hits, follower %d", q, len(lres), len(fres))
+		}
+	}
+	if err := fdoc.Verify(); err != nil {
+		t.Fatalf("follower index consistency: %v", err)
+	}
+}

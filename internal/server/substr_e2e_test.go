@@ -1,0 +1,74 @@
+package server_test
+
+// End-to-end test of text predicates over the HTTP protocol: a
+// substring-enabled document answers contains()/starts-with() queries
+// through /v1/query, and a /v1/patch commit is immediately visible to
+// the next substring query — the served index is the committed
+// version's, never a stale build.
+
+import (
+	"strings"
+	"testing"
+
+	xmlvi "repro"
+	"repro/internal/server"
+)
+
+func TestSubstringQueryServedAndFresh(t *testing.T) {
+	ts, docs := newTestServer(t, server.Config{}, map[string]string{"site": siteXML})
+	doc := docs["site"]
+	doc.EnableSubstringIndex()
+	mode, err := xmlvi.ParsePlannerMode("index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.SetPlanner(mode) // pin the access path; the doc is tiny
+
+	out := query(t, ts, server.QueryRequest{Query: `//item[contains(location/text(), "sterda")]`, Explain: true})
+	if out.Count != 2 {
+		t.Fatalf("contains query = %d hits, want 2", out.Count)
+	}
+	if out.Explain == nil || !strings.Contains(out.Explain.Plan, "substr") {
+		t.Fatalf("served plan does not drive the substring index:\n%+v", out.Explain)
+	}
+	// A pattern shorter than q answers by scan and the served plan says so.
+	out = query(t, ts, server.QueryRequest{Query: `//item[starts-with(@id, "i2")]`, Explain: true})
+	if out.Count != 1 {
+		t.Fatalf("starts-with query = %d hits, want 1", out.Count)
+	}
+	if out.Explain == nil || !strings.Contains(out.Explain.Plan, "pattern shorter than q") {
+		t.Fatalf("served plan does not explain the short-pattern fallback:\n%+v", out.Explain)
+	}
+
+	// Patch a location, then read through the same predicate: the new
+	// value answers at the patched version, the old one is gone.
+	loc := query(t, ts, server.QueryRequest{Query: `//item[@id = "i2"]/location`})
+	if loc.Count != 1 {
+		t.Fatal("setup: i2 location not found")
+	}
+	pr := patch(t, ts, server.PatchRequest{Ops: []server.PatchOp{
+		{Op: "set_text", Node: &loc.Results[0].Node, Value: "Rotterdam"},
+	}})
+	fresh := query(t, ts, server.QueryRequest{Query: `//item[contains(location/text(), "otterda")]`, MinVersion: pr.Version})
+	if fresh.Count != 1 {
+		t.Fatalf("patched value not visible to contains(): %+v", fresh)
+	}
+	stale := query(t, ts, server.QueryRequest{Query: `//item[contains(location/text(), "Oslo")]`, MinVersion: pr.Version})
+	if stale.Count != 0 {
+		t.Fatalf("substring query still sees the pre-patch value: %+v", stale)
+	}
+
+	// A structural patch is maintained too.
+	root := query(t, ts, server.QueryRequest{Query: `//site`})
+	pr = patch(t, ts, server.PatchRequest{Ops: []server.PatchOp{{
+		Op: "insert", Node: &root.Results[0].Node, Pos: 0,
+		XML: `<item id="i9"><location>Trondheim</location><quantity>1</quantity></item>`,
+	}}})
+	ins := query(t, ts, server.QueryRequest{Query: `//item[contains(location/text(), "rondhei")]`, MinVersion: pr.Version})
+	if ins.Count != 1 {
+		t.Fatalf("inserted value not visible to contains(): %+v", ins)
+	}
+	if err := doc.Verify(); err != nil {
+		t.Fatalf("index consistency after served patches: %v", err)
+	}
+}

@@ -1,272 +1,67 @@
-// Package substr implements the extension the paper names as future work
-// in its conclusions: "indices capable of answering queries that involve
-// substring matching and regular expressions".
+// Package substr is the historical home of the q-gram substring index —
+// the paper's stated future work ("indices capable of answering queries
+// that involve substring matching"). The index itself now lives inside
+// internal/core's versioned Snapshot (core/substr.go): it is cloned
+// copy-on-write and maintained by every commit path exactly like the
+// hash and typed indices, so a reader pinning one snapshot sees a
+// substring index consistent with that snapshot's document, and
+// followers replaying shipped records converge to the leader's index
+// byte for byte.
 //
-// The index is a positional q-gram index over node string values, built
-// with the same design constraints as the paper's value indices:
-//
-//   - generic: covers every text and attribute value, no configured paths;
-//   - compact: stores 32-bit gram hashes and postings, never text;
-//   - candidate-based: like the hash equi-index, lookups return candidate
-//     nodes that are verified against the document, so q-gram collisions
-//     cost time, never correctness.
-//
-// A substring query of length >= Q intersects the posting lists of its
-// grams; shorter patterns fall back to scanning. Updates reuse the value
-// index maintenance discipline: changed nodes are re-grammed and the
-// B+tree is diffed.
+// What remains here is the thin compatibility handle (Build/Contains)
+// plus the index-free scan oracle the property tests compare the index
+// against.
 package substr
 
 import (
-	"sort"
-
-	"repro/internal/btree"
 	"repro/internal/core"
 	"repro/internal/xmltree"
 )
 
-// Q is the gram length. Three balances selectivity against index size for
-// the evaluation corpora (mostly ASCII text).
-const Q = 3
+// Q is the gram width, re-exported from the core index.
+const Q = core.SubstrQ
 
-// gramHash hashes a q-gram into the B+tree key space. FNV-style mixing
-// keeps distinct grams distinct with high probability; collisions only
-// add verification work.
-func gramHash(b []byte) uint32 {
-	h := uint32(2166136261)
-	for _, c := range b {
-		h = (h ^ uint32(c)) * 16777619
-	}
-	return h
-}
-
-// Index is a q-gram substring index over one document's values. It is
-// built against a core.Indexes so postings share the stable-id space and
-// survive structural updates applied through Sync.
+// Index is a handle over a document's core-resident substring index.
+// All methods answer against the currently published snapshot.
 type Index struct {
-	ix   *core.Indexes
-	tree *btree.Tree
-
-	// grams remembers each value-carrying node's gram set (sorted,
-	// deduplicated) so updates can diff without re-reading old text.
-	grams     map[uint32][]uint32 // stable node id -> gram hashes
-	attrGrams map[uint32][]uint32 // stable attr id -> gram hashes
+	ix *core.Indexes
 }
 
-// Build constructs the substring index over the document behind ix.
+// Build enables the substring index on ix (idempotent; commits maintain
+// it from then on) and returns a handle.
 func Build(ix *core.Indexes) *Index {
-	s := &Index{
-		ix:        ix,
-		grams:     make(map[uint32][]uint32),
-		attrGrams: make(map[uint32][]uint32),
-	}
-	doc := ix.Doc()
-	var entries []btree.Entry
-	for i := 0; i < doc.NumNodes(); i++ {
-		n := xmltree.NodeID(i)
-		if doc.Kind(n) != xmltree.Text {
-			continue
-		}
-		stable := ix.StableOf(n)
-		gs := gramsOf(doc.ValueBytes(n))
-		if len(gs) == 0 {
-			continue
-		}
-		s.grams[stable] = gs
-		for _, g := range gs {
-			entries = append(entries, btree.Entry{Key: uint64(g), Val: stable << 1})
-		}
-	}
-	for a := 0; a < doc.NumAttrs(); a++ {
-		ad := xmltree.AttrID(a)
-		stable := ix.AttrStableOf(ad)
-		gs := gramsOf(doc.AttrValueBytes(ad))
-		if len(gs) == 0 {
-			continue
-		}
-		s.attrGrams[stable] = gs
-		for _, g := range gs {
-			entries = append(entries, btree.Entry{Key: uint64(g), Val: stable<<1 | 1})
-		}
-	}
-	btree.SortEntries(entries)
-	entries = dedupeEntries(entries)
-	s.tree = btree.NewFromSorted(entries)
-	return s
-}
-
-// gramsOf returns the sorted, deduplicated gram hashes of a value.
-func gramsOf(b []byte) []uint32 {
-	if len(b) < Q {
-		return nil
-	}
-	out := make([]uint32, 0, len(b)-Q+1)
-	for i := 0; i+Q <= len(b); i++ {
-		out = append(out, gramHash(b[i:i+Q]))
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	uniq := out[:1]
-	for _, g := range out[1:] {
-		if g != uniq[len(uniq)-1] {
-			uniq = append(uniq, g)
-		}
-	}
-	return uniq
+	ix.EnableSubstring()
+	return &Index{ix: ix}
 }
 
 // Contains returns the text and attribute nodes whose value contains
-// pattern, verified against the document. Patterns shorter than Q grams
-// fall back to a scan.
+// pattern, verified, in document order. Patterns shorter than Q fall
+// back to scanning.
 func (s *Index) Contains(pattern string) []core.Posting {
-	if len(pattern) < Q {
-		return s.scan(pattern)
-	}
-	grams := gramsOf([]byte(pattern))
-	if len(grams) == 0 {
-		return s.scan(pattern)
-	}
-	// Intersect posting lists, starting from the (likely) rarest gram.
-	var lists [][]uint32
-	for _, g := range grams {
-		var list []uint32
-		s.tree.ScanEq(uint64(g), func(v uint32) bool {
-			list = append(list, v)
-			return true
-		})
-		if len(list) == 0 {
-			return nil
-		}
-		lists = append(lists, list)
-	}
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	cand := lists[0]
-	for _, l := range lists[1:] {
-		cand = intersect(cand, l)
-		if len(cand) == 0 {
-			return nil
-		}
-	}
-	// Verify candidates against the document.
-	doc := s.ix.Doc()
-	var out []core.Posting
-	for _, packed := range cand {
-		stable, isAttr := packed>>1, packed&1 == 1
-		if isAttr {
-			a := s.ix.AttrOfStable(stable)
-			if a != xmltree.InvalidAttr && containsStr(doc.AttrValue(a), pattern) {
-				out = append(out, core.AttrPosting(a))
-			}
-			continue
-		}
-		n := s.ix.NodeOfStable(stable)
-		if n != xmltree.InvalidNode && containsStr(doc.Value(n), pattern) {
-			out = append(out, core.NodePosting(n))
-		}
-	}
-	return out
+	return s.ix.Contains(pattern)
 }
 
-func intersect(a, b []uint32) []uint32 {
-	out := a[:0]
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
+// StartsWith returns the text and attribute nodes whose value starts
+// with pattern.
+func (s *Index) StartsWith(pattern string) []core.Posting {
+	return s.ix.StartsWith(pattern)
 }
 
-func containsStr(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return true
-		}
-	}
-	return false
+// ScanContains is the index-free baseline: every text and attribute
+// value tested in document order.
+func (s *Index) ScanContains(pattern string) []core.Posting {
+	return s.ix.ScanContains(pattern)
 }
 
-// scan is the short-pattern fallback: check every value.
-func (s *Index) scan(pattern string) []core.Posting { return Scan(s.ix, pattern) }
+// SyncText is a no-op kept for callers of the pre-MVCC API: the commit
+// that changed the text node already maintained the index.
+func (s *Index) SyncText(xmltree.NodeID) {}
 
-// Scan is the index-less substring baseline: it checks every text and
-// attribute value in the document.
+// Len reports the number of (gram, posting) entries in the index.
+func (s *Index) Len() int { return s.ix.Stats().SubstringEntries }
+
+// Scan is the package-level oracle: the nodes and attributes whose
+// value contains pattern, found without any index.
 func Scan(ix *core.Indexes, pattern string) []core.Posting {
-	doc := ix.Doc()
-	var out []core.Posting
-	for i := 0; i < doc.NumNodes(); i++ {
-		n := xmltree.NodeID(i)
-		if doc.Kind(n) == xmltree.Text && containsStr(doc.Value(n), pattern) {
-			out = append(out, core.NodePosting(n))
-		}
-	}
-	for a := 0; a < doc.NumAttrs(); a++ {
-		ad := xmltree.AttrID(a)
-		if containsStr(doc.AttrValue(ad), pattern) {
-			out = append(out, core.AttrPosting(ad))
-		}
-	}
-	return out
-}
-
-// SyncText updates the index after a text node's value changed (call
-// after core.Indexes.UpdateText). The old gram set is diffed against the
-// new one, so maintenance is proportional to the value sizes.
-func (s *Index) SyncText(n xmltree.NodeID) {
-	doc := s.ix.Doc()
-	if doc.Kind(n) != xmltree.Text {
-		return
-	}
-	stable := s.ix.StableOf(n)
-	oldGrams := s.grams[stable]
-	newGrams := gramsOf(doc.ValueBytes(n))
-	s.diff(stable<<1, oldGrams, newGrams)
-	if len(newGrams) == 0 {
-		delete(s.grams, stable)
-	} else {
-		s.grams[stable] = newGrams
-	}
-}
-
-func (s *Index) diff(posting uint32, old, new []uint32) {
-	i, j := 0, 0
-	for i < len(old) || j < len(new) {
-		switch {
-		case j >= len(new) || (i < len(old) && old[i] < new[j]):
-			s.tree.Delete(uint64(old[i]), posting)
-			i++
-		case i >= len(old) || new[j] < old[i]:
-			s.tree.Insert(uint64(new[j]), posting)
-			j++
-		default:
-			i++
-			j++
-		}
-	}
-}
-
-// Len reports the number of (gram, posting) entries.
-func (s *Index) Len() int { return s.tree.Len() }
-
-// ScanContains is the index-less baseline for benchmarks.
-func (s *Index) ScanContains(pattern string) []core.Posting { return s.scan(pattern) }
-
-func dedupeEntries(entries []btree.Entry) []btree.Entry {
-	if len(entries) < 2 {
-		return entries
-	}
-	out := entries[:1]
-	for _, e := range entries[1:] {
-		if e != out[len(out)-1] {
-			out = append(out, e)
-		}
-	}
-	return out
+	return ix.ScanContains(pattern)
 }

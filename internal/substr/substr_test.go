@@ -111,19 +111,15 @@ func TestSyncTextMaintainsIndex(t *testing.T) {
 	}
 }
 
-func TestGramsOfProperties(t *testing.T) {
-	if gramsOf([]byte("ab")) != nil {
-		t.Error("short values have no grams")
+func TestStartsWithMatchesScan(t *testing.T) {
+	ix, s := buildIndex(t, `<r><a>prefix one</a><b>prefix two</b><c id="prefab">other</c><d>a prefix inside</d></r>`)
+	got := postingSet(s.StartsWith("pref"))
+	want := postingSet(ix.ScanStartsWith("pref"))
+	if got != want {
+		t.Fatalf("StartsWith(pref): indexed %v != scan %v", got, want)
 	}
-	gs := gramsOf([]byte("abcabc"))
-	// "abc", "bca", "cab" — deduplicated.
-	if len(gs) != 3 {
-		t.Errorf("grams of abcabc = %d, want 3", len(gs))
-	}
-	for i := 1; i < len(gs); i++ {
-		if gs[i-1] >= gs[i] {
-			t.Error("grams not sorted/deduped")
-		}
+	if n := len(s.StartsWith("prefix ")); n != 2 {
+		t.Fatalf("StartsWith(prefix ) = %d hits, want 2", n)
 	}
 }
 

@@ -11,6 +11,7 @@
 //	nametest  := NAME | '*' | 'text()' | '@' NAME
 //	predicate := '[' cond (and cond)* ']'
 //	cond      := operand cmp literal
+//	           | ('contains' | 'starts-with') '(' operand ',' string ')'
 //	operand   := '.' | 'fn:data(' rel ')' | rel
 //	rel       := ('.//' )? step ('/' step)*        (axes inside predicates)
 //	cmp       := '=' | '!=' | '<' | '<=' | '>' | '>='
@@ -21,6 +22,11 @@
 //	//person[first/text()="Arthur"]
 //	//*[fn:data(name)="ArthurDent"]
 //	//person[.//age = 42]
+//
+// Text predicates (the substring extension):
+//
+//	//person[contains(first/text(), "rthu")]
+//	//item[starts-with(@id, "item1")]
 package xpath
 
 import "fmt"
@@ -102,12 +108,34 @@ func (l Literal) String() string {
 	return fmt.Sprintf("%q", l.Str)
 }
 
+// CondFn distinguishes a plain comparison condition from a text-predicate
+// function call (contains / starts-with).
+type CondFn uint8
+
+const (
+	FnNone CondFn = iota
+	FnContains
+	FnStartsWith
+)
+
+func (f CondFn) String() string {
+	switch f {
+	case FnContains:
+		return "contains"
+	case FnStartsWith:
+		return "starts-with"
+	}
+	return ""
+}
+
 // Cond is one comparison inside a predicate. Rel is the operand path
 // relative to the step's node: empty with Dot=true means the node itself
-// ('.' or fn:data(.)).
+// ('.' or fn:data(.)). When Fn is not FnNone the condition is a text
+// predicate — Lit.Str holds the search pattern and Op is unused.
 type Cond struct {
 	Dot bool
 	Rel []Step // child-axis steps (first step may be Descendant for .//)
+	Fn  CondFn
 	Op  CmpOp
 	Lit Literal
 }

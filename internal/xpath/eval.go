@@ -219,7 +219,7 @@ func (ev *evaluator) attrPredsHold(a xmltree.AttrID, preds []Pred) bool {
 			if !c.Dot {
 				return false // attributes have no children
 			}
-			if !compareString(ev.doc.AttrValue(a), c.Op, c.Lit) {
+			if !condMatch(ev.doc.AttrValue(a), c) {
 				return false
 			}
 		}
@@ -227,15 +227,27 @@ func (ev *evaluator) attrPredsHold(a xmltree.AttrID, preds []Pred) bool {
 	return true
 }
 
+// condMatch applies one condition to one operand value: a text-predicate
+// function when Fn is set, the comparison operator otherwise.
+func condMatch(value string, c Cond) bool {
+	switch c.Fn {
+	case FnContains:
+		return strings.Contains(value, c.Lit.Str)
+	case FnStartsWith:
+		return strings.HasPrefix(value, c.Lit.Str)
+	}
+	return compareString(value, c.Op, c.Lit)
+}
+
 // condHolds implements XPath existential comparison semantics: the
 // condition holds if ANY operand node satisfies the comparison.
 func (ev *evaluator) condHolds(n xmltree.NodeID, c Cond) bool {
 	if c.Dot {
-		return compareString(ev.doc.StringValue(n), c.Op, c.Lit)
+		return condMatch(ev.doc.StringValue(n), c)
 	}
 	found := false
 	ev.relNodes(n, c.Rel, func(value string) bool {
-		if compareString(value, c.Op, c.Lit) {
+		if condMatch(value, c) {
 			found = true
 			return false
 		}
@@ -550,12 +562,15 @@ func (ev *evaluator) absMatches(n xmltree.NodeID, steps []Step) bool {
 
 // pickIndexableCond returns the first condition usable with an index:
 // numeric and xs:date comparisons go to the typed range indexes, string
-// equality to the hash index.
+// equality to the hash index. Text-predicate conditions (contains /
+// starts-with) are skipped — the legacy driver has no substring access
+// path, so another condition must drive or the caller falls back to
+// scanning; predsHold re-verifies every condition either way.
 func pickIndexableCond(preds []Pred) (int, Cond) {
 	idx := 0
 	for _, p := range preds {
 		for _, c := range p.Conds {
-			if c.Lit.IsNum || c.Lit.IsDate || c.Op == OpEq {
+			if c.Fn == FnNone && (c.Lit.IsNum || c.Lit.IsDate || c.Op == OpEq) {
 				return idx, c
 			}
 			idx++

@@ -38,6 +38,14 @@ func FuzzXPathParse(f *testing.F) {
 		`//person[`,
 		`/a/b[@x = `,
 		`//a[. = 1e309]`,
+		`//person[contains(name/text(), "nn")]`,
+		`//person[starts-with(@id, "p1")]`,
+		`//name/text()[contains(., "")]`,
+		`//person[contains(name, "o") and age = 40]`,
+		`//person[contains(]`,
+		`//person[contains(name)]`,
+		`//person[contains(name, 42)]`,
+		`//person[starts-with(., "日本語")]`,
 	} {
 		f.Add(seed)
 	}

@@ -165,6 +165,10 @@ func (p *parser) parseCond() (Cond, error) {
 	var c Cond
 	p.skipSpace()
 	switch {
+	case p.eat("contains("):
+		return p.parseFnCond(FnContains)
+	case p.eat("starts-with("):
+		return p.parseFnCond(FnStartsWith)
 	case p.eat("fn:data(") || p.eat("data("):
 		p.skipSpace()
 		if p.eat(".") {
@@ -202,6 +206,41 @@ func (p *parser) parseCond() (Cond, error) {
 		return c, err
 	}
 	c.Lit = lit
+	return c, nil
+}
+
+// parseFnCond parses the tail of a text-predicate condition — the '('
+// was already consumed: operand ',' string-literal ')'.
+func (p *parser) parseFnCond(fn CondFn) (Cond, error) {
+	c := Cond{Fn: fn}
+	p.skipSpace()
+	if p.peek() == '.' && !strings.HasPrefix(p.in[p.pos:], ".//") {
+		p.pos++
+		c.Dot = true
+	} else {
+		rel, err := p.parseRel()
+		if err != nil {
+			return c, err
+		}
+		c.Rel = rel
+	}
+	p.skipSpace()
+	if !p.eat(",") {
+		return c, fmt.Errorf("expected ',' in %s()", fn)
+	}
+	p.skipSpace()
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return c, err
+	}
+	if lit.IsNum || lit.IsDate {
+		return c, fmt.Errorf("%s() expects a string literal", fn)
+	}
+	c.Lit = lit
+	p.skipSpace()
+	if !p.eat(")") {
+		return c, fmt.Errorf("expected ')' after %s()", fn)
+	}
 	return c, nil
 }
 

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/plan"
-	"repro/internal/substr"
 	"repro/internal/txn"
 	"repro/internal/xmlparse"
 	"repro/internal/xmltree"
@@ -100,7 +99,6 @@ func (o Options) indexOptions() core.Options {
 type Document struct {
 	ix  *core.Indexes
 	mgr *txn.Manager
-	sub *substr.Index // optional, see EnableSubstringIndex
 
 	// planner is the query planning mode Query and Explain run under
 	// (Options.Planner, or SetPlanner after loading).
@@ -495,30 +493,16 @@ var ErrNotText = xmltree.ErrNotText
 // incrementally (the paper's Figure 8 algorithm), including the substring
 // index when enabled.
 func (d *Document) UpdateText(n Node, value string) error {
-	if err := d.ix.UpdateText(n, value); err != nil {
-		return err
-	}
-	if d.sub != nil {
-		d.sub.SyncText(n)
-	}
-	return nil
+	return d.ix.UpdateText(n, value)
 }
 
 // TextUpdate is one batched text update.
 type TextUpdate = core.TextUpdate
 
 // UpdateTexts applies a batch of text updates; each affected ancestor is
-// refolded exactly once. The substring index, when enabled, follows.
+// refolded exactly once.
 func (d *Document) UpdateTexts(updates []TextUpdate) error {
-	if err := d.ix.UpdateTexts(updates); err != nil {
-		return err
-	}
-	if d.sub != nil {
-		for _, u := range updates {
-			d.sub.SyncText(u.Node)
-		}
-	}
-	return nil
+	return d.ix.UpdateTexts(updates)
 }
 
 // UpdateAttr replaces an attribute value.
@@ -527,17 +511,9 @@ func (d *Document) UpdateAttr(a Attr, value string) error { return d.ix.UpdateAt
 // FindAttr locates an attribute of element n by name, or -1.
 func (d *Document) FindAttr(n Node, name string) Attr { return d.ix.Doc().FindAttr(n, name) }
 
-// Delete removes a node and its subtree, maintaining all indices. An
-// enabled substring index is rebuilt (structural updates shift gram
-// ownership wholesale).
+// Delete removes a node and its subtree, maintaining all indices.
 func (d *Document) Delete(n Node) error {
-	if err := d.ix.DeleteSubtree(n); err != nil {
-		return err
-	}
-	if d.sub != nil {
-		d.sub = substr.Build(d.ix)
-	}
-	return nil
+	return d.ix.DeleteSubtree(n)
 }
 
 // InsertXML parses an XML fragment and inserts its top-level elements as
@@ -554,14 +530,7 @@ func (d *Document) InsertXML(parent Node, pos int, fragment string) (Node, error
 		return xmltree.InvalidNode, errors.New("xmlvi: empty fragment")
 	}
 	sub := subtreeDoc(frag, wrapper)
-	at, err := d.ix.InsertChildren(parent, pos, sub)
-	if err != nil {
-		return at, err
-	}
-	if d.sub != nil {
-		d.sub = substr.Build(d.ix)
-	}
-	return at, nil
+	return d.ix.InsertChildren(parent, pos, sub)
 }
 
 // subtreeDoc rebuilds a fragment document containing the children of n.
@@ -622,19 +591,32 @@ func (d *Document) Begin() *Txn { return d.mgr.Begin() }
 // --- substring index (the paper's stated future work) ---
 
 // EnableSubstringIndex builds the optional q-gram substring index over
-// all text and attribute values; Contains then answers through it.
-// Call again after batches of updates applied outside UpdateText to
-// rebuild (UpdateText keeps it synchronised automatically).
-func (d *Document) EnableSubstringIndex() { d.sub = substr.Build(d.ix) }
+// all text and attribute values. The index lives inside the versioned
+// snapshot like every other index: once enabled, every commit path
+// (text/attribute updates, structural updates, WAL replay, shipped
+// replication records) maintains it copy-on-write, so Contains and the
+// planner's contains()/starts-with() access path always observe one
+// consistent version. Enabling is idempotent.
+func (d *Document) EnableSubstringIndex() { d.ix.EnableSubstring() }
+
+// HasSubstringIndex reports whether the q-gram substring index is
+// present in the current version — enabled here, or inherited from a
+// snapshot that was saved with it.
+func (d *Document) HasSubstringIndex() bool { return d.ix.HasSubstring() }
 
 // Contains returns every text and attribute node whose value contains
-// pattern. With the substring index enabled, candidates come from q-gram
-// posting-list intersection and are verified; otherwise every value is
-// scanned.
+// pattern. With the substring index enabled (and the pattern at least
+// core.SubstrQ bytes), candidates come from q-gram posting-list
+// intersection and are verified; otherwise every value is scanned. Both
+// routes answer against one pinned snapshot.
 func (d *Document) Contains(pattern string) []Result {
 	snap := d.ix.Snapshot()
-	if d.sub != nil {
-		return d.results(d.sub.Contains(pattern), snap)
-	}
-	return d.results(substr.Scan(d.ix, pattern), snap)
+	return d.results(snap.Contains(pattern), snap)
+}
+
+// StartsWith returns every text and attribute node whose value starts
+// with pattern, through the same index-or-scan route as Contains.
+func (d *Document) StartsWith(pattern string) []Result {
+	snap := d.ix.Snapshot()
+	return d.results(snap.StartsWith(pattern), snap)
 }
