@@ -339,6 +339,27 @@ func BenchmarkBuild(b *testing.B) {
 
 var benchBuilt *core.Indexes
 
+// BenchmarkMemFootprint is the packed-layout headline number: bytes per
+// indexed node for the fully built XMark snapshot (string + typed +
+// substring indices). bytes_per_node measures the packed layout the
+// readers actually traverse; unpacked_bytes_per_node is the analytic
+// cost of the same state in the pre-packing layout (one (key,val) pair
+// per tree slot, no value interning), so the ratio between the two
+// metrics is the layout's measured compression. CI's bench job tracks
+// bytes_per_node across PRs and flags regressions like any timing.
+func BenchmarkMemFootprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ix := buildSubstringIndex(b)
+		if i == 0 {
+			ms := ix.MemStats()
+			b.ReportMetric(ms.BytesPerNode, "bytes_per_node")
+			b.ReportMetric(ms.UnpackedBytesPerNode, "unpacked_bytes_per_node")
+			b.ReportMetric(float64(ms.TotalBytes)/(1<<20), "total_MB")
+		}
+		benchBuilt = ix
+	}
+}
+
 // BenchmarkRangeDate compares the xs:date range index — added to the
 // core purely by registration — against the index-less scan baseline on
 // the datagen auction (XMark) dataset. Paper-shaped expectation: the

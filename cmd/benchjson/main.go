@@ -6,7 +6,9 @@
 //
 // With -compare, the summary additionally diffs the run against a
 // committed baseline artifact (a previous PR's BENCH_*.json) and posts a
-// regression table flagging benchmarks that slowed down by more than 20%.
+// regression table over the tracked metrics — ns/op, allocs/op (from
+// -benchmem), and bytes_per_node (the packed-layout footprint) —
+// flagging any that regressed by more than 20%.
 //
 // Usage:
 //
@@ -188,6 +190,14 @@ func writeSummary(w io.Writer, report *Report) {
 		}
 		fmt.Fprintln(w)
 	}
+	if bpn := metricOf(report, "BenchmarkMemFootprint", "bytes_per_node"); bpn > 0 {
+		if unpacked := metricOf(report, "BenchmarkMemFootprint", "unpacked_bytes_per_node"); unpacked > 0 {
+			fmt.Fprintf(w, "**Memory footprint:** packed layout %.1f bytes/node vs %.1f unpacked → **%.0f%% smaller**\n",
+				bpn, unpacked, (1-bpn/unpacked)*100)
+		} else {
+			fmt.Fprintf(w, "**Memory footprint:** %.1f bytes/node\n", bpn)
+		}
+	}
 	if speedup := metricOf(report, "BenchmarkSubstring/indexed", "speedup_x"); speedup > 0 {
 		fmt.Fprintf(w, "**Substring vs scan:** contains() through the q-gram index vs full document scan → **%.1fx speedup**\n",
 			speedup)
@@ -232,54 +242,73 @@ func loadReport(path string) (*Report, error) {
 	return &r, nil
 }
 
-// regressionThreshold is the ns/op slowdown ratio a benchmark may drift
-// before the comparison flags it. Benchmarks in CI runners are noisy;
-// 20% separates drift from damage.
+// regressionThreshold is the slowdown/growth ratio a tracked metric may
+// drift before the comparison flags it. Benchmarks in CI runners are
+// noisy; 20% separates drift from damage.
 const regressionThreshold = 1.20
 
+// trackedMetrics are the regression-gated metrics, in display order:
+// latency, allocation count (from -benchmem), and the packed-layout
+// footprint. B/op tracks allocs/op closely enough that gating both
+// would only double the noise. More-is-worse holds for all three.
+var trackedMetrics = []string{"ns/op", "allocs/op", "bytes_per_node"}
+
 // writeComparison appends a delta table of the run against a baseline
-// artifact, flagging every benchmark whose ns/op regressed beyond the
+// artifact, flagging every tracked metric that regressed beyond the
 // threshold. Benchmarks present on only one side are listed but not
 // flagged (new or retired, not regressed).
 func writeComparison(w io.Writer, cur, base *Report, baseName string) {
-	baseNS := make(map[string]float64, len(base.Benchmarks))
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		baseNS[b.Name] = b.Metrics["ns/op"]
+		baseBy[b.Name] = b
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "### vs baseline %s\n", baseName)
 	fmt.Fprintln(w)
-	fmt.Fprintln(w, "| benchmark | baseline ns/op | current ns/op | delta |")
-	fmt.Fprintln(w, "|---|---:|---:|---:|")
+	fmt.Fprintln(w, "| benchmark | metric | baseline | current | delta |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|")
 	flagged := 0
 	seen := make(map[string]bool, len(cur.Benchmarks))
 	for _, b := range cur.Benchmarks {
 		seen[b.Name] = true
-		curNS := b.Metrics["ns/op"]
-		prev, ok := baseNS[b.Name]
-		if !ok || prev <= 0 || curNS <= 0 {
-			fmt.Fprintf(w, "| %s | — | %.0f | new |\n", b.Name, curNS)
+		prevBench, known := baseBy[b.Name]
+		if !known {
+			fmt.Fprintf(w, "| %s | ns/op | — | %.0f | new |\n", b.Name, b.Metrics["ns/op"])
 			continue
 		}
-		delta := (curNS - prev) / prev * 100
-		mark := ""
-		if curNS > prev*regressionThreshold {
-			mark = " ⚠️ regression"
-			flagged++
+		for _, metric := range trackedMetrics {
+			curV := b.Metrics[metric]
+			if curV <= 0 {
+				continue
+			}
+			prev := prevBench.Metrics[metric]
+			if prev <= 0 {
+				// The metric is newly reported (e.g. allocs/op before
+				// -benchmem, bytes_per_node before the packed layout):
+				// it seeds the trajectory, nothing to diff yet.
+				fmt.Fprintf(w, "| %s | %s | — | %.1f | new |\n", b.Name, metric, curV)
+				continue
+			}
+			delta := (curV - prev) / prev * 100
+			mark := ""
+			if curV > prev*regressionThreshold {
+				mark = " ⚠️ regression"
+				flagged++
+			}
+			fmt.Fprintf(w, "| %s | %s | %.1f | %.1f | %+.1f%%%s |\n", b.Name, metric, prev, curV, delta, mark)
 		}
-		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%%%s |\n", b.Name, prev, curNS, delta, mark)
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[b.Name] {
-			fmt.Fprintf(w, "| %s | %.0f | — | retired |\n", b.Name, b.Metrics["ns/op"])
+			fmt.Fprintf(w, "| %s | ns/op | %.0f | — | retired |\n", b.Name, b.Metrics["ns/op"])
 		}
 	}
 	fmt.Fprintln(w)
 	if flagged > 0 {
-		fmt.Fprintf(w, "**⚠️ %d benchmark(s) slowed down by more than %.0f%% against the baseline.**\n",
+		fmt.Fprintf(w, "**⚠️ %d metric(s) regressed by more than %.0f%% against the baseline.**\n",
 			flagged, (regressionThreshold-1)*100)
 	} else {
-		fmt.Fprintf(w, "No benchmark slowed down by more than %.0f%% against the baseline.\n",
+		fmt.Fprintf(w, "No tracked metric regressed by more than %.0f%% against the baseline.\n",
 			(regressionThreshold-1)*100)
 	}
 }

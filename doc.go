@@ -164,6 +164,30 @@
 // is idempotent. xviquery -substring and xvid -substring enable it at
 // the tools layer; xvibench -exp a8 is the text-predicate experiment.
 //
+// # Memory layout
+//
+// Reader-hot state is compressed without changing any observable
+// behaviour: B+tree leaves store their sorted (key, posting) entries
+// as frame-of-reference delta varints (2-6 bytes per entry instead of
+// 16; reads stream-decode, single-entry mutations splice bytes and
+// re-encode at most the successor entry); text and attribute values
+// are hash-consed into a shared heap on build and update, with dead
+// bytes tracked and the heap compacted automatically on the private
+// draft of a commit that crosses the dead-bytes threshold; substring
+// candidate postings intersect as delta-encoded byte strings. All of
+// it lives behind the same MVCC snapshots — readers stay lock-free
+// and pinned versions stay bit-stable — and persisted tree sections
+// carry a format version, so older snapshots load transparently and
+// unknown future formats fail with a descriptive error. Save rewrites
+// the name dictionary to only the names live nodes still reference.
+//
+// Document.MemStats reports the footprint per component together with
+// the analytic unpacked equivalent of the same state; bytes per node
+// is the tracked layout metric, surfaced through GET /v1/stats (mem),
+// the xvibench a6/a7/a8 tables (B/node), and BenchmarkMemFootprint,
+// whose bytes_per_node lands in CI's bench summary with regression
+// flagging against the committed baseline.
+//
 // # Durability
 //
 // By default persistence is snapshot-only: updates live in memory until

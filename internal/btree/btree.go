@@ -31,7 +31,10 @@
 // draft copies shared nodes before writing them.
 package btree
 
-import "sort"
+import (
+	"encoding/binary"
+	"sort"
+)
 
 // Entry is one (key, posting) pair. Duplicate keys are allowed; the pair
 // itself is unique within a tree.
@@ -60,9 +63,16 @@ const (
 // leaf and inner nodes carry the generation of the tree handle that
 // created them; a handle may mutate a node in place only when the
 // generations match (see the package comment).
+//
+// Leaves store their entries packed (frame-of-reference + delta
+// varints, see packed.go) instead of as a raw []Entry slice: sorted
+// runs compress to a few bytes per entry, so far more of the index fits
+// in cache. Reads stream-decode; mutations decode into a scratch,
+// modify, and re-pack through the same copy-on-write protocol.
 type leaf struct {
-	gen     uint64
-	entries []Entry
+	gen    uint64
+	count  int32
+	packed []byte
 }
 
 type inner struct {
@@ -100,13 +110,15 @@ func (t *Tree) Clone() *Tree {
 	return &c
 }
 
-// mutableLeaf returns l if t owns it, or a copy stamped with t's
-// generation otherwise.
+// mutableLeaf returns l if t owns it, or a fresh leaf stamped with t's
+// generation otherwise. The returned leaf's payload is unspecified:
+// every caller fully re-packs it with setEntries, so copying the shared
+// leaf's packed bytes here would be wasted work.
 func (t *Tree) mutableLeaf(l *leaf) *leaf {
 	if l.gen == t.gen {
 		return l
 	}
-	return &leaf{gen: t.gen, entries: append([]Entry(nil), l.entries...)}
+	return &leaf{gen: t.gen}
 }
 
 // mutableInner returns in if t owns it, or a copy otherwise.
@@ -147,11 +159,10 @@ func NewFromSorted(entries []Entry) *Tree {
 		if rem := len(entries) - off - n; rem > 0 && rem < minLeaf {
 			n = (n + rem + 1) / 2
 		}
-		l := &leaf{entries: append([]Entry(nil), entries[off:off+n]...)}
 		if len(leaves) > 0 {
-			seps = append(seps, l.entries[0])
+			seps = append(seps, entries[off])
 		}
-		leaves = append(leaves, l)
+		leaves = append(leaves, newLeaf(0, entries[off:off+n]))
 		off += n
 	}
 	t := &Tree{length: len(entries), height: 1}
@@ -213,21 +224,38 @@ func (t *Tree) Insert(key uint64, val uint32) bool {
 func (t *Tree) insert(n node, e Entry) (self, right node, sep Entry, added bool) {
 	switch n := n.(type) {
 	case *leaf:
-		i := sort.Search(len(n.entries), func(i int) bool { return !n.entries[i].less(e) })
-		if i < len(n.entries) && n.entries[i] == e {
-			return n, nil, Entry{}, false
-		}
-		l := t.mutableLeaf(n)
-		l.entries = append(l.entries, Entry{})
-		copy(l.entries[i+1:], l.entries[i:])
-		l.entries[i] = e
-		if len(l.entries) <= maxLeaf {
+		if int(n.count) < maxLeaf {
+			// Splice fast path: only the successor's delta depends on e,
+			// so the rest of the leaf's bytes move, not re-encode.
+			loc := n.locate(e)
+			if loc.hasSucc && loc.succ == e {
+				return n, nil, Entry{}, false
+			}
+			var enc [2 * maxEntryEnc]byte
+			repl := appendEntryDelta(enc[:0], loc.prev, e)
+			if loc.hasSucc {
+				repl = appendEntryDelta(repl, e, loc.succ)
+			}
+			l := t.spliceMutable(n, loc.pos, loc.succEnd, repl)
+			l.count = n.count + 1
 			return l, nil, Entry{}, true
 		}
-		mid := len(l.entries) / 2
-		r := &leaf{gen: t.gen, entries: append([]Entry(nil), l.entries[mid:]...)}
-		l.entries = l.entries[:mid:mid]
-		return l, r, r.entries[0], true
+		// Full leaf: decode, insert, and split — the one mutation that
+		// genuinely re-packs, amortised over maxLeaf splice inserts.
+		var buf [maxLeaf + 1]Entry
+		es := n.appendEntries(buf[:0])
+		i := sort.Search(len(es), func(i int) bool { return !es[i].less(e) })
+		if i < len(es) && es[i] == e {
+			return n, nil, Entry{}, false
+		}
+		es = append(es, Entry{})
+		copy(es[i+1:], es[i:])
+		es[i] = e
+		l := t.mutableLeaf(n)
+		mid := len(es) / 2
+		l.setEntries(es[:mid])
+		r := newLeaf(t.gen, es[mid:])
+		return l, r, es[mid], true
 	case *inner:
 		ci := sort.Search(len(n.keys), func(i int) bool { return e.less(n.keys[i]) })
 		child, r, s, ok := t.insert(n.children[ci], e)
@@ -289,12 +317,34 @@ func (t *Tree) delete(n node, e Entry) (node, bool) {
 		in.children[ci] = child
 		return in, true
 	case *leaf:
-		i := sort.Search(len(n.entries), func(i int) bool { return !n.entries[i].less(e) })
-		if i >= len(n.entries) || n.entries[i] != e {
+		loc := n.locate(e)
+		if !loc.hasSucc || loc.succ != e {
 			return n, false
 		}
-		l := t.mutableLeaf(n)
-		l.entries = append(l.entries[:i], l.entries[i+1:]...)
+		// Splice e's bytes out; the entry after e (if any) is the only
+		// one whose delta changes — re-encode it against e's predecessor.
+		p := n.packed
+		to := loc.succEnd
+		var enc [maxEntryEnc]byte
+		var repl []byte
+		if to < len(p) {
+			kd, n1 := binary.Uvarint(p[to:])
+			vd, n2 := binary.Uvarint(p[to+n1:])
+			if n1 <= 0 || n2 <= 0 {
+				panic("btree: corrupt packed leaf")
+			}
+			after := e
+			if kd == 0 {
+				after.Val += uint32(vd)
+			} else {
+				after.Key += kd
+				after.Val = uint32(vd)
+			}
+			to += n1 + n2
+			repl = appendEntryDelta(enc[:0], loc.prev, after)
+		}
+		l := t.spliceMutable(n, loc.pos, to, repl)
+		l.count = n.count - 1
 		return l, true
 	}
 	panic("btree: unknown node type")
@@ -310,8 +360,15 @@ func (t *Tree) Contains(key uint64, val uint32) bool {
 			ci := sort.Search(len(nn.keys), func(i int) bool { return e.less(nn.keys[i]) })
 			n = nn.children[ci]
 		case *leaf:
-			i := sort.Search(len(nn.entries), func(i int) bool { return !nn.entries[i].less(e) })
-			return i < len(nn.entries) && nn.entries[i] == e
+			// Stream-decode: entries ascend, so the first one not below
+			// e decides.
+			it := nn.iter()
+			for it.next() {
+				if !it.e.less(e) {
+					return it.e == e
+				}
+			}
+			return false
 		}
 	}
 }
@@ -336,13 +393,15 @@ func (t *Tree) ScanRange(lo, hi uint64, f func(key uint64, val uint32) bool) {
 func scanRangeNode(n node, start Entry, hi uint64, f func(key uint64, val uint32) bool) bool {
 	switch nn := n.(type) {
 	case *leaf:
-		i := sort.Search(len(nn.entries), func(i int) bool { return !nn.entries[i].less(start) })
-		for ; i < len(nn.entries); i++ {
-			e := nn.entries[i]
-			if e.Key > hi {
+		it := nn.iter()
+		for it.next() {
+			if it.e.less(start) {
+				continue
+			}
+			if it.e.Key > hi {
 				return false
 			}
-			if !f(e.Key, e.Val) {
+			if !f(it.e.Key, it.e.Val) {
 				return false
 			}
 		}
@@ -367,8 +426,9 @@ func (t *Tree) Scan(f func(key uint64, val uint32) bool) {
 func scanNode(n node, f func(key uint64, val uint32) bool) bool {
 	switch nn := n.(type) {
 	case *leaf:
-		for _, e := range nn.entries {
-			if !f(e.Key, e.Val) {
+		it := nn.iter()
+		for it.next() {
+			if !f(it.e.Key, it.e.Val) {
 				return false
 			}
 		}
@@ -392,10 +452,7 @@ func (t *Tree) Min() (Entry, bool) {
 func minNode(n node) (Entry, bool) {
 	switch nn := n.(type) {
 	case *leaf:
-		if len(nn.entries) > 0 {
-			return nn.entries[0], true
-		}
-		return Entry{}, false
+		return nn.first()
 	case *inner:
 		// Leaves can be left empty by deletions; fall through to the
 		// next child when a whole subtree has drained.

@@ -10,12 +10,19 @@ import "sort"
 // a published tree stays valid indefinitely, regardless of mutations
 // applied to later clones. Mutating the SAME handle the cursor was
 // opened on invalidates it.
+//
+// Leaves are packed (see packed.go); the cursor decodes each leaf once
+// into a single reusable scratch when the descent reaches it. Exactly
+// one leaf is ever on the stack (leaves are always the stack top), so
+// one scratch per cursor suffices and steady-state iteration stays
+// allocation-free.
 type Cursor struct {
-	stack []cursorFrame
+	stack   []cursorFrame
+	scratch []Entry // decoded entries of the leaf frame currently on top
 }
 
 // cursorFrame records one node on the descent path and the next index to
-// visit in it: a child index for inner nodes, an entry index for leaves.
+// visit in it: a child index for inner nodes, a scratch index for leaves.
 type cursorFrame struct {
 	n node
 	i int
@@ -25,7 +32,10 @@ type cursorFrame struct {
 // >= key (so Next yields that entry first).
 func (t *Tree) CursorAt(key uint64) *Cursor {
 	start := Entry{Key: key}
-	c := &Cursor{stack: make([]cursorFrame, 0, t.height)}
+	c := &Cursor{
+		stack:   make([]cursorFrame, 0, t.height),
+		scratch: make([]Entry, 0, maxLeaf+1),
+	}
 	n := t.root
 	for {
 		switch nn := n.(type) {
@@ -34,7 +44,8 @@ func (t *Tree) CursorAt(key uint64) *Cursor {
 			c.stack = append(c.stack, cursorFrame{n: nn, i: ci + 1})
 			n = nn.children[ci]
 		case *leaf:
-			i := sort.Search(len(nn.entries), func(i int) bool { return !nn.entries[i].less(start) })
+			c.scratch = nn.appendEntries(c.scratch)
+			i := sort.Search(len(c.scratch), func(i int) bool { return !c.scratch[i].less(start) })
 			c.stack = append(c.stack, cursorFrame{n: nn, i: i})
 			return c
 		}
@@ -43,7 +54,12 @@ func (t *Tree) CursorAt(key uint64) *Cursor {
 
 // CursorFirst returns a cursor over the whole tree.
 func (t *Tree) CursorFirst() *Cursor {
-	return &Cursor{stack: []cursorFrame{{n: t.root}}}
+	c := &Cursor{scratch: make([]Entry, 0, maxLeaf+1)}
+	if l, ok := t.root.(*leaf); ok {
+		c.scratch = l.appendEntries(c.scratch)
+	}
+	c.stack = append(c.stack, cursorFrame{n: t.root})
+	return c
 }
 
 // Next returns the next entry in (key, posting) order; ok is false when
@@ -53,8 +69,8 @@ func (c *Cursor) Next() (Entry, bool) {
 		top := &c.stack[len(c.stack)-1]
 		switch n := top.n.(type) {
 		case *leaf:
-			if top.i < len(n.entries) {
-				e := n.entries[top.i]
+			if top.i < len(c.scratch) {
+				e := c.scratch[top.i]
 				top.i++
 				return e, true
 			}
@@ -63,6 +79,9 @@ func (c *Cursor) Next() (Entry, bool) {
 			if top.i < len(n.children) {
 				child := n.children[top.i]
 				top.i++
+				if l, ok := child.(*leaf); ok {
+					c.scratch = l.appendEntries(c.scratch)
+				}
 				c.stack = append(c.stack, cursorFrame{n: child})
 			} else {
 				c.stack = c.stack[:len(c.stack)-1]

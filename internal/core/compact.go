@@ -1,0 +1,43 @@
+package core
+
+// Automatic heap compaction. Value overwrites and subtree deletions
+// append new heap bytes and abandon old ones; a long-lived document
+// under an update-heavy workload would otherwise grow its heap without
+// bound. Each commit path checks the draft's dead-byte ratio after
+// applying its mutation and compacts the draft before it is published.
+//
+// This is safe exactly because it runs on the private draft: Compact
+// allocates fresh value/attrValue columns and a fresh heap (the cow.go
+// contract), so published snapshots pinned by concurrent readers keep
+// their columns and heap bytes untouched. It is also deterministic:
+// the dead counter evolves identically from the same record sequence,
+// so a follower replaying shipped records compacts at the same commits
+// as the leader — and since serialisation re-packs values anyway,
+// compaction never changes snapshot bytes.
+
+const (
+	// minCompactHeap is the heap size below which compaction never
+	// runs — rewriting a few kilobytes saves nothing.
+	minCompactHeap = 64 << 10
+
+	// compactDeadDenom: compact when dead bytes exceed 1/4 of the heap
+	// (dead*4 >= size). The dead counter is a conservative upper bound
+	// (interned ranges may still be live through other references), so
+	// a threshold below ~1/8 would thrash on dedup-heavy documents.
+	compactDeadDenom = 4
+)
+
+// maybeCompactHeap compacts the draft's text heap when the dead-byte
+// ratio crosses the threshold. Must only be called on a privately owned
+// draft (inside an apply* method, before publication).
+func (ix *Snapshot) maybeCompactHeap() {
+	d := ix.doc
+	size := d.HeapBytes()
+	if size < minCompactHeap {
+		return
+	}
+	if d.DeadHeapBytes()*compactDeadDenom < size {
+		return
+	}
+	d.Compact()
+}

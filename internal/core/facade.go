@@ -188,6 +188,10 @@ func (ix *Indexes) EstimateTypedRange(id TypeID, lo, hi uint64, incLo, incHi boo
 // Stats summarises the current version's index sizes.
 func (ix *Indexes) Stats() IndexStats { return ix.cur.Load().Stats() }
 
+// MemStats measures the current version's in-memory footprint under the
+// compressed layout, including the bytes-per-node layout metric.
+func (ix *Indexes) MemStats() MemStats { return ix.cur.Load().MemStats() }
+
 // DocBytes reports the document store's in-memory footprint.
 func (ix *Indexes) DocBytes() int { return ix.cur.Load().DocBytes() }
 

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"unsafe"
+
+	"repro/internal/fsm"
+)
+
+// MemStats reports the in-memory footprint of one snapshot version —
+// the reader-hot state the compressed layout work (packed B+tree
+// leaves, interned heap values) exists to shrink. All byte counts are
+// measured at slice capacity where capacities are reachable, with
+// fixed per-entry estimates for maps; they are accounting numbers for
+// tracking layout regressions, not allocator ground truth.
+//
+// Unpacked* fields are the analytic size of the same state under the
+// pre-packing layout — B+tree leaves holding 16-byte entry structs and
+// the text heap holding one copy per value reference — so a single
+// measurement shows what the packed layout saves.
+type MemStats struct {
+	// DocBytes is the document: columnar node/attribute tables, text
+	// heap backing array, and name dictionary.
+	DocBytes int `json:"doc_bytes"`
+	// StringTreeBytes is the string hash B+tree (packed leaves).
+	StringTreeBytes int `json:"string_tree_bytes"`
+	// TypedTreeBytes sums the typed value B+trees.
+	TypedTreeBytes int `json:"typed_tree_bytes"`
+	// SubstrTreeBytes is the q-gram substring B+tree, 0 when disabled.
+	SubstrTreeBytes int `json:"substr_tree_bytes,omitempty"`
+	// SideBytes covers the per-version side tables: stable-id maps,
+	// hash columns, and the typed indexes' state columns and item maps.
+	SideBytes int `json:"side_bytes"`
+	// TotalBytes is the sum of the components above.
+	TotalBytes int `json:"total_bytes"`
+
+	// UnpackedTreeBytes is what all B+trees together would occupy with
+	// uncompressed leaves.
+	UnpackedTreeBytes int `json:"unpacked_tree_bytes"`
+	// UnpackedDocBytes is DocBytes with the heap holding one copy per
+	// value reference (no interning).
+	UnpackedDocBytes int `json:"unpacked_doc_bytes"`
+
+	// Nodes is the indexed population: tree nodes plus attributes (the
+	// paper's "Total Nodes").
+	Nodes int `json:"nodes"`
+	// BytesPerNode is TotalBytes / Nodes — the tracked layout metric.
+	BytesPerNode float64 `json:"bytes_per_node"`
+	// UnpackedBytesPerNode is the same ratio under the uncompressed
+	// layout; the packed-vs-unpacked gap in one number.
+	UnpackedBytesPerNode float64 `json:"unpacked_bytes_per_node"`
+}
+
+// MemStats measures this version's in-memory footprint. It only reads
+// immutable snapshot state, so it is safe on any pinned version while
+// writers commit.
+func (ix *Snapshot) MemStats() MemStats {
+	var ms MemStats
+	ms.DocBytes = ix.doc.MemBytes()
+	ms.UnpackedDocBytes = ms.DocBytes - ix.doc.HeapBytes() + ix.doc.LiveHeapBytes()
+
+	if ix.strTree != nil {
+		ms.StringTreeBytes = ix.strTree.MemBytes()
+		ms.UnpackedTreeBytes += ix.strTree.UnpackedBytes()
+	}
+	for _, ti := range ix.typed {
+		ms.TypedTreeBytes += ti.tree.MemBytes()
+		ms.UnpackedTreeBytes += ti.tree.UnpackedBytes()
+	}
+	if ix.subTree != nil {
+		ms.SubstrTreeBytes = ix.subTree.MemBytes()
+		ms.UnpackedTreeBytes += ix.subTree.UnpackedBytes()
+	}
+
+	side := cap(ix.stableOf)*4 + cap(ix.preOf)*4 +
+		cap(ix.attrStableOf)*4 + cap(ix.attrOf)*4 +
+		cap(ix.hash)*4 + cap(ix.attrHash)*4
+	const itemBytes = int(unsafe.Sizeof(fsm.Item{}))
+	const mapEntryBytes = 48 // rough per-entry map overhead (key+header+buckets)
+	for _, ti := range ix.typed {
+		side += cap(ti.elems) + cap(ti.attrElems) // fsm.Elem is one byte
+		for _, items := range ti.items {
+			side += mapEntryBytes + cap(items)*itemBytes
+		}
+		for _, items := range ti.attrItems {
+			side += mapEntryBytes + cap(items)*itemBytes
+		}
+	}
+	ms.SideBytes = side
+
+	ms.TotalBytes = ms.DocBytes + ms.StringTreeBytes + ms.TypedTreeBytes +
+		ms.SubstrTreeBytes + ms.SideBytes
+	unpackedTotal := ms.UnpackedDocBytes + ms.UnpackedTreeBytes + ms.SideBytes
+
+	ms.Nodes = ix.doc.NumNodes() + ix.doc.NumAttrs()
+	if ms.Nodes > 0 {
+		ms.BytesPerNode = float64(ms.TotalBytes) / float64(ms.Nodes)
+		ms.UnpackedBytesPerNode = float64(unpackedTotal) / float64(ms.Nodes)
+	}
+	return ms
+}

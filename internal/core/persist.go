@@ -552,14 +552,41 @@ func (ix *Snapshot) completeDerived() {
 	}
 }
 
+// Tree sections are versioned independently of the snapshot envelope.
+// The legacy encoding (PR 1 through PR 9) had no version: it opened
+// directly with the entry count. Version 2 opens with treeSectionSentinel
+// — a count no real tree can have, so a reader can tell the two formats
+// apart from the first varint — followed by the format version.
+//
+//	legacy:  uv(count), then per entry uv(keyDelta), uv(val)
+//	v2:      uv(sentinel), uv(2), uv(count), then per entry
+//	         uv(keyDelta); keyDelta == 0 ? uv(valDelta) : uv(val)
+//
+// v2 exploits that entries sort by (key, val) with strictly ascending
+// vals inside an equal-key run: duplicate-key runs — the common case
+// for hash and gram trees — delta-encode their postings, which is the
+// same layout the in-memory packed leaves use (btree/packed.go).
+const (
+	treeSectionSentinel = uint64(math.MaxUint64)
+	treeSectionVersion  = 2
+)
+
 func writeTree(w io.Writer, t *btree.Tree) error {
 	se := newSliceEncoder(w)
+	se.uv(treeSectionSentinel)
+	se.uv(treeSectionVersion)
 	se.uv(uint64(t.Len()))
 	var prevKey uint64
+	var prevVal uint32
 	t.Scan(func(key uint64, val uint32) bool {
-		se.uv(key - prevKey) // keys ascend; delta-encode
-		prevKey = key
-		se.uv(uint64(val))
+		d := key - prevKey
+		se.uv(d)
+		if d == 0 {
+			se.uv(uint64(val - prevVal))
+		} else {
+			se.uv(uint64(val))
+		}
+		prevKey, prevVal = key, val
 		return true
 	})
 	return se.flush()
@@ -567,12 +594,44 @@ func writeTree(w io.Writer, t *btree.Tree) error {
 
 func readTree(r io.Reader) (*btree.Tree, error) {
 	sd := newSliceDecoder(r)
+	first := sd.uv()
+	if sd.err != nil {
+		return nil, sd.err
+	}
+	if first != treeSectionSentinel {
+		// Legacy format: first is the entry count, vals are absolute.
+		n := int(first)
+		entries := make([]btree.Entry, 0, n)
+		var key uint64
+		for i := 0; i < n && sd.err == nil; i++ {
+			key += sd.uv()
+			entries = append(entries, btree.Entry{Key: key, Val: uint32(sd.uv())})
+		}
+		if sd.err != nil {
+			return nil, sd.err
+		}
+		return btree.NewFromSorted(entries), nil
+	}
+	version := sd.uv()
+	if sd.err != nil {
+		return nil, sd.err
+	}
+	if version != treeSectionVersion {
+		return nil, fmt.Errorf("core: unsupported tree section format version %d (this build reads legacy and version %d)", version, treeSectionVersion)
+	}
 	n := int(sd.uv())
 	entries := make([]btree.Entry, 0, n)
 	var key uint64
+	var val uint32
 	for i := 0; i < n && sd.err == nil; i++ {
-		key += sd.uv()
-		entries = append(entries, btree.Entry{Key: key, Val: uint32(sd.uv())})
+		d := sd.uv()
+		key += d
+		if d == 0 {
+			val += uint32(sd.uv())
+		} else {
+			val = uint32(sd.uv())
+		}
+		entries = append(entries, btree.Entry{Key: key, Val: val})
 	}
 	if sd.err != nil {
 		return nil, sd.err

@@ -1,0 +1,84 @@
+package core
+
+import "encoding/binary"
+
+// Packed posting lists: ascending uint32 postings stored as uvarint
+// deltas against the previous posting (the first delta is against an
+// implicit 0). Postings within one list are strictly ascending — a
+// (key, posting) pair occurs at most once in any tree — so deltas after
+// the first are >= 1 and the encoding is unambiguous.
+//
+// The substring index's gram lists are the heavy user: a candidate
+// intersection over common grams can stream hundreds of thousands of
+// postings, and at one-to-five bytes per posting instead of four the
+// lists stay small enough to live in cache while the rarest-first fold
+// whittles them down. Intersections consume and produce packed lists,
+// so nothing is ever widened to []uint32 until the survivors are known.
+
+// packedPostings is an ascending posting list under delta-varint
+// encoding. The zero value is an empty list ready for push.
+type packedPostings struct {
+	data []byte
+	last uint32 // last pushed posting (encoder state)
+	n    int
+}
+
+func (p *packedPostings) push(v uint32) {
+	p.data = binary.AppendUvarint(p.data, uint64(v-p.last))
+	p.last = v
+	p.n++
+}
+
+func (p packedPostings) iter() postingsIter { return postingsIter{p: p.data} }
+
+// decode appends the list's postings to dst and returns it.
+func (p packedPostings) decode(dst []uint32) []uint32 {
+	it := p.iter()
+	for it.next() {
+		dst = append(dst, it.cur)
+	}
+	return dst
+}
+
+// postingsIter streams a packed list without materialising it. Usage:
+//
+//	it := list.iter()
+//	for it.next() { use(it.cur) }
+type postingsIter struct {
+	p   []byte
+	cur uint32
+}
+
+func (it *postingsIter) next() bool {
+	if len(it.p) == 0 {
+		return false
+	}
+	d, n := binary.Uvarint(it.p)
+	if n <= 0 {
+		panic("core: corrupt packed posting list")
+	}
+	it.p = it.p[n:]
+	it.cur += uint32(d)
+	return true
+}
+
+// intersectPostings merges two packed lists into a packed result,
+// streaming both sides — no intermediate []uint32.
+func intersectPostings(a, b packedPostings) packedPostings {
+	var out packedPostings
+	ia, ib := a.iter(), b.iter()
+	oka, okb := ia.next(), ib.next()
+	for oka && okb {
+		switch {
+		case ia.cur < ib.cur:
+			oka = ia.next()
+		case ib.cur < ia.cur:
+			okb = ib.next()
+		default:
+			out.push(ia.cur)
+			oka = ia.next()
+			okb = ib.next()
+		}
+	}
+	return out
+}

@@ -165,49 +165,34 @@ func (ix *Snapshot) substrLookup(pattern string, prefix bool) []Posting {
 }
 
 // substrCandidates returns the packed postings surviving the gram
-// intersection, unverified, in ascending packed order. Callers must have
-// checked len(pattern) >= SubstrQ and subTree != nil.
+// intersection, unverified, in ascending packed order. Gram lists are
+// delta-varint encoded straight off the tree scan and intersected by
+// streaming decoders (see postings.go); only the survivors are widened
+// to uint32. Callers must have checked len(pattern) >= SubstrQ and
+// subTree != nil.
 func (ix *Snapshot) substrCandidates(pattern string) []uint32 {
 	grams := substrGrams([]byte(pattern))
-	lists := make([][]uint32, 0, len(grams))
+	lists := make([]packedPostings, 0, len(grams))
 	for _, g := range grams {
-		var list []uint32
+		var list packedPostings
 		ix.subTree.ScanEq(uint64(g), func(v uint32) bool {
-			list = append(list, v)
+			list.push(v)
 			return true
 		})
-		if len(list) == 0 {
+		if list.n == 0 {
 			return nil
 		}
 		lists = append(lists, list)
 	}
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	sort.Slice(lists, func(i, j int) bool { return lists[i].n < lists[j].n })
 	cand := lists[0]
 	for _, l := range lists[1:] {
-		cand = intersectPacked(cand, l)
-		if len(cand) == 0 {
+		cand = intersectPostings(cand, l)
+		if cand.n == 0 {
 			return nil
 		}
 	}
-	return cand
-}
-
-func intersectPacked(a, b []uint32) []uint32 {
-	out := a[:0]
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
+	return cand.decode(make([]uint32, 0, cand.n))
 }
 
 // substrMatch verifies one candidate's indexed value (a text node's own

@@ -229,6 +229,7 @@ func (ix *Snapshot) applyTexts(updates []TextUpdate) error {
 	}
 	ix.refoldAncestors(affected)
 	ix.maintainStats()
+	ix.maybeCompactHeap()
 	return nil
 }
 
@@ -332,6 +333,7 @@ func (ix *Snapshot) applyAttr(a xmltree.AttrID, value string) {
 	}
 	ix.substrReindexAttr(a, oldGrams)
 	ix.maintainStats()
+	ix.maybeCompactHeap()
 }
 
 // DeleteSubtree removes node n with its subtree from the document and all
@@ -454,6 +456,7 @@ func (ix *Snapshot) applyDelete(n xmltree.NodeID) error {
 	// Refold the ancestor chain against the pre-captured keys.
 	ix.refoldAncestorsWithOld(oldAnc)
 	ix.maintainStats()
+	ix.maybeCompactHeap()
 	return nil
 }
 

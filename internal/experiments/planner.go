@@ -17,13 +17,14 @@ import (
 // index drive, and the cost-based planner — plus which strategy the
 // planner actually chose.
 type A6Row struct {
-	Dataset     string
-	Selectivity float64 // requested fraction of the value domain selected
-	Hits        int
-	ScanMS      float64
-	IndexMS     float64
-	AutoMS      float64
-	AutoIndex   bool // the planner chose the index drive
+	Dataset      string
+	Selectivity  float64 // requested fraction of the value domain selected
+	Hits         int
+	ScanMS       float64
+	IndexMS      float64
+	AutoMS       float64
+	AutoIndex    bool    // the planner chose the index drive
+	BytesPerNode float64 // packed-layout footprint of the queried snapshot
 }
 
 // A6Selectivities are the default crossover sample points.
@@ -44,6 +45,7 @@ func RunA6(cfg Config, dataset string, fracs []float64) ([]A6Row, error) {
 		return nil, err
 	}
 	ix := core.Build(p.doc, cfg.buildOpts(core.DefaultOptions()))
+	bpn := ix.MemStats().BytesPerNode
 	var rows []A6Row
 	for _, frac := range fracs {
 		threshold := 5000 * (1 - frac)
@@ -52,7 +54,7 @@ func RunA6(cfg Config, dataset string, fracs []float64) ([]A6Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("query %q: %v", expr, err)
 		}
-		row := A6Row{Dataset: dataset, Selectivity: frac}
+		row := A6Row{Dataset: dataset, Selectivity: frac, BytesPerNode: bpn}
 		// Warm-up: one untimed run per arm, so one-time costs (first
 		// touch of navigation paths, allocator warm-up) stay out of the
 		// figures — the same policy warmMachines applies to the FSMs.
@@ -108,14 +110,15 @@ func RunA6(cfg Config, dataset string, fracs []float64) ([]A6Row, error) {
 // second is highly selective — the shape the legacy "grab the first
 // indexable condition" rule gets maximally wrong.
 type A7Row struct {
-	Dataset     string
-	Query       string
-	Hits        int
-	LegacyMS    float64 // first indexable condition drives
-	PlannerMS   float64 // cost-based driver choice + intersection
-	SpeedupX    float64
-	UsedIndex   bool // planner drove an index
-	Intersected bool // planner intersected a second access path
+	Dataset      string
+	Query        string
+	Hits         int
+	LegacyMS     float64 // first indexable condition drives
+	PlannerMS    float64 // cost-based driver choice + intersection
+	SpeedupX     float64
+	UsedIndex    bool    // planner drove an index
+	Intersected  bool    // planner intersected a second access path
+	BytesPerNode float64 // packed-layout footprint of the queried snapshot
 }
 
 // A7Queries returns the conjunctive workload for a dataset: predicate
@@ -142,13 +145,14 @@ func RunA7(cfg Config, dataset string) ([]A7Row, error) {
 		return nil, err
 	}
 	ix := core.Build(p.doc, cfg.buildOpts(core.DefaultOptions()))
+	bpn := ix.MemStats().BytesPerNode
 	var rows []A7Row
 	for _, q := range A7Queries(dataset) {
 		parsed, err := xpath.Parse(q)
 		if err != nil {
 			return nil, fmt.Errorf("query %q: %v", q, err)
 		}
-		row := A7Row{Dataset: dataset, Query: q}
+		row := A7Row{Dataset: dataset, Query: q, BytesPerNode: bpn}
 		// Warm-up (untimed), as in RunA6.
 		for _, m := range []plan.Mode{plan.Legacy, plan.Auto} {
 			if _, _, err := plan.Run(ix.Snapshot(), parsed, m); err != nil {

@@ -206,10 +206,11 @@ func ReportA6(w io.Writer, rows []A6Row) {
 			fmt.Sprintf("%.2f", r.IndexMS),
 			fmt.Sprintf("%.2f", r.AutoMS),
 			auto,
+			fmt.Sprintf("%.1f", r.BytesPerNode),
 		})
 	}
 	table(w, "A6 — range-predicate selectivity crossover: forced scan vs forced index vs planner",
-		[]string{"dataset", "selectivity", "hits", "scan ms", "index ms", "auto ms", "auto chose"}, t)
+		[]string{"dataset", "selectivity", "hits", "scan ms", "index ms", "auto ms", "auto chose", "B/node"}, t)
 }
 
 // ReportA7 renders the conjunctive planner-vs-legacy comparison.
@@ -230,10 +231,11 @@ func ReportA7(w io.Writer, rows []A7Row) {
 			fmt.Sprintf("%.2f", r.PlannerMS),
 			fmt.Sprintf("%.1fx", r.SpeedupX),
 			strategy,
+			fmt.Sprintf("%.1f", r.BytesPerNode),
 		})
 	}
 	table(w, "A7 — conjunctive predicates: first-condition heuristic vs cost-based planner",
-		[]string{"query", "hits", "legacy ms", "planner ms", "speedup", "planner strategy"}, t)
+		[]string{"query", "hits", "legacy ms", "planner ms", "speedup", "planner strategy", "B/node"}, t)
 }
 
 // ReportA5 renders the transaction ablation.

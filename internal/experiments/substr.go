@@ -18,14 +18,15 @@ import (
 // by the cost-based planner — plus which strategy the planner chose.
 // Result counts are cross-checked between all arms.
 type A8Row struct {
-	Dataset   string
-	Query     string
-	Hits      int
-	ScanMS    float64
-	IndexMS   float64
-	AutoMS    float64
-	SpeedupX  float64 // scan over forced index
-	AutoIndex bool    // the planner chose the substring drive
+	Dataset      string
+	Query        string
+	Hits         int
+	ScanMS       float64
+	IndexMS      float64
+	AutoMS       float64
+	SpeedupX     float64 // scan over forced index
+	AutoIndex    bool    // the planner chose the substring drive
+	BytesPerNode float64 // packed-layout footprint incl. the gram tree
 }
 
 // A8Queries returns the text-predicate workload for a dataset: a
@@ -54,13 +55,14 @@ func RunA8(cfg Config, dataset string) ([]A8Row, error) {
 	}
 	ix := core.Build(p.doc, cfg.buildOpts(core.DefaultOptions()))
 	ix.EnableSubstring()
+	bpn := ix.MemStats().BytesPerNode
 	var rows []A8Row
 	for _, q := range A8Queries(dataset) {
 		parsed, err := xpath.Parse(q)
 		if err != nil {
 			return nil, fmt.Errorf("query %q: %v", q, err)
 		}
-		row := A8Row{Dataset: dataset, Query: q}
+		row := A8Row{Dataset: dataset, Query: q, BytesPerNode: bpn}
 		// Warm-up (untimed), as in RunA6.
 		for _, m := range []plan.Mode{plan.ForceScan, plan.ForceIndex, plan.Auto} {
 			if _, _, err := plan.Run(ix.Snapshot(), parsed, m); err != nil {
@@ -126,8 +128,9 @@ func ReportA8(w io.Writer, rows []A8Row) {
 			fmt.Sprintf("%.2f", r.AutoMS),
 			fmt.Sprintf("%.1fx", r.SpeedupX),
 			auto,
+			fmt.Sprintf("%.1f", r.BytesPerNode),
 		})
 	}
 	table(w, "A8 — text predicates: document scan vs q-gram substring index",
-		[]string{"query", "hits", "scan ms", "index ms", "auto ms", "speedup", "auto chose"}, t)
+		[]string{"query", "hits", "scan ms", "index ms", "auto ms", "speedup", "auto chose", "B/node"}, t)
 }

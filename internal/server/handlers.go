@@ -556,6 +556,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			WALGeneration: doc.WALGeneration(),
 			Role:          "leader",
 			Index:         doc.Stats(),
+			Mem:           doc.MemStats(),
 		}
 		if ds.follower != nil {
 			st.Role = "follower"

@@ -197,6 +197,9 @@ type DocStats struct {
 	// Replica reports a follower's position and lag (followers only).
 	Replica *ReplicaInfo    `json:"replica,omitempty"`
 	Index   core.IndexStats `json:"index"`
+	// Mem is the served version's in-memory footprint (packed layout),
+	// with bytes_per_node as the tracked layout metric.
+	Mem core.MemStats `json:"mem"`
 }
 
 // StatsResponse is the body of GET /v1/stats.

@@ -11,8 +11,19 @@ package xmltree
 // version's heap length, and writers are serialized by the caller, so a
 // later draft's appends land at offsets no published reader ever
 // dereferences (or on a freshly reallocated array when the append grows
-// the backing store). Compact, which rewrites references in place, must
-// never run on a Doc that has been published to concurrent readers.
+// the backing store).
+//
+// The intern table (heap.go) is shared across clones by pointer: it is
+// written only by the single serialized writer and never read on read
+// paths, so sharing is race-free. Entries can go stale — an abandoned
+// draft's appends vanish with its heap header — which is why every hit
+// is verified against the current heap bytes before being trusted.
+//
+// Compact allocates fresh value/attrValue columns and a fresh heap (it
+// rewrites nothing in place), so the writer may compact any privately
+// owned draft — including one that still shares columns with a
+// published snapshot — but must never compact a Doc that has itself
+// been published to concurrent readers.
 
 // CloneForText returns a copy of d that owns its value column and heap
 // header and shares every other column (structure, names, attributes)
@@ -20,7 +31,7 @@ package xmltree
 func (d *Doc) CloneForText() *Doc {
 	c := *d
 	c.value = append([]valueRef(nil), d.value...)
-	c.heap = &textHeap{data: d.heap.data}
+	c.heap = d.heap.cloneHeader()
 	return &c
 }
 
@@ -30,7 +41,7 @@ func (d *Doc) CloneForText() *Doc {
 func (d *Doc) CloneForAttr() *Doc {
 	c := *d
 	c.attrValue = append([]valueRef(nil), d.attrValue...)
-	c.heap = &textHeap{data: d.heap.data}
+	c.heap = d.heap.cloneHeader()
 	return &c
 }
 
@@ -50,7 +61,7 @@ func (d *Doc) CloneForStructure() *Doc {
 		attrName:  append([]NameID(nil), d.attrName...),
 		attrValue: append([]valueRef(nil), d.attrValue...),
 		names:     d.names.clone(),
-		heap:      &textHeap{data: d.heap.data},
+		heap:      d.heap.cloneHeader(),
 	}
 }
 

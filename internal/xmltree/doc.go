@@ -11,7 +11,10 @@
 // updates (subtree delete/insert) splice the columnar arrays.
 package xmltree
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+)
 
 // Kind classifies a node in the tree node table. Attribute nodes live in a
 // separate table (see Attr) and are not Kinds of tree nodes.
@@ -222,8 +225,16 @@ func (d *Doc) FindAttr(n NodeID, name string) AttrID {
 // garbage left behind by value updates.
 func (d *Doc) HeapBytes() int { return d.heap.size() }
 
+// DeadHeapBytes reports the heap bytes abandoned by value overwrites and
+// subtree deletions since the last Compact — a conservative upper bound
+// (an abandoned range may still be live through interning) that callers
+// use to decide when compaction pays.
+func (d *Doc) DeadHeapBytes() int { return d.heap.dead }
+
 // LiveHeapBytes reports the number of heap bytes currently referenced by
-// nodes and attributes.
+// nodes and attributes. Interned values shared by several references are
+// counted once per reference, so this can exceed HeapBytes on heavily
+// deduplicated documents.
 func (d *Doc) LiveHeapBytes() int {
 	var n int
 	for _, v := range d.value {
@@ -233,6 +244,27 @@ func (d *Doc) LiveHeapBytes() int {
 		n += int(v.len)
 	}
 	return n
+}
+
+// MemBytes reports the document's in-memory footprint: the columnar node
+// and attribute tables (at slice capacity), the text heap's backing
+// array, and the name dictionary. The intern table is excluded — it is
+// shared writer-side bookkeeping, not reader-hot state.
+func (d *Doc) MemBytes() int {
+	b := cap(d.kind)*int(unsafe.Sizeof(Kind(0))) +
+		cap(d.size)*4 + cap(d.level)*4 +
+		cap(d.parent)*int(unsafe.Sizeof(NodeID(0))) +
+		cap(d.name)*int(unsafe.Sizeof(NameID(0))) +
+		cap(d.value)*int(unsafe.Sizeof(valueRef{})) +
+		cap(d.attrStart)*4 +
+		cap(d.attrName)*int(unsafe.Sizeof(NameID(0))) +
+		cap(d.attrValue)*int(unsafe.Sizeof(valueRef{})) +
+		cap(d.heap.data)
+	for _, s := range d.names.names {
+		b += len(s) + 16 // string header
+	}
+	b += len(d.names.byName) * 48 // rough per-entry map cost
+	return b
 }
 
 // Stats summarises the node population of a document; it backs Table 1 of

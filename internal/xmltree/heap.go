@@ -1,27 +1,121 @@
 package xmltree
 
 // textHeap is an append-only byte heap holding all character data of a
-// document. Updated values are appended; old ranges become garbage until
-// Compact is called (value updates must not invalidate other references).
+// document. XML values repeat heavily (XMark categories, attribute
+// enums, boilerplate text), so the heap hash-conses small values: a put
+// of bytes equal to an already-stored value returns the existing ref
+// instead of appending a duplicate. Updated values are appended; ranges
+// an overwrite or subtree deletion abandons are counted in dead and
+// reclaimed by Compact (value updates must never invalidate other
+// references, so nothing is rewritten in place).
 type textHeap struct {
 	data []byte
+
+	// intern hash-conses values up to maxInternLen bytes: content hash →
+	// ref of a stored copy with those bytes. Copy-on-write clones share
+	// the map (see cow.go): only the single serialized writer touches
+	// it, readers only ever dereference data. Entries are verified on
+	// every hit — a stale entry (left by an abandoned draft whose
+	// appends were never published, or by a hash collision) fails the
+	// byte comparison and is simply rebound.
+	intern map[uint64]valueRef
+
+	// dead counts heap bytes abandoned by value overwrites and subtree
+	// deletions. It is a conservative upper bound — an abandoned range
+	// may still be referenced elsewhere through interning — that drives
+	// draft auto-compaction in internal/core.
+	dead int
 }
 
+// maxInternLen bounds hash-consed value size: long values are rarely
+// repeated, and hashing them on every put would tax update throughput.
+const maxInternLen = 128
+
 func newTextHeap() *textHeap { return &textHeap{} }
+
+// cloneHeader returns a heap header sharing data, the intern map, and
+// the dead counter with h — the copy-on-write clone used by cow.go.
+func (h *textHeap) cloneHeader() *textHeap {
+	return &textHeap{data: h.data, intern: h.intern, dead: h.dead}
+}
+
+// internHash is FNV-1a over the value bytes, the intern map key.
+func internHash(s []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range s {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+func internHashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// refHolds reports whether r is a valid range of this heap holding
+// exactly the bytes of s. It rejects stale refs pointing past the
+// current length (possible after an abandoned draft's appends were
+// dropped with its backing array).
+func (h *textHeap) refHolds(r valueRef, s string) bool {
+	end := uint64(r.off) + uint64(r.len)
+	return int(r.len) == len(s) && end <= uint64(len(h.data)) && string(h.data[r.off:end]) == s
+}
+
+func (h *textHeap) refHoldsBytes(r valueRef, s []byte) bool {
+	end := uint64(r.off) + uint64(r.len)
+	// string conversions in a comparison do not allocate.
+	return int(r.len) == len(s) && end <= uint64(len(h.data)) && string(h.data[r.off:end]) == string(s)
+}
 
 func (h *textHeap) put(s []byte) valueRef {
 	if len(s) == 0 {
 		return valueRef{}
 	}
-	off := uint32(len(h.data))
-	h.data = append(h.data, s...)
-	return valueRef{off: off, len: uint32(len(s))}
+	if len(s) <= maxInternLen {
+		if h.intern == nil {
+			h.intern = make(map[uint64]valueRef)
+		}
+		key := internHash(s)
+		if r, ok := h.intern[key]; ok && h.refHoldsBytes(r, s) {
+			return r
+		}
+		r := h.appendBytes(s)
+		h.intern[key] = r
+		return r
+	}
+	return h.appendBytes(s)
 }
 
 func (h *textHeap) putString(s string) valueRef {
 	if len(s) == 0 {
 		return valueRef{}
 	}
+	if len(s) <= maxInternLen {
+		if h.intern == nil {
+			h.intern = make(map[uint64]valueRef)
+		}
+		key := internHashString(s)
+		if r, ok := h.intern[key]; ok && h.refHolds(r, s) {
+			return r
+		}
+		r := h.appendString(s)
+		h.intern[key] = r
+		return r
+	}
+	return h.appendString(s)
+}
+
+func (h *textHeap) appendBytes(s []byte) valueRef {
+	off := uint32(len(h.data))
+	h.data = append(h.data, s...)
+	return valueRef{off: off, len: uint32(len(s))}
+}
+
+func (h *textHeap) appendString(s string) valueRef {
 	off := uint32(len(h.data))
 	h.data = append(h.data, s...)
 	return valueRef{off: off, len: uint32(len(s))}
@@ -79,28 +173,41 @@ func (d *nameDict) lookup(id NameID) string {
 
 func (d *nameDict) count() int { return len(d.names) }
 
-// Compact rewrites the text heap keeping only live ranges, releasing
-// garbage produced by value updates. References in the node and attribute
-// tables are rewritten in place. It returns the number of bytes reclaimed.
+// Compact rebuilds the text heap keeping only referenced ranges,
+// releasing garbage produced by value updates and deletions, and
+// re-deduplicating every live value through the intern table. It
+// returns the number of bytes reclaimed.
 //
-// Compact must not be called on a Doc published to concurrent readers
-// (see cow.go): it mutates value references other snapshot holders may
-// be reading. Compact only privately owned documents.
+// Compact allocates fresh value and attrValue columns and a fresh heap
+// rather than rewriting anything in place, so it is safe on any
+// privately owned draft even when that draft still shares columns with
+// a published snapshot (see cow.go: CloneForText shares attrValue,
+// CloneForAttr shares value). It must still never be called on a Doc
+// that has itself been published to concurrent readers: it swaps the
+// Doc's own column pointers, which readers of that Doc would race with.
 func (d *Doc) Compact() int {
 	old := d.heap
+	capHint := d.LiveHeapBytes()
+	if capHint > old.size() {
+		capHint = old.size() // LiveHeapBytes double-counts interned sharing
+	}
 	fresh := newTextHeap()
-	fresh.data = make([]byte, 0, d.LiveHeapBytes())
+	fresh.data = make([]byte, 0, capHint)
+	value := make([]valueRef, len(d.value))
 	for i := range d.value {
 		if d.value[i].len != 0 {
-			d.value[i] = fresh.put(old.getBytes(d.value[i]))
+			value[i] = fresh.put(old.getBytes(d.value[i]))
 		}
 	}
+	attrValue := make([]valueRef, len(d.attrValue))
 	for i := range d.attrValue {
 		if d.attrValue[i].len != 0 {
-			d.attrValue[i] = fresh.put(old.getBytes(d.attrValue[i]))
+			attrValue[i] = fresh.put(old.getBytes(d.attrValue[i]))
 		}
 	}
 	reclaimed := old.size() - fresh.size()
+	d.value = value
+	d.attrValue = attrValue
 	d.heap = fresh
 	return reclaimed
 }

@@ -31,7 +31,36 @@ import (
 const docMagic = "XTDOC2"
 
 // WriteTo serialises the document. It implements io.WriterTo.
+//
+// Only live names hit the disk: deletions drop nodes but never
+// dictionary entries, so a long-lived document's dictionary accretes
+// dead names. WriteTo remaps name ids densely over the names actually
+// referenced by a node or attribute (in first-use order, which is
+// deterministic, keeping leader/follower snapshot bytes identical), so
+// serialisation is the point where the dictionary sheds its garbage.
 func (d *Doc) WriteTo(w io.Writer) (int64, error) {
+	remap := make([]NameID, d.names.count())
+	for i := range remap {
+		remap[i] = -1
+	}
+	live := make([]string, 0, d.names.count())
+	mapName := func(id NameID) NameID {
+		if id < 0 {
+			return -1
+		}
+		if remap[id] < 0 {
+			remap[id] = NameID(len(live))
+			live = append(live, d.names.names[id])
+		}
+		return remap[id]
+	}
+	for i := range d.name {
+		mapName(d.name[i])
+	}
+	for a := range d.attrName {
+		mapName(d.attrName[a])
+	}
+
 	cw := &countWriter{w: w}
 	bw := newBinWriter(cw)
 	bw.raw([]byte(docMagic))
@@ -39,7 +68,7 @@ func (d *Doc) WriteTo(w io.Writer) (int64, error) {
 	na := d.NumAttrs()
 	bw.u32(uint32(n))
 	bw.u32(uint32(na))
-	bw.u32(uint32(d.names.count()))
+	bw.u32(uint32(len(live)))
 
 	for i := 0; i < n; i++ {
 		bw.raw([]byte{byte(d.kind[i])})
@@ -51,7 +80,7 @@ func (d *Doc) WriteTo(w io.Writer) (int64, error) {
 		bw.u32(uint32(int32(i) - int32(d.parent[i])))
 	}
 	for i := 0; i < n; i++ {
-		bw.u32(uint32(d.name[i]))
+		bw.u32(uint32(mapName(d.name[i])))
 	}
 	for i := 0; i < n; i++ {
 		bw.u32(d.value[i].len)
@@ -60,12 +89,12 @@ func (d *Doc) WriteTo(w io.Writer) (int64, error) {
 		bw.u32(uint32(d.attrStart[i]))
 	}
 	for a := 0; a < na; a++ {
-		bw.u32(uint32(d.attrName[a]))
+		bw.u32(uint32(mapName(d.attrName[a])))
 	}
 	for a := 0; a < na; a++ {
 		bw.u32(d.attrValue[a].len)
 	}
-	for _, s := range d.names.names {
+	for _, s := range live {
 		bw.u32(uint32(len(s)))
 		bw.raw([]byte(s))
 	}
@@ -159,22 +188,25 @@ func ReadDoc(r io.Reader) (*Doc, error) {
 		br.raw(b)
 		d.names.intern(string(b))
 	}
-	// Heap: one contiguous read, then slice it into refs.
-	d.heap.data = make([]byte, heapNeed)
-	br.raw(d.heap.data)
+	// Heap: one contiguous read of the serialised (per-value, duplicated)
+	// blob, then re-intern each value into the document heap — repeated
+	// values collapse onto one stored copy, so a loaded document gets the
+	// same hash-consed layout a built one has.
+	blob := make([]byte, heapNeed)
+	br.raw(blob)
 	if br.err != nil {
 		return nil, br.err
 	}
 	off := uint32(0)
 	for i := 0; i < n; i++ {
 		if valueLens[i] > 0 {
-			d.value[i] = valueRef{off: off, len: valueLens[i]}
+			d.value[i] = d.heap.put(blob[off : off+valueLens[i]])
 			off += valueLens[i]
 		}
 	}
 	for a := 0; a < na; a++ {
 		if attrLens[a] > 0 {
-			d.attrValue[a] = valueRef{off: off, len: attrLens[a]}
+			d.attrValue[a] = d.heap.put(blob[off : off+attrLens[a]])
 			off += attrLens[a]
 		}
 	}

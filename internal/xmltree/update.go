@@ -15,7 +15,11 @@ var ErrNotText = errors.New("xmltree: node has no character data")
 func (d *Doc) SetText(n NodeID, data string) error {
 	switch d.kind[n] {
 	case Text, Comment, PI:
+		old := d.value[n]
 		d.value[n] = d.heap.putString(data)
+		if d.value[n] != old {
+			d.heap.dead += int(old.len)
+		}
 		return nil
 	default:
 		return fmt.Errorf("%w: %v node %d", ErrNotText, d.kind[n], n)
@@ -24,7 +28,11 @@ func (d *Doc) SetText(n NodeID, data string) error {
 
 // SetAttrValue replaces the value of attribute a.
 func (d *Doc) SetAttrValue(a AttrID, value string) {
+	old := d.attrValue[a]
 	d.attrValue[a] = d.heap.putString(value)
+	if d.attrValue[a] != old {
+		d.heap.dead += int(old.len)
+	}
 }
 
 // DeleteSubtree removes node n and its entire subtree (including owned
@@ -41,6 +49,15 @@ func (d *Doc) DeleteSubtree(n NodeID) error {
 	// Shrink ancestor sizes before positions move.
 	for p := d.parent[n]; p != InvalidNode; p = d.parent[p] {
 		d.size[p] -= int32(cnt)
+	}
+
+	// The removed range's heap values become garbage (conservatively:
+	// interned ranges may still be shared with surviving refs).
+	for i := n; i < end; i++ {
+		d.heap.dead += int(d.value[i].len)
+	}
+	for a := d.attrStart[n]; a < d.attrStart[end]; a++ {
+		d.heap.dead += int(d.attrValue[a].len)
 	}
 
 	// Drop attributes owned by the removed range.

@@ -477,6 +477,12 @@ func (d *Document) NumNodes() int { return d.ix.Doc().NumNodes() }
 // Stats exposes index statistics (population counts, size estimates).
 func (d *Document) Stats() core.IndexStats { return d.ix.Stats() }
 
+// MemStats measures the current version's in-memory footprint — the
+// packed B+tree leaves, interned text heap, and side tables — including
+// the bytes-per-node layout metric and its uncompressed-layout
+// equivalent.
+func (d *Document) MemStats() core.MemStats { return d.ix.MemStats() }
+
 // Durable reports whether a write-ahead log is currently attached.
 func (d *Document) Durable() bool { return d.ix.HasWAL() }
 
